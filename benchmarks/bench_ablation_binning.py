@@ -1,0 +1,100 @@
+"""Ablation: Sturges vs Freedman-Diaconis binning (Section 4.1.1).
+
+The paper's argument: Sturges' rule oversmooths — its bin count grows
+only logarithmically, so the histogram approximation of the data
+distribution (and with it every detected interval boundary) stops
+improving as n grows, while the Freedman-Diaconis count grows like
+n^(1/3).  This bench measures it directly: the mean boundary error of
+the detected relevant intervals against the true hidden-cluster
+intervals, per rule, over a size sweep.  End-to-end E4SC at these
+scaled sizes is seed-noise dominated (see EXPERIMENTS.md), so the
+boundary error is the right observable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.binning import build_all_histograms
+from repro.core.intervals import find_relevant_intervals
+from repro.core.p3c_plus import P3CPlusConfig
+from repro.experiments.runner import format_table, make_dataset
+
+
+def _boundary_error(dataset, rule: str) -> float:
+    """Mean absolute boundary error of detected vs true intervals."""
+    config = P3CPlusConfig(binning=rule)
+    num_bins = config.num_bins(len(dataset.data))
+    histograms = build_all_histograms(dataset.data, num_bins)
+    detected = find_relevant_intervals(histograms, alpha=config.chi2_alpha)
+    by_attr: dict[int, list] = {}
+    for interval in detected:
+        by_attr.setdefault(interval.attribute, []).append(interval)
+
+    errors = []
+    for cluster in dataset.hidden_clusters:
+        for true_interval in cluster.signature:
+            overlapping = [
+                found
+                for found in by_attr.get(true_interval.attribute, [])
+                if found.overlaps(true_interval)
+            ]
+            if not overlapping:
+                # Missed interval: error = full width (worst case).
+                errors.append(true_interval.width)
+                continue
+            lower = min(found.lower for found in overlapping)
+            upper = max(found.upper for found in overlapping)
+            errors.append(
+                abs(lower - true_interval.lower)
+                + abs(upper - true_interval.upper)
+            )
+    return float(np.mean(errors))
+
+
+def _sweep(sizes, dims, seed):
+    rows = []
+    for n in sizes:
+        dataset = make_dataset(n, dims, 5, 0.10, seed)
+        rows.append(
+            (
+                n,
+                P3CPlusConfig(binning="sturges").num_bins(n),
+                _boundary_error(dataset, "sturges"),
+                P3CPlusConfig(binning="freedman-diaconis").num_bins(n),
+                _boundary_error(dataset, "freedman-diaconis"),
+            )
+        )
+    return rows
+
+
+def test_binning_rule_ablation(benchmark, bench_scale, save_exhibit):
+    sizes = tuple(bench_scale.sizes) + (4 * bench_scale.sizes[-1],)
+    rows = benchmark.pedantic(
+        lambda: _sweep(sizes, bench_scale.dims, bench_scale.seed),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table(
+        [
+            "DB size",
+            "Sturges bins",
+            "Sturges boundary err",
+            "FD bins",
+            "FD boundary err",
+        ],
+        [list(row) for row in rows],
+    )
+    save_exhibit(
+        "ablation_binning",
+        "Ablation — binning rule (Section 4.1.1): mean interval-boundary "
+        "error vs ground truth\n" + table,
+    )
+
+    largest = rows[-1]
+    # FD resolves the distribution finer than Sturges at scale...
+    assert largest[3] > largest[1]
+    # ...and its boundary error is smaller at the largest size.
+    assert largest[4] <= largest[2] + 1e-9
+    # FD's error shrinks from the smallest to the largest size.
+    assert rows[-1][4] < rows[0][4]

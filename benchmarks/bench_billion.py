@@ -1,0 +1,22 @@
+"""Section 7.5.2 bench: the billion-point MR-Light vs BoW-Light run."""
+
+from __future__ import annotations
+
+from repro.experiments import billion
+
+
+def test_billion_point_projection(benchmark, save_exhibit):
+    outcome = benchmark.pedantic(
+        lambda: billion.run(scaled_n=4_000, dims=30),
+        rounds=1,
+        iterations=1,
+    )
+    save_exhibit("billion", billion.render(outcome, scaled_n=4_000))
+
+    # Headline ordering: MR-Light beats BoW-Light at 10^9 points.
+    assert outcome.projected_mr_light_s < outcome.projected_bow_light_s
+    # The factor is in the paper's ballpark (~2.2x); accept 1.2-5x.
+    assert 1.2 < outcome.projected_ratio < 5.0
+    # The projected MR-Light total lands in the paper's order of
+    # magnitude (4300 s; accept a factor ~3 either way).
+    assert 1_500 < outcome.projected_mr_light_s < 15_000

@@ -1,0 +1,18 @@
+"""Figure 1 bench: the Poisson test's power at a 1% relative effect."""
+
+from __future__ import annotations
+
+from repro.experiments import figure1
+
+
+def test_figure1_poisson_power(benchmark, save_exhibit):
+    series = benchmark.pedantic(
+        lambda: figure1.run(), rounds=1, iterations=1
+    )
+    save_exhibit("figure1", figure1.main())
+
+    powers = [p for _, p in series]
+    # Paper shape: monotone growth towards ~1.
+    assert powers == sorted(powers)
+    assert powers[-1] > 0.9
+    assert powers[0] < 0.2

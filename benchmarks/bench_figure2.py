@@ -1,0 +1,17 @@
+"""Figure 2 bench: the redundant-signature worked example."""
+
+from __future__ import annotations
+
+from repro.experiments import figure2
+
+
+def test_figure2_redundancy_example(benchmark, save_exhibit):
+    outcome = benchmark.pedantic(figure2.run, rounds=1, iterations=1)
+    save_exhibit("figure2", figure2.main())
+
+    assert outcome["s3_passes_poisson"]
+    assert outcome["s3_removed"]
+    assert outcome["s1_kept"] and outcome["s2_kept"]
+    # The paper's ratio ordering: S3 <_r S1, S3 <_r S2.
+    assert outcome["ratios"]["S3"] < outcome["ratios"]["S1"]
+    assert outcome["ratios"]["S3"] < outcome["ratios"]["S2"]

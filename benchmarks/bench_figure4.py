@@ -1,0 +1,37 @@
+"""Figure 4 bench: naive vs MVB outlier detection quality (E4SC)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure4
+from repro.experiments.configs import ExperimentScale
+
+
+def test_figure4_outlier_detection(benchmark, bench_scale, save_exhibit):
+    scale = ExperimentScale(
+        name="figure4",
+        sizes=bench_scale.sizes,
+        dims=bench_scale.dims,
+        seed=bench_scale.seed,
+    )
+    noise_levels = (0.05, 0.20)
+    num_clusters = (3, 5)
+    rows = benchmark.pedantic(
+        lambda: figure4.run(
+            scale, noise_levels=noise_levels, num_clusters=num_clusters
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_exhibit("figure4", figure4.render(rows))
+
+    # Paper shape: MVB >= NAIVE in (almost) every cell.
+    by_key: dict[tuple, dict[str, float]] = {}
+    for row in rows:
+        key = (row.noise, row.num_clusters, row.n)
+        by_key.setdefault(key, {})[row.detector] = row.e4sc
+    wins = sum(
+        1 for cell in by_key.values() if cell["MVB"] >= cell["NAIVE"] - 0.02
+    )
+    assert wins >= int(0.7 * len(by_key)), (
+        f"MVB won only {wins}/{len(by_key)} cells"
+    )

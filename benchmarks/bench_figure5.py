@@ -1,0 +1,41 @@
+"""Figure 5 bench: redundancy filtering and effect-size statistics."""
+
+from __future__ import annotations
+
+from repro.experiments import figure5
+
+
+def test_figure5_threshold_sweep(benchmark, bench_scale, save_exhibit):
+    sizes = (1_500, bench_scale.sizes[-1])
+    thresholds = (1e-40, 1e-20, 1e-5, 1e-3)
+    num_clusters = 5
+    rows = benchmark.pedantic(
+        lambda: figure5.run(
+            sizes=sizes,
+            dims=bench_scale.dims,
+            num_clusters=num_clusters,
+            thresholds=thresholds,
+            seed=bench_scale.seed,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_exhibit("figure5", figure5.render(rows, num_clusters))
+
+    by_key = {(r.n, r.threshold, r.test): r for r in rows}
+    for n in sizes:
+        for threshold in thresholds:
+            poisson = by_key[(n, threshold, "Poisson")]
+            combined = by_key[(n, threshold, "Combined")]
+            # Effect size can only remove cores, never add them.
+            assert combined.cores_no_filter <= poisson.cores_no_filter
+            # Filtering can only remove cores.
+            assert poisson.cores_filtered <= poisson.cores_no_filter
+            # With redundancy filtering the core count lands near the
+            # true cluster count (paper: exactly on it over wide ranges).
+            assert combined.cores_filtered <= 3 * num_clusters
+
+    # Paper shape: Poisson-only over-generates at the loosest threshold.
+    loosest = by_key[(sizes[-1], 1e-3, "Poisson")]
+    tightest = by_key[(sizes[-1], 1e-40, "Poisson")]
+    assert loosest.cores_no_filter >= tightest.cores_no_filter

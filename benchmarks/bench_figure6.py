@@ -1,0 +1,69 @@
+"""Figure 6 bench: quality of BoW (Light/MVB) vs P3C+-MR (Light/MVB)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import figure6
+from repro.experiments.configs import ExperimentScale
+
+
+def test_figure6_quality_grid(benchmark, bench_scale, save_exhibit):
+    scale = ExperimentScale(
+        name="figure6",
+        sizes=bench_scale.sizes,
+        dims=bench_scale.dims,
+        samples_per_reducer=bench_scale.samples_per_reducer,
+        seed=bench_scale.seed,
+    )
+    num_clusters = (3, 5)
+    noise_levels = (0.0, 0.10)
+    rows = benchmark.pedantic(
+        lambda: figure6.run(
+            scale, num_clusters=num_clusters, noise_levels=noise_levels
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_exhibit("figure6", figure6.render(rows))
+
+    def mean_score(name: str, n: int | None = None) -> float:
+        return float(
+            np.mean(
+                [
+                    r.e4sc
+                    for r in rows
+                    if r.algorithm == name and (n is None or r.n == n)
+                ]
+            )
+        )
+
+    sizes = sorted({r.n for r in rows})
+    largest, smallest = sizes[-1], sizes[0]
+
+    # Paper shape 1: the exact MR algorithms beat (or tie) the
+    # approximate BoW per variant — decisively at the largest size,
+    # where BoW uses several partitions.
+    assert mean_score("MR (Light)", largest) >= mean_score(
+        "BoW (Light)", largest
+    )
+    assert mean_score("MR (MVB)", largest) >= mean_score(
+        "BoW (MVB)", largest
+    )
+
+    # Paper shape 2: BoW's quality degrades as the data (and partition
+    # count) grows; MR's does not degrade comparably.
+    bow_drop = mean_score("BoW (Light)", smallest) - mean_score(
+        "BoW (Light)", largest
+    )
+    mr_drop = mean_score("MR (Light)", smallest) - mean_score(
+        "MR (Light)", largest
+    )
+    assert mr_drop <= bow_drop + 0.05
+
+    # Both MR variants deliver usable quality on the largest size.
+    # (The paper's Light-beats-MVB ordering emerges from the blurring
+    # effect at cluster-scale n and is not expected at this scale; see
+    # EXPERIMENTS.md.)
+    assert mean_score("MR (MVB)", largest) > 0.6
+    assert mean_score("MR (Light)", largest) > 0.5

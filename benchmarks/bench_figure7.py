@@ -1,0 +1,57 @@
+"""Figure 7 bench: runtime vs DB size, measured + cost-model projection."""
+
+from __future__ import annotations
+
+from repro.experiments import figure7
+from repro.experiments.configs import ExperimentScale
+
+
+def test_figure7_runtimes(benchmark, bench_scale, save_exhibit):
+    scale = ExperimentScale(
+        name="figure7",
+        sizes=bench_scale.sizes[:2],  # MR drivers are the slow path
+        dims=min(bench_scale.dims, 15),
+        samples_per_reducer=bench_scale.samples_per_reducer,
+        seed=bench_scale.seed,
+    )
+    measured = benchmark.pedantic(
+        lambda: figure7.run_measured(scale), rounds=1, iterations=1
+    )
+    projected = figure7.run_projected(measured)
+    text = "\n\n".join(
+        [
+            "Figure 7 — runtime (seconds) vs DB size",
+            figure7._series_table(measured, "Measured (scaled sizes):"),
+            figure7._series_table(projected, "Projected (paper sizes):"),
+        ]
+    )
+    save_exhibit("figure7", text)
+
+    def total(rows, name):
+        return sum(r.seconds for r in rows if r.algorithm == name)
+
+    # Paper shape 1: the full P3C+-MR variants are the slowest (more MR
+    # jobs + EM iterations) in the paper-scale projection.
+    slowest = max(
+        ("BoW (Light)", "BoW (MVB)", "MR (Light)", "MR (MVB)", "MR (Naive)"),
+        key=lambda name: total(projected, name),
+    )
+    assert slowest in ("MR (MVB)", "MR (Naive)")
+
+    # Paper shape 2: MVB costs more than Naive, but only moderately
+    # (paper: 10-20% overhead).
+    mvb, naive = total(projected, "MR (MVB)"), total(projected, "MR (Naive)")
+    assert mvb >= naive
+    assert mvb <= 1.8 * naive
+
+    # Paper shape 3: projected runtimes grow with n for every algorithm.
+    for name in ("MR (Light)", "BoW (Light)"):
+        series = sorted(
+            (r.n, r.seconds) for r in projected if r.algorithm == name
+        )
+        times = [t for _, t in series]
+        assert times == sorted(times)
+
+    # The full MR pipeline runs more jobs than Light (measured).
+    jobs = {r.algorithm: r.mr_jobs for r in measured}
+    assert jobs["MR (MVB)"] > jobs["MR (Light)"]

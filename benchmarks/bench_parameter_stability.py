@@ -1,0 +1,74 @@
+"""Extension bench: parameter stability (paper Sections 2 / 7.3).
+
+The paper's stated reason for choosing P3C is its "simple and stable
+parameter setting": one confidence level for interval detection, one
+for proving, one effect-size threshold — and quality should be flat
+over broad parameter ranges (the theta_cc sweep of Section 7.3 already
+shows a wide plateau).  This bench sweeps all three parameters around
+their defaults and asserts the plateau.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.p3c_plus import P3CPlusConfig, P3CPlusLight
+from repro.eval import e4sc_score
+from repro.experiments.runner import format_table, make_dataset
+
+
+def _score(dataset, truth, **overrides) -> float:
+    config = P3CPlusConfig().with_overrides(**overrides)
+    result = P3CPlusLight(config).fit(dataset.data)
+    return e4sc_score(result.clusters, truth)
+
+
+def test_parameter_stability(benchmark, bench_scale, save_exhibit):
+    dataset = make_dataset(
+        bench_scale.sizes[1], bench_scale.dims, 4, 0.10, bench_scale.seed
+    )
+    truth = dataset.ground_truth_clusters()
+
+    sweeps = {
+        "chi2_alpha": (1e-4, 1e-3, 1e-2),
+        "poisson_alpha": (1e-4, 1e-2, 1e-1),
+        "theta_cc": (0.15, 0.35, 0.5),
+    }
+
+    def run_sweeps():
+        scores: dict[str, list[float]] = {}
+        for parameter, values in sweeps.items():
+            scores[parameter] = [
+                _score(dataset, truth, **{parameter: value})
+                for value in values
+            ]
+        return scores
+
+    scores = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+
+    rows = []
+    for parameter, values in sweeps.items():
+        rows.append(
+            [parameter]
+            + [f"{v:g} -> {s:.3f}" for v, s in zip(values, scores[parameter])]
+        )
+    table = format_table(
+        ["parameter", "low", "default", "high"], rows
+    )
+    save_exhibit(
+        "parameter_stability",
+        "Extension — parameter stability (E4SC across parameter "
+        "ranges; paper claims a flat plateau)\n" + table,
+    )
+
+    # The plateau: within each sweep, quality varies by < 0.25 E4SC and
+    # never collapses.
+    for parameter, values in sweeps.items():
+        spread = max(scores[parameter]) - min(scores[parameter])
+        assert spread < 0.25, f"{parameter} unstable: {scores[parameter]}"
+        assert min(scores[parameter]) > 0.4
+    # The default configuration is within a whisker of each sweep's best.
+    default = _score(dataset, truth)
+    best = max(max(v) for v in scores.values())
+    assert default >= best - 0.25
+    assert float(np.mean([s for v in scores.values() for s in v])) > 0.5

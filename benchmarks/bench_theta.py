@@ -1,0 +1,37 @@
+"""Section 7.3 bench: the theta_cc selection sweep."""
+
+from __future__ import annotations
+
+from repro.experiments import theta
+
+
+def test_theta_selection(benchmark, save_exhibit):
+    outcome = benchmark.pedantic(
+        lambda: theta.run(
+            sizes=(1_000,),
+            dims=15,
+            num_clusters=(3, 5),
+            noise_levels=(0.05, 0.20),
+            thetas=(0.05, 0.15, 0.25, 0.35, 0.45),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    rows = "\n".join(
+        f"  n={n} k={k} noise={noise:.0%}: optimum theta_cc = {opt:.2f}"
+        for (n, k, noise), opt in sorted(outcome.per_dataset_optimum.items())
+    )
+    save_exhibit(
+        "theta",
+        "Section 7.3 — theta_cc selection\n"
+        + rows
+        + f"\nselected (median of optima): {outcome.selected_theta:.2f} "
+        "(paper: 0.35)",
+    )
+
+    # The selected theta lies inside the swept range and in the paper's
+    # broad plateau (quality is flat over much of [0.05, 0.5]).
+    assert 0.05 <= outcome.selected_theta <= 0.45
+    # All per-data-set optima achieved a sane score.
+    for scores in outcome.per_dataset_scores.values():
+        assert max(scores.values()) > 0.5

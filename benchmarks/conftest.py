@@ -1,0 +1,41 @@
+"""Benchmark-suite plumbing.
+
+Every benchmark regenerates one paper exhibit: it runs the experiment
+harness once inside pytest-benchmark (``pedantic`` with a single round —
+these are minutes-scale experiments, not microbenchmarks), prints the
+exhibit's table and persists it under ``benchmarks/output/`` so the
+rendered exhibits survive the run.
+
+``REPRO_BENCH_SCALE=full`` switches from the quick grid to the larger
+sweep (see ``repro.experiments.configs``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.configs import FULL_SCALE, QUICK_SCALE, ExperimentScale
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    profile = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    return FULL_SCALE if profile == "full" else QUICK_SCALE
+
+
+@pytest.fixture(scope="session")
+def save_exhibit():
+    """Print an exhibit and persist it to benchmarks/output/<name>.txt."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = OUTPUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

@@ -1,0 +1,63 @@
+"""Micro-array scenario: tiny n, huge d (the paper's Section 7.6 case).
+
+Projected clustering was motivated by exactly this workload: 62 tissue
+samples described by 2 000 genes, where only a handful of genes carry
+the tumour/normal signal and everything else is noise.  Full-space
+clustering drowns in the 1 990 irrelevant dimensions; P3C+ finds the
+informative subspace automatically.
+
+The script compares the original P3C against P3C+ (the paper's
+Section 7.6 experiment) on the synthetic colon-cancer stand-in and
+reports which genes each algorithm declared relevant.
+
+Run:  python examples/gene_expression.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.p3c import P3C
+from repro.core.p3c_plus import P3CPlus
+from repro.data import make_colon_like
+from repro.eval import label_accuracy
+
+
+def describe(name: str, result, dataset) -> None:
+    accuracy = label_accuracy(result, dataset.labels)
+    print(f"\n{name}: {result.num_clusters} clusters, "
+          f"{len(result.outliers)} outliers, accuracy {accuracy:.1%}")
+    informative = set(int(g) for g in dataset.informative_genes)
+    for cid, cluster in enumerate(result.clusters):
+        found = sorted(cluster.relevant_attributes)
+        true_hits = sum(1 for g in found if g in informative)
+        class_counts = np.bincount(
+            dataset.labels[cluster.members], minlength=2
+        )
+        print(
+            f"  cluster {cid}: {cluster.size:3d} samples "
+            f"(normal/tumour = {class_counts[0]}/{class_counts[1]}), "
+            f"{len(found)} relevant genes, {true_hits} truly informative"
+        )
+
+
+def main() -> None:
+    dataset = make_colon_like(seed=11)
+    print(
+        f"Data: {dataset.n_samples} samples x {dataset.n_genes} genes, "
+        f"{len(dataset.informative_genes)} informative genes"
+    )
+    print(f"Informative genes: {sorted(int(g) for g in dataset.informative_genes)}")
+
+    describe("Original P3C", P3C().fit(dataset.data), dataset)
+    describe("P3C+", P3CPlus().fit(dataset.data), dataset)
+
+    print(
+        "\nNote: the paper reports 71% (P3C+) vs 67% (P3C) on the real "
+        "UCI set; on this synthetic stand-in both land in the same band "
+        "and the exact ordering is seed noise (see DESIGN.md)."
+    )
+
+
+if __name__ == "__main__":
+    main()

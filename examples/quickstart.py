@@ -1,0 +1,64 @@
+"""Quickstart: cluster a synthetic projected-clustering workload.
+
+Generates the paper's synthetic workload (hyperrectangular clusters in
+a 20-dimensional space with 10 % uniform noise), runs P3C+-MR-Light —
+the paper's recommended algorithm for large data — and scores the
+result against the ground truth with E4SC.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.data import GeneratorConfig, generate_synthetic
+from repro.eval import ce_score, e4sc_score, f1_score, rnia_score
+from repro.mr import P3CPlusMRConfig, P3CPlusMRLight
+
+
+def main() -> None:
+    # 1. A data set with 3 hidden projected clusters (Section 7.1 recipe).
+    dataset = generate_synthetic(
+        GeneratorConfig(
+            n=4_000,
+            d=20,
+            num_clusters=3,
+            noise_fraction=0.10,
+            max_cluster_dims=8,
+            seed=42,
+        )
+    )
+    print("Hidden clusters:")
+    for cid, cluster in enumerate(dataset.hidden_clusters):
+        attrs = sorted(cluster.relevant_attributes)
+        print(f"  cluster {cid}: {cluster.size} points, subspace {attrs}")
+
+    # 2. Run P3C+-MR-Light against the in-process MapReduce runtime.
+    algorithm = P3CPlusMRLight(mr_config=P3CPlusMRConfig(num_splits=8))
+    result = algorithm.fit(dataset.data)
+
+    print("\nFound clustering:")
+    print(result.summary())
+    print(f"\nMapReduce jobs executed: {result.metadata['mr_jobs']}")
+    print(algorithm.chain.report())
+
+    # 3. Score against the ground truth.
+    truth = dataset.ground_truth_clusters()
+    print("\nQuality (1.0 = perfect):")
+    print(f"  E4SC : {e4sc_score(result.clusters, truth):.3f}")
+    print(f"  F1   : {f1_score(result.clusters, truth):.3f}")
+    print(f"  RNIA : {rnia_score(result.clusters, truth):.3f}")
+    print(f"  CE   : {ce_score(result.clusters, truth):.3f}")
+
+    # 4. Inspect one found cluster's tightened output signature.
+    if result.clusters:
+        cluster = result.clusters[0]
+        print("\nTightened signature of the first found cluster:")
+        for interval in cluster.signature:
+            print(
+                f"  attribute {interval.attribute}: "
+                f"[{interval.lower:.3f}, {interval.upper:.3f}]"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Noisy-sensor scenario: quality under growing noise (Figure 6's axis).
+
+A plausible deployment of projected clustering: a sensor field where
+each record is one time window over 25 channels; operating *modes*
+(clusters) constrain only a few channels each, faulty sensors add
+uniform noise records, and the remaining channels are irrelevant.
+
+This script sweeps the noise fraction from 0 % to 30 % and compares the
+full P3C+ (EM + MVB outlier detection) against P3C+-Light, including
+how well each recovers the hidden mode subspaces.
+
+Run:  python examples/sensor_noise_sweep.py
+"""
+
+from __future__ import annotations
+
+from repro.core.p3c_plus import P3CPlus, P3CPlusConfig, P3CPlusLight
+from repro.data import GeneratorConfig, generate_synthetic
+from repro.eval import e4sc_score
+from repro.experiments.runner import format_table
+
+
+def subspace_recall(result, dataset) -> float:
+    """Fraction of hidden-cluster attributes recovered by the best
+    matching found cluster."""
+    if not result.clusters:
+        return 0.0
+    total, hit = 0, 0
+    for hidden in dataset.hidden_clusters:
+        best = max(
+            result.clusters,
+            key=lambda c: len(
+                c.relevant_attributes & hidden.relevant_attributes
+            ),
+        )
+        total += len(hidden.relevant_attributes)
+        hit += len(best.relevant_attributes & hidden.relevant_attributes)
+    return hit / total if total else 0.0
+
+
+def main() -> None:
+    rows = []
+    for noise in (0.0, 0.10, 0.20, 0.30):
+        dataset = generate_synthetic(
+            GeneratorConfig(
+                n=3_000,
+                d=25,
+                num_clusters=4,
+                noise_fraction=noise,
+                min_cluster_dims=3,
+                max_cluster_dims=6,
+                seed=21,
+            )
+        )
+        truth = dataset.ground_truth_clusters()
+
+        full = P3CPlus(P3CPlusConfig(outlier_method="mvb")).fit(dataset.data)
+        light = P3CPlusLight().fit(dataset.data)
+
+        rows.append(
+            [
+                f"{noise:.0%}",
+                e4sc_score(full.clusters, truth),
+                subspace_recall(full, dataset),
+                len(full.outliers),
+                e4sc_score(light.clusters, truth),
+                subspace_recall(light, dataset),
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "noise",
+                "P3C+ E4SC",
+                "P3C+ subspace recall",
+                "P3C+ #outliers",
+                "Light E4SC",
+                "Light subspace recall",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nExpected shape: both variants degrade gracefully with noise; "
+        "the Light variant avoids the blurring that the EM/OD phases "
+        "introduce (Section 6)."
+    )
+
+
+if __name__ == "__main__":
+    main()

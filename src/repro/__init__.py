@@ -1,0 +1,52 @@
+"""P3C+-MR: projected clustering for huge data sets in MapReduce.
+
+A complete reproduction of Fries, Wels & Seidl (EDBT 2014).  The
+packages mirror the system's layers:
+
+- :mod:`repro.core`       — the P3C / P3C+ clustering model (serial),
+- :mod:`repro.mapreduce`  — the in-process MapReduce runtime,
+- :mod:`repro.mr`         — P3C+-MR and P3C+-MR-Light drivers,
+- :mod:`repro.baselines`  — the BoW comparison framework,
+- :mod:`repro.data`       — synthetic workloads and IO,
+- :mod:`repro.eval`       — E4SC / F1 / RNIA / CE quality measures,
+- :mod:`repro.experiments`— one harness per paper exhibit.
+
+Quick start::
+
+    from repro.data import GeneratorConfig, generate_synthetic
+    from repro.mr import P3CPlusMRLight
+    from repro.eval import e4sc_score
+
+    dataset = generate_synthetic(GeneratorConfig(n=4000, d=20))
+    result = P3CPlusMRLight().fit(dataset.data)
+    print(e4sc_score(result.clusters, dataset.ground_truth_clusters()))
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.p3c import P3C
+from repro.core.p3c_plus import P3CPlus, P3CPlusConfig, P3CPlusLight
+from repro.core.types import (
+    ClusterCore,
+    ClusteringResult,
+    Interval,
+    ProjectedCluster,
+    Signature,
+)
+from repro.mr import P3CPlusMR, P3CPlusMRConfig, P3CPlusMRLight
+
+__all__ = [
+    "ClusterCore",
+    "ClusteringResult",
+    "Interval",
+    "P3C",
+    "P3CPlus",
+    "P3CPlusConfig",
+    "P3CPlusLight",
+    "P3CPlusMR",
+    "P3CPlusMRConfig",
+    "P3CPlusMRLight",
+    "ProjectedCluster",
+    "Signature",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Comparison baselines.
+
+- :mod:`repro.baselines.bow` — BoW, the paper's direct MapReduce
+  competitor (Section 7);
+- :mod:`repro.baselines.proclus` / :mod:`repro.baselines.doc` — the
+  related-work projected-clustering algorithms of Section 2, useful as
+  additional quality comparators.
+"""
+
+from repro.baselines.bow import BoW, BoWConfig
+from repro.baselines.doc import DOC, DOCConfig
+from repro.baselines.proclus import Proclus, ProclusConfig
+
+__all__ = ["BoW", "BoWConfig", "DOC", "DOCConfig", "Proclus", "ProclusConfig"]

@@ -1,0 +1,151 @@
+"""DOC (Procopiuc et al., SIGMOD 2002) — related-work baseline.
+
+Section 2 of the paper: DOC defines an optimal projected cluster as a
+dense hyper-box of width ``w`` maximising the quality function
+``mu(|C|, |D|) = |C| * (1/beta)^|D|`` and approximates it with Monte
+Carlo trials — sample a seed point ``p`` and a small discriminating set
+``X``; a dimension is relevant when every point of ``X`` lies within
+``w`` of ``p`` on it; the trial's cluster is everyone inside the
+resulting box.  Clusters are extracted greedily: best box first, its
+members removed, repeat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log
+
+import numpy as np
+
+from repro.core.types import ClusteringResult, Interval, ProjectedCluster, Signature
+
+
+@dataclass(frozen=True)
+class DOCConfig:
+    """DOC user parameters (alpha, beta, w — plus the cluster budget)."""
+
+    alpha: float = 0.08  # min cluster fraction
+    beta: float = 0.25  # dimension/size trade-off
+    width: float = 0.3  # box half-width w
+    max_clusters: int = 10
+    trials_factor: float = 1.0  # scales the Monte Carlo iteration count
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alpha < 1:
+            raise ValueError("alpha must be in (0, 1)")
+        if not 0 < self.beta < 1:
+            raise ValueError("beta must be in (0, 1)")
+        if self.width <= 0:
+            raise ValueError("width must be positive")
+
+
+def _quality(size: int, dims: int, beta: float) -> float:
+    return size * (1.0 / beta) ** dims
+
+
+class DOC:
+    """The DOC Monte Carlo algorithm (greedy multi-cluster variant)."""
+
+    def __init__(self, config: DOCConfig | None = None) -> None:
+        self.config = config or DOCConfig()
+
+    def _num_trials(self, d: int) -> tuple[int, int]:
+        """Inner/outer iteration counts from the DOC analysis."""
+        config = self.config
+        r = max(1, ceil(log(2 * d, 2) / log(1.0 / (2 * config.beta), 2)))
+        outer = max(1, ceil(2.0 / config.alpha))
+        inner = max(
+            1,
+            ceil(
+                config.trials_factor
+                * (2.0 / config.alpha) ** r
+                * log(4.0, 2)
+            ),
+        )
+        return outer, min(inner, 200)
+
+    def _one_trial(
+        self,
+        data: np.ndarray,
+        active: np.ndarray,
+        rng: np.random.Generator,
+        r: int,
+    ) -> tuple[np.ndarray, np.ndarray] | None:
+        """One Monte Carlo trial: returns (member mask, dims) or None."""
+        pool = np.where(active)[0]
+        if len(pool) == 0:
+            return None
+        pivot = data[rng.choice(pool)]
+        sample = data[rng.choice(pool, size=min(r, len(pool)), replace=True)]
+        close = np.abs(sample - pivot) <= self.config.width
+        dims = np.where(close.all(axis=0))[0]
+        if len(dims) == 0:
+            return None
+        inside = (
+            np.abs(data[:, dims] - pivot[dims]) <= self.config.width
+        ).all(axis=1)
+        inside &= active
+        return inside, dims
+
+    def fit(self, data: np.ndarray) -> ClusteringResult:
+        data = np.asarray(data, dtype=float)
+        if data.ndim != 2 or len(data) == 0:
+            raise ValueError("data must be a non-empty 2-D matrix")
+        config = self.config
+        rng = np.random.default_rng(config.seed)
+        n, d = data.shape
+        r = max(
+            1,
+            ceil(log(2 * d, 2) / log(1.0 / (2 * config.beta), 2)),
+        )
+        outer, inner = self._num_trials(d)
+
+        active = np.ones(n, dtype=bool)
+        clusters: list[ProjectedCluster] = []
+        min_size = max(2, int(config.alpha * n))
+
+        for _ in range(config.max_clusters):
+            best: tuple[float, np.ndarray, np.ndarray] | None = None
+            for _ in range(outer * inner):
+                trial = self._one_trial(data, active, rng, r)
+                if trial is None:
+                    continue
+                inside, dims = trial
+                size = int(inside.sum())
+                if size < min_size:
+                    continue
+                quality = _quality(size, len(dims), config.beta)
+                if best is None or quality > best[0]:
+                    best = (quality, inside, dims)
+            if best is None:
+                break
+            _, inside, dims = best
+            members = np.where(inside)[0]
+            attrs = frozenset(int(a) for a in dims)
+            intervals = [
+                Interval(
+                    int(a),
+                    float(data[members, a].min()),
+                    float(data[members, a].max()),
+                )
+                for a in sorted(attrs)
+            ]
+            clusters.append(
+                ProjectedCluster(
+                    members=members,
+                    relevant_attributes=attrs,
+                    signature=Signature(intervals),
+                )
+            )
+            active[members] = False
+            if active.sum() < min_size:
+                break
+
+        return ClusteringResult(
+            clusters=clusters,
+            outliers=np.where(active)[0],
+            n_points=n,
+            n_dims=d,
+            metadata={"trials": outer * inner},
+        )

@@ -1,0 +1,212 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+generate    write a synthetic data set (Section 7.1 recipe) to CSV
+cluster     run an algorithm on a CSV data set, write a JSON result
+evaluate    score a JSON result against a labelled data set
+experiment  run one paper-exhibit harness and print its table
+
+Examples
+--------
+python -m repro generate --n 5000 --dims 20 --clusters 3 --noise 0.1 \\
+    --out data.csv
+python -m repro cluster --algorithm mr-light --data data.csv \\
+    --out result.json
+python -m repro evaluate --data data.csv --result result.json
+python -m repro experiment figure1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.baselines import BoW, BoWConfig
+from repro.core.p3c import P3C
+from repro.core.p3c_plus import P3CPlus, P3CPlusConfig, P3CPlusLight
+from repro.data import GeneratorConfig, generate_synthetic, normalize_unit_range
+from repro.data.io import (
+    load_dataset_csv,
+    load_result_json,
+    save_dataset_csv,
+    save_result_json,
+)
+from repro.eval import e4sc_score, label_accuracy
+from repro.mr import P3CPlusMR, P3CPlusMRConfig, P3CPlusMRLight
+
+ALGORITHMS: dict[str, Callable[[P3CPlusConfig], Any]] = {
+    "p3c": lambda config: P3C(
+        config.with_overrides(
+            binning="sturges",
+            theta_cc=None,
+            redundancy_filter=False,
+            outlier_method="naive",
+            ai_proving=False,
+        )
+    ),
+    "p3c-plus": P3CPlus,
+    "p3c-plus-light": P3CPlusLight,
+    "mr": lambda config: P3CPlusMR(config, P3CPlusMRConfig()),
+    "mr-light": lambda config: P3CPlusMRLight(config, P3CPlusMRConfig()),
+    "bow-light": lambda config: BoW(config, BoWConfig(variant="light")),
+    "bow-mvb": lambda config: BoW(config, BoWConfig(variant="mvb")),
+}
+
+EXPERIMENTS = (
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "theta",
+    "colon",
+    "billion",
+    "blurring",
+    "report",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="P3C+-MR reproduction (EDBT 2014) command-line interface",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="write a synthetic data set")
+    generate.add_argument("--n", type=int, default=10_000)
+    generate.add_argument("--dims", type=int, default=50)
+    generate.add_argument("--clusters", type=int, default=5)
+    generate.add_argument("--noise", type=float, default=0.10)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("--out", required=True)
+
+    cluster = commands.add_parser("cluster", help="run an algorithm on a CSV")
+    cluster.add_argument("--algorithm", choices=sorted(ALGORITHMS), required=True)
+    cluster.add_argument("--data", required=True)
+    cluster.add_argument("--out", required=True)
+    cluster.add_argument("--theta-cc", type=float, default=0.35)
+    cluster.add_argument("--poisson-alpha", type=float, default=0.01)
+    cluster.add_argument(
+        "--normalize",
+        action="store_true",
+        help="min-max normalise attributes to [0, 1] first",
+    )
+
+    evaluate = commands.add_parser("evaluate", help="score a saved result")
+    evaluate.add_argument("--data", required=True)
+    evaluate.add_argument("--result", required=True)
+
+    experiment = commands.add_parser(
+        "experiment", help="run one paper-exhibit harness"
+    )
+    experiment.add_argument("name", choices=EXPERIMENTS)
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    dataset = generate_synthetic(
+        GeneratorConfig(
+            n=args.n,
+            d=args.dims,
+            num_clusters=args.clusters,
+            noise_fraction=args.noise,
+            max_cluster_dims=min(10, args.dims),
+            seed=args.seed,
+        )
+    )
+    save_dataset_csv(args.out, dataset.data, dataset.labels)
+    print(
+        f"wrote {args.n} x {args.dims} data set with {args.clusters} hidden "
+        f"clusters to {args.out} (+ .labels sidecar)"
+    )
+    return 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    data, _ = load_dataset_csv(args.data)
+    if args.normalize:
+        data = normalize_unit_range(data)
+    config = P3CPlusConfig(
+        theta_cc=args.theta_cc, poisson_alpha=args.poisson_alpha
+    )
+    algorithm = ALGORITHMS[args.algorithm](config)
+    result = algorithm.fit(data)
+    save_result_json(args.out, result)
+    print(result.summary())
+    print(f"result written to {args.out}")
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    data, labels = load_dataset_csv(args.data)
+    result = load_result_json(args.result)
+    if result.n_points != len(data):
+        print(
+            f"error: result covers {result.n_points} points but the data "
+            f"set has {len(data)}",
+            file=sys.stderr,
+        )
+        return 2
+    print(result.summary())
+    if labels is not None:
+        print(f"label accuracy: {label_accuracy(result, labels):.3f}")
+        truth = _clusters_from_labels(labels, result)
+        if truth:
+            print(f"E4SC vs label ground truth: "
+                  f"{e4sc_score(result.clusters, truth):.3f}")
+    else:
+        print("(no .labels sidecar: skipping quality scores)")
+    return 0
+
+
+def _clusters_from_labels(labels: np.ndarray, result):
+    """Full-space ground-truth clusters from a label sidecar (used when
+    no subspace ground truth is available)."""
+    from repro.core.types import ProjectedCluster
+
+    all_attrs = frozenset(range(result.n_dims))
+    clusters = []
+    for value in np.unique(labels):
+        if value < 0:
+            continue
+        clusters.append(
+            ProjectedCluster(
+                members=np.where(labels == value)[0],
+                relevant_attributes=all_attrs,
+            )
+        )
+    return clusters
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    print(module.main())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "cluster": _cmd_cluster,
+        "evaluate": _cmd_evaluate,
+        "experiment": _cmd_experiment,
+    }
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,111 @@
+"""Attribute inspection (Sections 4.2.3 / 5.6) with optional AI proving.
+
+After the cluster memberships are fixed (EM + outlier removal for the
+full pipeline; exclusive support sets for the Light variant), each
+cluster's members are re-histogrammed over *all* attributes to find
+relevant attributes the core-generation step missed.
+
+Original P3C accepts every interval the chi-squared marking procedure
+suggests.  P3C+ adds *AI proving*: a suggested interval must also pass
+the support test of Eq. 1 — evaluated against the cluster's member set
+(observed = members inside the interval, expected = members * width) —
+before the attribute is accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.binning import build_histogram, freedman_diaconis_bins
+from repro.core.intervals import find_relevant_intervals_for_histogram
+from repro.core.stats import cohens_d_cc, poisson_deviation_significant
+from repro.core.types import Interval
+
+
+@dataclass(frozen=True)
+class InspectionResult:
+    """Relevant attributes (and their intervals) found for one cluster."""
+
+    attributes: frozenset[int]
+    intervals: tuple[Interval, ...]
+
+
+def _interval_proven(
+    members: np.ndarray,
+    interval: Interval,
+    alpha: float,
+    theta_cc: float | None,
+) -> bool:
+    """AI proving: Eq. 1 applied to the cluster's member set."""
+    column = members[:, interval.attribute]
+    observed = int(interval.contains_column(column).sum())
+    expected = len(members) * interval.width
+    if not poisson_deviation_significant(observed, expected, alpha):
+        return False
+    if theta_cc is not None and cohens_d_cc(observed, expected) < theta_cc:
+        return False
+    return True
+
+
+def inspect_attributes(
+    data: np.ndarray,
+    member_mask: np.ndarray,
+    known_attributes: frozenset[int],
+    chi2_alpha: float = 0.001,
+    prove: bool = True,
+    poisson_alpha: float = 0.01,
+    theta_cc: float | None = 0.35,
+    num_bins: int | None = None,
+    max_bins: int | None = 200,
+) -> InspectionResult:
+    """Inspect one cluster's members for additional relevant attributes.
+
+    Parameters
+    ----------
+    data:
+        Full data matrix (n x d) in [0, 1].
+    member_mask:
+        Boolean mask of the cluster's members (outliers already removed).
+    known_attributes:
+        Attributes already known relevant (from the cluster core); these
+        are always kept and skipped during re-inspection.
+    prove:
+        Enable P3C+ AI proving (Section 4.2.3); ``False`` reproduces
+        original P3C behaviour.
+    num_bins:
+        Histogram resolution; defaults to Freedman-Diaconis on the
+        member count.
+    """
+    members = data[member_mask]
+    n_members = len(members)
+    if n_members == 0:
+        return InspectionResult(attributes=frozenset(known_attributes), intervals=())
+    bins = num_bins if num_bins is not None else freedman_diaconis_bins(n_members)
+    if max_bins is not None:
+        bins = min(bins, max_bins)
+
+    accepted_attrs: set[int] = set(known_attributes)
+    accepted_intervals: list[Interval] = []
+    for attribute in range(data.shape[1]):
+        if attribute in known_attributes:
+            continue
+        histogram = build_histogram(data, attribute, bins, mask=member_mask)
+        found = find_relevant_intervals_for_histogram(histogram, alpha=chi2_alpha)
+        if not found.is_relevant:
+            continue
+        intervals = list(found.intervals)
+        if prove:
+            intervals = [
+                iv
+                for iv in intervals
+                if _interval_proven(members, iv, poisson_alpha, theta_cc)
+            ]
+        if intervals:
+            accepted_attrs.add(attribute)
+            accepted_intervals.extend(intervals)
+    return InspectionResult(
+        attributes=frozenset(accepted_attrs),
+        intervals=tuple(accepted_intervals),
+    )

@@ -1,0 +1,232 @@
+"""Gaussian-mixture EM in the relevant subspace (Sections 3.2.2 / 5.4).
+
+The cluster cores seed one Gaussian each; EM runs only over
+``A_rel`` — the union of the cores' relevant attributes (Eq. 3).
+Initialisation follows the two-pass scheme of Section 5.4: component
+moments are first estimated from the core support sets alone, points
+outside every support set are then assigned to their Mahalanobis-nearest
+core, and the moments are re-estimated including those points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.stats import mahalanobis_squared
+from repro.core.types import ClusterCore
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+@dataclass
+class GaussianMixture:
+    """A Gaussian mixture over the projected subspace ``A_rel``.
+
+    ``attributes`` maps subspace columns back to original attribute
+    indices; ``means``/``covariances`` live in subspace coordinates.
+    """
+
+    means: np.ndarray  # (k, m)
+    covariances: np.ndarray  # (k, m, m)
+    weights: np.ndarray  # (k,)
+    attributes: tuple[int, ...]
+    log_likelihood_history: list[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.means = np.atleast_2d(np.asarray(self.means, dtype=float))
+        self.covariances = np.asarray(self.covariances, dtype=float)
+        self.weights = np.asarray(self.weights, dtype=float)
+        k, m = self.means.shape
+        if self.covariances.shape != (k, m, m):
+            raise ValueError(
+                f"covariances shape {self.covariances.shape} != {(k, m, m)}"
+            )
+        if self.weights.shape != (k,):
+            raise ValueError(f"weights shape {self.weights.shape} != {(k,)}")
+        if len(self.attributes) != m:
+            raise ValueError("attributes must match subspace dimensionality")
+
+    @property
+    def num_components(self) -> int:
+        return len(self.weights)
+
+    def project(self, data: np.ndarray) -> np.ndarray:
+        """Project full-space rows onto the mixture's subspace."""
+        return data[:, list(self.attributes)]
+
+    def log_responsibilities(self, sub: np.ndarray) -> np.ndarray:
+        """``log p(component | x)`` for each point (rows) and component
+        (columns), computed in subspace coordinates."""
+        joint = self._log_joint(sub)
+        norm = _logsumexp_rows(joint)
+        return joint - norm[:, None]
+
+    def assign(self, sub: np.ndarray) -> np.ndarray:
+        """Hard argmax-posterior assignment (the paper's conversion of
+        Gaussians into projected clusters)."""
+        return np.argmax(self._log_joint(sub), axis=1)
+
+    def log_likelihood(self, sub: np.ndarray) -> float:
+        return float(_logsumexp_rows(self._log_joint(sub)).sum())
+
+    def _log_joint(self, sub: np.ndarray) -> np.ndarray:
+        n = len(sub)
+        k = self.num_components
+        out = np.empty((n, k), dtype=float)
+        for j in range(k):
+            out[:, j] = np.log(max(self.weights[j], 1e-300)) + _gaussian_logpdf(
+                sub, self.means[j], self.covariances[j]
+            )
+        return out
+
+
+def _logsumexp_rows(matrix: np.ndarray) -> np.ndarray:
+    peak = matrix.max(axis=1, keepdims=True)
+    return (peak + np.log(np.exp(matrix - peak).sum(axis=1, keepdims=True)))[:, 0]
+
+
+def _gaussian_logpdf(
+    points: np.ndarray, mean: np.ndarray, cov: np.ndarray
+) -> np.ndarray:
+    m = len(mean)
+    chol, log_det = _safe_cholesky(cov)
+    diff = points - mean
+    solved = np.linalg.solve(chol, diff.T)
+    quad = (solved**2).sum(axis=0)
+    return -0.5 * (m * _LOG_2PI + log_det + quad)
+
+
+def _safe_cholesky(cov: np.ndarray, ridge: float = 1e-9) -> tuple[np.ndarray, float]:
+    m = cov.shape[0]
+    attempt = cov
+    for _ in range(40):
+        try:
+            chol = np.linalg.cholesky(attempt)
+            log_det = 2.0 * float(np.log(np.diag(chol)).sum())
+            return chol, log_det
+        except np.linalg.LinAlgError:
+            attempt = attempt + ridge * np.eye(m)
+            ridge *= 10
+    raise np.linalg.LinAlgError("covariance could not be regularised")
+
+
+def relevant_attributes(cores: list[ClusterCore]) -> tuple[int, ...]:
+    """``A_rel`` (Eq. 3): attributes relevant to at least one core."""
+    attrs: set[int] = set()
+    for core in cores:
+        attrs.update(core.attributes)
+    return tuple(sorted(attrs))
+
+
+def _moments(
+    sub: np.ndarray,
+    weights: np.ndarray,
+    reg: float,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Weighted sample mean and covariance with ridge regularisation,
+    following the weighted-covariance formula of Section 5.4."""
+    m = sub.shape[1]
+    total = weights.sum()
+    if total <= 0:
+        return np.full(m, 0.5), np.eye(m) / 12.0
+    mean = (weights[:, None] * sub).sum(axis=0) / total
+    diff = sub - mean
+    sq = (weights**2).sum()
+    denominator = total**2 - sq
+    scale = total / denominator if denominator > 0 else 1.0 / total
+    cov = scale * (weights[:, None] * diff).T @ diff
+    return mean, cov + reg * np.eye(m)
+
+
+def initialize_from_cores(
+    data: np.ndarray,
+    cores: list[ClusterCore],
+    reg: float = 1e-6,
+) -> GaussianMixture:
+    """Two-pass mixture initialisation from cluster cores (Section 5.4)."""
+    if not cores:
+        raise ValueError("cannot initialise EM without cluster cores")
+    attrs = relevant_attributes(cores)
+    sub = data[:, list(attrs)]
+    n = len(data)
+    k = len(cores)
+
+    masks = [core.signature.support_mask(data) for core in cores]
+
+    # Pass 1: moments from support sets only.
+    means = np.empty((k, len(attrs)))
+    covs = np.empty((k, len(attrs), len(attrs)))
+    for j, mask in enumerate(masks):
+        weights = mask.astype(float)
+        means[j], covs[j] = _moments(sub, weights, reg)
+
+    # Assign points outside every support set to nearest core.
+    in_any = np.zeros(n, dtype=bool)
+    for mask in masks:
+        in_any |= mask
+    stray = ~in_any
+    member_masks = [mask.copy() for mask in masks]
+    if stray.any():
+        distances = np.stack(
+            [mahalanobis_squared(sub[stray], means[j], covs[j]) for j in range(k)],
+            axis=1,
+        )
+        nearest = np.argmin(distances, axis=1)
+        stray_idx = np.where(stray)[0]
+        for j in range(k):
+            member_masks[j][stray_idx[nearest == j]] = True
+
+    # Pass 2: moments including the assigned strays.
+    sizes = np.empty(k)
+    for j, mask in enumerate(member_masks):
+        weights = mask.astype(float)
+        means[j], covs[j] = _moments(sub, weights, reg)
+        sizes[j] = weights.sum()
+
+    weights = sizes / max(sizes.sum(), 1.0)
+    weights = np.clip(weights, 1e-12, None)
+    weights /= weights.sum()
+    return GaussianMixture(
+        means=means, covariances=covs, weights=weights, attributes=attrs
+    )
+
+
+def fit_em(
+    data: np.ndarray,
+    init: GaussianMixture,
+    max_iter: int = 15,
+    tol: float = 1e-5,
+    reg: float = 1e-6,
+) -> GaussianMixture:
+    """Standard full-covariance EM, seeded by ``init``.
+
+    Log-likelihood is non-decreasing per iteration (a property test
+    asserts this); iteration stops at ``max_iter`` or when the relative
+    improvement drops below ``tol``.
+    """
+    sub = init.project(data)
+    means = init.means.copy()
+    covs = init.covariances.copy()
+    weights = init.weights.copy()
+    history: list[float] = []
+    mixture = GaussianMixture(means, covs, weights, init.attributes)
+
+    for _ in range(max_iter):
+        log_resp = mixture.log_responsibilities(sub)
+        history.append(mixture.log_likelihood(sub))
+        resp = np.exp(log_resp)
+        totals = resp.sum(axis=0)
+        k = mixture.num_components
+        for j in range(k):
+            means[j], covs[j] = _moments(sub, resp[:, j], reg)
+        weights = np.clip(totals / len(sub), 1e-12, None)
+        weights /= weights.sum()
+        mixture = GaussianMixture(means, covs, weights, init.attributes)
+        if len(history) >= 2:
+            previous, current = history[-2], history[-1]
+            if abs(current - previous) <= tol * (abs(previous) + 1.0):
+                break
+    mixture.log_likelihood_history = history
+    return mixture

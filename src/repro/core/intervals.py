@@ -1,0 +1,101 @@
+"""Relevant-interval detection (Section 3.2.2, histogram building step).
+
+Per attribute: run the chi-squared uniformity test on the bin counts; as
+long as the *unmarked* bins are non-uniform, mark the highest-support
+bin and remove it from the test.  Adjacent marked bins are then merged
+into maximal relevant intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.binning import Histogram
+from repro.core.stats import chi_squared_uniformity_pvalue
+from repro.core.types import Interval
+
+
+@dataclass(frozen=True)
+class AttributeIntervals:
+    """The marked bins and merged intervals found on one attribute."""
+
+    attribute: int
+    marked_bins: tuple[int, ...]
+    intervals: tuple[Interval, ...]
+
+    @property
+    def is_relevant(self) -> bool:
+        return bool(self.intervals)
+
+
+def mark_relevant_bins(counts: np.ndarray, alpha: float = 0.001) -> list[int]:
+    """Indices of bins marked relevant by iterative removal.
+
+    Marks the highest-count remaining bin while the remaining bins fail
+    the uniformity test at level ``alpha``.  Ties are broken towards the
+    lowest bin index for determinism.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    remaining = counts.astype(float).copy()
+    active = np.ones(len(counts), dtype=bool)
+    marked: list[int] = []
+    while active.sum() > 1:
+        pvalue = chi_squared_uniformity_pvalue(remaining[active])
+        if pvalue >= alpha:
+            break
+        candidates = np.where(active)[0]
+        best = candidates[np.argmax(remaining[candidates])]
+        marked.append(int(best))
+        active[best] = False
+    return sorted(marked)
+
+
+def merge_adjacent_bins(
+    histogram: Histogram,
+    marked_bins: list[int],
+) -> list[Interval]:
+    """Merge runs of adjacent marked bins into maximal intervals."""
+    if not marked_bins:
+        return []
+    marked = sorted(marked_bins)
+    intervals: list[Interval] = []
+    run_start = marked[0]
+    previous = marked[0]
+    for b in marked[1:]:
+        if b == previous + 1:
+            previous = b
+            continue
+        intervals.append(histogram.bins_to_interval(run_start, previous))
+        run_start = b
+        previous = b
+    intervals.append(histogram.bins_to_interval(run_start, previous))
+    return intervals
+
+
+def find_relevant_intervals_for_histogram(
+    histogram: Histogram,
+    alpha: float = 0.001,
+) -> AttributeIntervals:
+    """Full interval-detection procedure for one attribute histogram."""
+    marked = mark_relevant_bins(histogram.counts, alpha=alpha)
+    intervals = merge_adjacent_bins(histogram, marked)
+    return AttributeIntervals(
+        attribute=histogram.attribute,
+        marked_bins=tuple(marked),
+        intervals=tuple(intervals),
+    )
+
+
+def find_relevant_intervals(
+    histograms: list[Histogram],
+    alpha: float = 0.001,
+) -> list[Interval]:
+    """The set of all potentially interesting intervals, ``Î``, across
+    every attribute (Section 3.2.2)."""
+    intervals: list[Interval] = []
+    for histogram in histograms:
+        found = find_relevant_intervals_for_histogram(histogram, alpha=alpha)
+        intervals.extend(found.intervals)
+    return intervals

@@ -1,0 +1,40 @@
+"""The original P3C algorithm (Moise, Sander & Ester, ICDM 2006).
+
+Implemented as the P3C+ engine with every P3C+ extension switched off:
+
+- Sturges binning instead of Freedman-Diaconis (Section 4.1.1),
+- Poisson test only, no effect-size complement (Section 4.1.2),
+- no redundancy filter (Section 4.2.1),
+- naive moment-based outlier detection (Section 4.2.2),
+- attribute inspection without AI proving (Section 4.2.3).
+
+It serves as the baseline for the model comparison in Sections 7.4 and
+7.6 (colon cancer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.p3c_plus import P3CPlus, P3CPlusConfig
+from repro.core.types import ClusteringResult
+
+#: Original-P3C behaviour expressed in the shared configuration space.
+P3C_CONFIG = P3CPlusConfig(
+    binning="sturges",
+    theta_cc=None,
+    redundancy_filter=False,
+    outlier_method="naive",
+    ai_proving=False,
+)
+
+
+class P3C:
+    """Original P3C (baseline)."""
+
+    def __init__(self, config: P3CPlusConfig | None = None) -> None:
+        self.config = config or P3C_CONFIG
+        self._engine = P3CPlus(self.config)
+
+    def fit(self, data: np.ndarray) -> ClusteringResult:
+        return self._engine.fit(data)

@@ -1,0 +1,81 @@
+"""Cluster-core redundancy filtering (Section 4.2.1, Eqs. 5-7).
+
+A signature that merely describes the *intersection* of hidden clusters
+(Figure 2's phantom ``S3``) passes the support test yet misleads the
+final result.  Such signatures are exposed by their lower
+``Supp / Supp_exp`` ratio: the filter removes every signature whose
+intervals are covered by the union of strictly more interesting
+signatures.
+
+``Supp_exp`` here is the *global* expectation of Eq. 7
+(``n * prod(widths)``), not the leave-one-out expectation of Eq. 2.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.types import Interval, Signature
+
+
+def interestingness(
+    signature: Signature,
+    support: int,
+    n: int,
+) -> float:
+    """``Supp(S) / Supp_exp(S)`` with the Eq. 7 global expectation."""
+    expected = signature.expected_support(n)
+    if expected <= 0:
+        return float("inf") if support > 0 else 0.0
+    return support / expected
+
+
+def is_redundant(
+    signature: Signature,
+    support: int,
+    others: Sequence[tuple[Signature, int]],
+    n: int,
+) -> bool:
+    """Eq. 5: ``S`` is redundant iff ``S ⊆ ∪ {S_i : S_i >_r S}``.
+
+    Signatures are sets of intervals, so the containment is interval-set
+    containment: every interval of ``S`` must appear in (or be covered
+    by an interval of) some strictly more interesting signature.
+    """
+    own = interestingness(signature, support, n)
+    more_interesting: list[Signature] = [
+        other
+        for other, other_support in others
+        if other != signature and interestingness(other, other_support, n) > own
+    ]
+    if not more_interesting:
+        return False
+    covering: set[Interval] = set()
+    for other in more_interesting:
+        covering.update(other.intervals)
+    for interval in signature:
+        if interval in covering:
+            continue
+        if any(candidate.covers(interval) for candidate in covering):
+            continue
+        return False
+    return True
+
+
+def filter_redundant(
+    supports: Mapping[Signature, int],
+    n: int,
+) -> list[Signature]:
+    """Remove redundant signatures from a support-annotated set.
+
+    Redundancy of each signature is evaluated against the *full* input
+    set (matching Eq. 5, which quantifies over ``Ŝ``), so the outcome is
+    independent of removal order and the filter is idempotent.
+    """
+    items = list(supports.items())
+    kept = [
+        sig
+        for sig, supp in items
+        if not is_redundant(sig, supp, items, n)
+    ]
+    return sorted(kept, key=lambda s: (-len(s), s.intervals))

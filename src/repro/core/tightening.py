@@ -1,0 +1,38 @@
+"""Interval tightening (Sections 3.2.2 / 5.7).
+
+The output signature of a cluster is the tightest hyperrectangle around
+its members in the relevant attributes: per attribute, the interval
+``[min, max]`` over the member values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import Interval, Signature
+
+
+def tighten_intervals(
+    data: np.ndarray,
+    member_mask: np.ndarray,
+    attributes: frozenset[int],
+) -> Signature:
+    """The tightened output signature of one cluster.
+
+    Raises :class:`ValueError` for an empty cluster or an empty
+    attribute set — both indicate a driver bug upstream.
+    """
+    if not attributes:
+        raise ValueError("cannot tighten a cluster with no relevant attributes")
+    members = data[member_mask]
+    if len(members) == 0:
+        raise ValueError("cannot tighten an empty cluster")
+    intervals = [
+        Interval(
+            attribute,
+            float(members[:, attribute].min()),
+            float(members[:, attribute].max()),
+        )
+        for attribute in sorted(attributes)
+    ]
+    return Signature(intervals)

@@ -1,0 +1,20 @@
+"""Synthetic workload generation (paper Section 7.1) and normalisation."""
+
+from repro.data.datasets import ColonLikeDataset, make_colon_like
+from repro.data.generator import (
+    GeneratorConfig,
+    HiddenCluster,
+    SyntheticDataset,
+    generate_synthetic,
+)
+from repro.data.normalize import normalize_unit_range
+
+__all__ = [
+    "ColonLikeDataset",
+    "GeneratorConfig",
+    "HiddenCluster",
+    "SyntheticDataset",
+    "generate_synthetic",
+    "make_colon_like",
+    "normalize_unit_range",
+]

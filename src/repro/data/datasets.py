@@ -1,0 +1,96 @@
+"""Named data sets, including the colon-cancer substitute.
+
+The paper's Section 7.6 uses the UCI 'colon cancer' micro-array set
+(62 samples x 2000 genes, tumour/normal annotation).  That file is not
+redistributable and this environment has no network access, so
+:func:`make_colon_like` generates a synthetic stand-in with the same
+shape and statistical character: tiny n, huge d, two classes separated
+on a small set of informative genes, everything else noise.  The
+reproduced claim is the *ordering* P3C+ >= P3C in label accuracy, not
+the absolute 71 % / 67 % values (see DESIGN.md, substitutions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ColonLikeDataset:
+    """A synthetic micro-array-like data set with binary labels."""
+
+    data: np.ndarray  # (n_samples, n_genes) in [0, 1]
+    labels: np.ndarray  # 0 = normal, 1 = tumour
+    informative_genes: np.ndarray
+
+    @property
+    def n_samples(self) -> int:
+        return len(self.data)
+
+    @property
+    def n_genes(self) -> int:
+        return self.data.shape[1]
+
+
+def make_colon_like(
+    n_samples: int = 62,
+    n_genes: int = 2000,
+    n_tumour: int = 34,
+    n_informative: int = 10,
+    separation: float = 0.45,
+    sigma: float = 0.02,
+    seed: int = 7,
+) -> ColonLikeDataset:
+    """Generate the colon-cancer substitute.
+
+    Informative genes are drawn from class-conditional Gaussians whose
+    means differ by ``separation`` (on the unit scale); the remaining
+    genes are uniform noise shared by both classes.  Defaults mirror the
+    real set's 62 samples and 2000 genes (the real class split is
+    40/22; the default here is 34/28 because a 22-sample class inside a
+    0.25-wide bin is not significantly overfull among 62 points — the
+    level-1 Poisson proving would erase it for *every* algorithm,
+    leaving nothing to compare).
+
+    ``n_informative`` is kept small on purpose: informative genes are
+    all correlated through the class label, so every subset of them
+    forms a provable signature and Apriori signature growth is
+    exponential in that count (the same behaviour that makes P3C slow
+    on dense micro-array data).
+    """
+    if not 0 < n_tumour < n_samples:
+        raise ValueError("n_tumour must be strictly between 0 and n_samples")
+    if not 0 < n_informative <= n_genes:
+        raise ValueError("n_informative must be in (0, n_genes]")
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(0.0, 1.0, size=(n_samples, n_genes))
+    labels = np.zeros(n_samples, dtype=np.int64)
+    labels[:n_tumour] = 1
+
+    informative = rng.choice(n_genes, size=n_informative, replace=False)
+    for gene in informative:
+        # Class peaks must fall interior to single, NON-adjacent bins of
+        # both n=62 binning rules (Freedman-Diaconis: 4 bins of width
+        # 0.25; Sturges: 7 of width ~0.143) — peaks straddling a bin
+        # boundary are split or merged away and a class smeared over a
+        # wide interval stops being significantly overfull.  0.20 and
+        # 0.65 sit >= 2 sigma inside a bin on both grids.
+        low_peak = 0.20 + rng.uniform(-0.008, 0.008)
+        high_peak = low_peak + separation
+        if rng.uniform() < 0.5:
+            tumour_mean, normal_mean = high_peak, low_peak
+        else:
+            tumour_mean, normal_mean = low_peak, high_peak
+        tumour_values = rng.normal(tumour_mean, sigma, size=n_tumour)
+        normal_values = rng.normal(normal_mean, sigma, size=n_samples - n_tumour)
+        column = np.concatenate([tumour_values, normal_values])
+        data[:, gene] = np.clip(column, 0.0, 1.0)
+
+    permutation = rng.permutation(n_samples)
+    return ColonLikeDataset(
+        data=data[permutation],
+        labels=labels[permutation],
+        informative_genes=np.sort(informative),
+    )

@@ -1,0 +1,141 @@
+"""Data and result (de)serialisation.
+
+- data sets: headerless CSV of unit-range values, the format a Hadoop
+  deployment would keep on HDFS, plus an optional ``.labels`` sidecar;
+- clustering results: a JSON document with members, relevant attributes
+  and tightened signatures per cluster — stable across versions and
+  directly diffable in experiments.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.types import (
+    ClusteringResult,
+    Interval,
+    ProjectedCluster,
+    Signature,
+)
+
+RESULT_FORMAT_VERSION = 1
+
+
+def save_dataset_csv(
+    path: str | Path,
+    data: np.ndarray,
+    labels: np.ndarray | None = None,
+) -> None:
+    """Write a data matrix as headerless CSV (+ optional label sidecar)."""
+    path = Path(path)
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2:
+        raise ValueError(f"data must be 2-D, got shape {data.shape}")
+    np.savetxt(path, data, delimiter=",", fmt="%.10g")
+    if labels is not None:
+        labels = np.asarray(labels, dtype=np.int64)
+        if len(labels) != len(data):
+            raise ValueError("labels length must match data length")
+        np.savetxt(path.with_suffix(path.suffix + ".labels"), labels, fmt="%d")
+
+
+def load_dataset_csv(
+    path: str | Path,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Read a headerless CSV data matrix (+ label sidecar if present)."""
+    path = Path(path)
+    data = np.loadtxt(path, delimiter=",", ndmin=2)
+    labels_path = path.with_suffix(path.suffix + ".labels")
+    labels = None
+    if labels_path.exists():
+        labels = np.loadtxt(labels_path, dtype=np.int64, ndmin=1)
+    return data, labels
+
+
+def _signature_to_json(signature: Signature | None) -> list[dict] | None:
+    if signature is None:
+        return None
+    return [
+        {"attribute": iv.attribute, "lower": iv.lower, "upper": iv.upper}
+        for iv in signature
+    ]
+
+
+def _signature_from_json(payload: list[dict] | None) -> Signature | None:
+    if payload is None:
+        return None
+    return Signature(
+        [Interval(item["attribute"], item["lower"], item["upper"]) for item in payload]
+    )
+
+
+def result_to_dict(result: ClusteringResult) -> dict:
+    """JSON-safe dict representation of a clustering result."""
+    return {
+        "format_version": RESULT_FORMAT_VERSION,
+        "n_points": result.n_points,
+        "n_dims": result.n_dims,
+        "outliers": [int(i) for i in result.outliers],
+        "clusters": [
+            {
+                "members": [int(i) for i in cluster.members],
+                "relevant_attributes": sorted(cluster.relevant_attributes),
+                "signature": _signature_to_json(cluster.signature),
+            }
+            for cluster in result.clusters
+        ],
+        "metadata": _jsonify(dict(result.metadata)),
+    }
+
+
+def result_from_dict(payload: dict) -> ClusteringResult:
+    """Inverse of :func:`result_to_dict`."""
+    version = payload.get("format_version")
+    if version != RESULT_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported result format version {version!r} "
+            f"(this build reads {RESULT_FORMAT_VERSION})"
+        )
+    clusters = [
+        ProjectedCluster(
+            members=np.array(item["members"], dtype=np.int64),
+            relevant_attributes=frozenset(item["relevant_attributes"]),
+            signature=_signature_from_json(item.get("signature")),
+        )
+        for item in payload["clusters"]
+    ]
+    return ClusteringResult(
+        clusters=clusters,
+        outliers=np.array(payload["outliers"], dtype=np.int64),
+        n_points=payload["n_points"],
+        n_dims=payload["n_dims"],
+        metadata=payload.get("metadata", {}),
+    )
+
+
+def save_result_json(path: str | Path, result: ClusteringResult) -> None:
+    Path(path).write_text(json.dumps(result_to_dict(result), indent=2))
+
+
+def load_result_json(path: str | Path) -> ClusteringResult:
+    return result_from_dict(json.loads(Path(path).read_text()))
+
+
+def _jsonify(value):
+    """Coerce numpy scalars/arrays in metadata to JSON-safe values."""
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonify(v) for v in value.tolist()]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

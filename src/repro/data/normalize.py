@@ -1,0 +1,26 @@
+"""Attribute normalisation to the unit range (paper Section 3.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def normalize_unit_range(data: np.ndarray) -> np.ndarray:
+    """Min-max normalise each attribute to [0, 1].
+
+    Constant attributes map to 0.5 (centre of the range) rather than
+    dividing by zero; the clustering model treats them as uniform and
+    therefore irrelevant, which is the right semantics for a column that
+    carries no information.
+    """
+    data = np.asarray(data, dtype=float)
+    if data.ndim != 2:
+        raise ValueError(f"data must be 2-D, got shape {data.shape}")
+    lo = data.min(axis=0)
+    hi = data.max(axis=0)
+    span = hi - lo
+    constant = span == 0
+    safe_span = np.where(constant, 1.0, span)
+    out = (data - lo) / safe_span
+    out[:, constant] = 0.5
+    return out

@@ -1,0 +1,34 @@
+"""External evaluation measures for subspace/projected clustering.
+
+Reimplements the measures the paper uses (Section 7.2), following
+Günnemann et al., "External evaluation measures for subspace
+clustering", CIKM 2011:
+
+- :func:`e4sc_score` — the headline measure of every quality figure;
+- :func:`f1_score` — full-space F1 (reported as flawed: blind to wrong
+  subspaces);
+- :func:`rnia_score` — relative non-intersecting area on micro-objects;
+- :func:`ce_score` — clustering error (1:1 matched RNIA);
+- :func:`label_accuracy` — majority-label accuracy for the colon
+  experiment (Section 7.6).
+
+All scores are in [0, 1], larger is better, and equal 1 exactly for a
+perfect result.
+"""
+
+from repro.eval.accuracy import label_accuracy
+from repro.eval.ce import ce_score
+from repro.eval.e4sc import e4sc_score
+from repro.eval.f1 import f1_score
+from repro.eval.matching import micro_object_intersection, pairwise_intersections
+from repro.eval.rnia import rnia_score
+
+__all__ = [
+    "ce_score",
+    "e4sc_score",
+    "f1_score",
+    "label_accuracy",
+    "micro_object_intersection",
+    "pairwise_intersections",
+    "rnia_score",
+]

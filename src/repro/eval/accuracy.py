@@ -1,0 +1,51 @@
+"""Label accuracy for the colon-cancer experiment (Section 7.6).
+
+The clustering is compared to binary class labels by mapping every
+found cluster to its *majority* class and counting correctly labelled
+points (the accuracy convention of the P3C literature; a class may be
+recovered as several clusters without penalty beyond its impurity).
+Unassigned points (outliers) count as errors.  A strict one-to-one
+(Hungarian) mapping is available via ``mapping='one_to_one'``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import linear_sum_assignment
+
+from repro.core.types import ClusteringResult
+
+
+def label_accuracy(
+    result: ClusteringResult,
+    labels: np.ndarray,
+    mapping: str = "majority",
+) -> float:
+    """Accuracy of a clustering against class labels.
+
+    ``mapping='majority'`` assigns each cluster its majority class
+    (many-to-one); ``mapping='one_to_one'`` uses the optimal Hungarian
+    assignment of clusters to classes (splits are punished).
+    """
+    labels = np.asarray(labels)
+    if len(labels) != result.n_points:
+        raise ValueError(
+            f"label vector length {len(labels)} != n_points {result.n_points}"
+        )
+    if result.num_clusters == 0:
+        return 0.0
+    predicted = result.labels()
+    classes = np.unique(labels)
+    contingency = np.zeros((result.num_clusters, len(classes)), dtype=np.int64)
+    for cid in range(result.num_clusters):
+        members = predicted == cid
+        for col, cls in enumerate(classes):
+            contingency[cid, col] = int((labels[members] == cls).sum())
+    if mapping == "majority":
+        correct = int(contingency.max(axis=1).sum())
+    elif mapping == "one_to_one":
+        rows, cols = linear_sum_assignment(contingency, maximize=True)
+        correct = int(contingency[rows, cols].sum())
+    else:
+        raise ValueError(f"unknown mapping {mapping!r}")
+    return correct / len(labels)

@@ -1,0 +1,33 @@
+"""CE — clustering error with a 1:1 cluster matching.
+
+Like RNIA but the intersection credit ``D`` is restricted to an optimal
+one-to-one matching between found and hidden clusters (computed with
+the Hungarian algorithm), so cluster *splits* are punished hard: only
+one fragment of a split cluster earns credit.  ``CE = (U - D) / U``;
+we report the score form ``1 - CE = D / U``.
+"""
+
+from __future__ import annotations
+
+from scipy.optimize import linear_sum_assignment
+
+from repro.core.types import ProjectedCluster
+from repro.eval.matching import pairwise_intersections, union_coverage
+
+
+def ce_score(
+    found: list[ProjectedCluster],
+    hidden: list[ProjectedCluster],
+) -> float:
+    """``1 - CE``: optimally 1:1-matched coverage over union coverage."""
+    if not hidden:
+        raise ValueError("ground truth must contain at least one cluster")
+    if not found:
+        return 0.0
+    matrix = pairwise_intersections(found, hidden)
+    rows, cols = linear_sum_assignment(matrix, maximize=True)
+    matched = int(matrix[rows, cols].sum())
+    union = union_coverage(found, hidden)
+    if union == 0:
+        return 0.0
+    return matched / union

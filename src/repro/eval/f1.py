@@ -1,0 +1,40 @@
+"""Full-space F1 measure on object sets.
+
+The paper reports F1's known weakness (Section 7.2): it ignores the
+subspace, so a cluster found with the right objects but entirely wrong
+relevant attributes still scores perfectly.  We implement it both for
+completeness and because the weakness itself is asserted by a test.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.types import ProjectedCluster
+
+
+def _object_f1(first: ProjectedCluster, second: ProjectedCluster) -> float:
+    inter = len(np.intersect1d(first.members, second.members))
+    denom = first.size + second.size
+    if denom == 0:
+        return 0.0
+    return 2.0 * inter / denom
+
+
+def f1_score(
+    found: list[ProjectedCluster],
+    hidden: list[ProjectedCluster],
+) -> float:
+    """Symmetrised best-match F1 on member sets only."""
+    if not hidden:
+        raise ValueError("ground truth must contain at least one cluster")
+    if not found:
+        return 0.0
+    matrix = np.array(
+        [[_object_f1(c, h) for h in hidden] for c in found], dtype=float
+    )
+    recall = float(matrix.max(axis=0).mean())
+    precision = float(matrix.max(axis=1).mean())
+    if precision + recall == 0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)

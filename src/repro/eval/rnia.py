@@ -1,0 +1,28 @@
+"""RNIA — relative non-intersecting area on micro-objects.
+
+``RNIA = (U - I) / U`` where ``I`` is the number of micro-objects
+covered by both clusterings and ``U`` the number covered by either.
+We report the *score* form ``1 - RNIA = I / U`` so that, like every
+other measure in :mod:`repro.eval`, larger is better and 1 is perfect.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import ProjectedCluster
+from repro.eval.matching import pairwise_intersections, union_coverage
+
+
+def rnia_score(
+    found: list[ProjectedCluster],
+    hidden: list[ProjectedCluster],
+) -> float:
+    """``1 - RNIA``: shared micro-object coverage over union coverage."""
+    if not hidden:
+        raise ValueError("ground truth must contain at least one cluster")
+    if not found:
+        return 0.0
+    shared = int(pairwise_intersections(found, hidden).sum())
+    union = union_coverage(found, hidden)
+    if union == 0:
+        return 0.0
+    return shared / union

@@ -1,0 +1,13 @@
+"""Experiment harnesses: one module per paper exhibit.
+
+Every module exposes ``run(...)`` returning structured rows and a
+``main()`` that prints the exhibit's table; the ``benchmarks/`` tree
+wraps these in pytest-benchmark entries.  Sizes are scaled from the
+paper's cluster workloads to laptop proportions (see DESIGN.md,
+substitutions); the *shape* of every exhibit — orderings, trends,
+crossovers — is what the harnesses reproduce.
+"""
+
+from repro.experiments.configs import FULL_SCALE, QUICK_SCALE, ExperimentScale
+
+__all__ = ["ExperimentScale", "FULL_SCALE", "QUICK_SCALE"]

@@ -1,0 +1,159 @@
+"""Section 6's blurring effect, demonstrated at laptop scale.
+
+The paper's argument for P3C+-MR-Light: data points ``x-`` and ``x+``
+that match a cluster's centre on all relevant attributes except one
+(where they sit at 0 and 1) are assigned to the cluster by EM, survive
+outlier detection, and stretch the tightened interval on the blurred
+attribute to ``[0, 1]``.  The probability of such points grows with the
+data set size — which is why Figure 6 shows Light overtaking the full
+pipeline only at cluster-scale n.
+
+This harness *injects* the adversarial points explicitly, making the
+mechanism observable at any size: it measures, per algorithm, the width
+of the found interval on the blurred attribute relative to the hidden
+cluster's true width.  Expected shape: the full pipeline's interval is
+stretched by the injected points; Light's interval — computed from
+support sets, which the blurring points do not belong to — stays tight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.p3c_plus import P3CPlus, P3CPlusConfig, P3CPlusLight
+from repro.data import GeneratorConfig, SyntheticDataset, generate_synthetic
+from repro.experiments.runner import format_table
+
+
+@dataclass
+class BlurringRow:
+    algorithm: str
+    blurred_points: int
+    width_ratio: float  # found width / true width on the blurred attribute
+
+
+def inject_blurring_points(
+    dataset: SyntheticDataset,
+    per_cluster: int,
+    seed: int = 0,
+) -> tuple[np.ndarray, list[tuple[int, int]]]:
+    """Append Section 6's x-/x+ points for every hidden cluster.
+
+    Each injected point equals the cluster's interval centres on every
+    relevant attribute except one (the *blurred* attribute, chosen as
+    the cluster's first), where it alternates between 0 and 1.
+    Returns the augmented matrix and the (cluster, blurred attribute)
+    pairs.
+    """
+    rng = np.random.default_rng(seed)
+    rows = []
+    blurred: list[tuple[int, int]] = []
+    for cid, cluster in enumerate(dataset.hidden_clusters):
+        intervals = cluster.signature.intervals
+        blur_attr = intervals[0].attribute
+        blurred.append((cid, blur_attr))
+        for i in range(per_cluster):
+            point = rng.uniform(size=dataset.data.shape[1])
+            for interval in intervals:
+                point[interval.attribute] = (
+                    interval.lower + interval.upper
+                ) / 2.0
+            point[blur_attr] = 0.0 if i % 2 == 0 else 1.0
+            rows.append(point)
+    if not rows:
+        return dataset.data, blurred
+    return np.vstack([dataset.data, np.array(rows)]), blurred
+
+
+def _width_ratio(result, dataset: SyntheticDataset, blurred) -> float:
+    """Mean found/true width on the blurred attributes, over hidden
+    clusters matched to their best found cluster by member overlap."""
+    ratios = []
+    for (cid, blur_attr) in blurred:
+        hidden = dataset.hidden_clusters[cid]
+        true_interval = hidden.signature.interval_on(blur_attr)
+        best, best_overlap = None, 0
+        for cluster in result.clusters:
+            overlap = len(np.intersect1d(cluster.members, hidden.members))
+            if overlap > best_overlap:
+                best, best_overlap = cluster, overlap
+        if best is None or best.signature is None:
+            continue
+        found_interval = best.signature.interval_on(blur_attr)
+        if found_interval is None:
+            continue
+        ratios.append(found_interval.width / true_interval.width)
+    return float(np.mean(ratios)) if ratios else float("nan")
+
+
+def run(
+    n: int = 3_000,
+    dims: int = 15,
+    num_clusters: int = 3,
+    per_cluster_counts: tuple[int, ...] = (0, 12, 40),
+    seed: int = 21,
+) -> list[BlurringRow]:
+    rows: list[BlurringRow] = []
+    base = generate_synthetic(
+        GeneratorConfig(
+            n=n,
+            d=dims,
+            num_clusters=num_clusters,
+            noise_fraction=0.05,
+            max_cluster_dims=min(6, dims),
+            seed=seed,
+        )
+    )
+    for per_cluster in per_cluster_counts:
+        data, blurred = inject_blurring_points(base, per_cluster, seed)
+        algorithms = {
+            "MR (Naive)": P3CPlus(P3CPlusConfig(outlier_method="naive")),
+            "MR (MVB)": P3CPlus(P3CPlusConfig(outlier_method="mvb")),
+            "MR (Light)": P3CPlusLight(),
+        }
+        for name, algorithm in algorithms.items():
+            result = algorithm.fit(data)
+            rows.append(
+                BlurringRow(
+                    name, per_cluster, _width_ratio(result, base, blurred)
+                )
+            )
+    return rows
+
+
+def render(rows: list[BlurringRow]) -> str:
+    counts = sorted({row.blurred_points for row in rows})
+    table_rows = []
+    for name in ("MR (Naive)", "MR (MVB)", "MR (Light)"):
+        series = {
+            row.blurred_points: row.width_ratio
+            for row in rows
+            if row.algorithm == name
+        }
+        table_rows.append([name] + [round(series[c], 2) for c in counts])
+    table = format_table(
+        ["algorithm"] + [f"{c} blur pts/cluster" for c in counts], table_rows
+    )
+    return "\n".join(
+        [
+            "Section 6 — the blurring effect (found/true interval width "
+            "on the blurred attribute; 1.0 = tight)",
+            table,
+            "",
+            "Expected shape: the naive detector's intervals stretch "
+            "badly (masking: the blurring points inflate the very "
+            "variance estimate meant to expose them); MVB resists but "
+            "still drifts; Light's support-set intervals stay tight — "
+            "the mechanism behind Light's advantage at cluster-scale n.",
+        ]
+    )
+
+
+def main() -> str:
+    return render(run())
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,99 @@
+"""Section 7.6: P3C+ vs original P3C on the colon-cancer data set.
+
+The paper reports 71 % label accuracy for P3C+ against 67 % for the
+original P3C on UCI 'colon cancer' (62 samples x 2000 genes).  The real
+file is not redistributable (and this environment is offline), so the
+harness runs both algorithms on the synthetic colon-like stand-in of
+:func:`repro.data.make_colon_like`, averaged over several seeds.
+
+What is and is not reproduced here (also see DESIGN.md):
+
+- reproduced: the *code path* (both algorithms on a tiny-n, huge-d,
+  two-class data set, scored by majority-label accuracy) and the
+  magnitude band of both accuracies;
+- not guaranteed: the exact P3C+ > P3C ordering.  The paper's gap is
+  4 points (~2.5 samples of 62); on a synthetic substitute that is
+  within seed noise, because P3C+'s statistical machinery (effect size,
+  redundancy filtering) is designed for *huge* n and has no leverage at
+  n = 62, where a pure sampling fluke easily reaches an effect size of
+  1.0.  The harness reports the per-seed results and the mean ordering
+  honestly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.p3c import P3C
+from repro.core.p3c_plus import P3CPlus
+from repro.data import make_colon_like
+from repro.eval import label_accuracy
+from repro.experiments.runner import format_table
+
+PAPER_P3C_PLUS_ACCURACY = 0.71
+PAPER_P3C_ACCURACY = 0.67
+DEFAULT_SEEDS = (7, 11, 23, 31, 43)
+
+
+@dataclass
+class ColonResult:
+    per_seed: list[tuple[int, float, float]]  # (seed, p3c+ acc, p3c acc)
+
+    @property
+    def p3c_plus_mean(self) -> float:
+        return float(np.mean([plus for _, plus, _ in self.per_seed]))
+
+    @property
+    def p3c_mean(self) -> float:
+        return float(np.mean([p3c for _, _, p3c in self.per_seed]))
+
+    @property
+    def ordering_reproduced(self) -> bool:
+        return self.p3c_plus_mean >= self.p3c_mean
+
+
+def run(
+    seeds: tuple[int, ...] = DEFAULT_SEEDS,
+    n_samples: int = 62,
+    n_genes: int = 2000,
+) -> ColonResult:
+    per_seed: list[tuple[int, float, float]] = []
+    for seed in seeds:
+        dataset = make_colon_like(
+            n_samples=n_samples, n_genes=n_genes, seed=seed
+        )
+        plus = label_accuracy(P3CPlus().fit(dataset.data), dataset.labels)
+        base = label_accuracy(P3C().fit(dataset.data), dataset.labels)
+        per_seed.append((seed, plus, base))
+    return ColonResult(per_seed=per_seed)
+
+
+def render(outcome: ColonResult, n_genes: int = 2000) -> str:
+    table = format_table(
+        ["seed", "P3C+ accuracy", "P3C accuracy"],
+        [[seed, plus, base] for seed, plus, base in outcome.per_seed],
+    )
+    return "\n".join(
+        [
+            f"Section 7.6 — colon cancer (synthetic stand-in, 62 x {n_genes})",
+            table,
+            "",
+            f"mean: P3C+ {outcome.p3c_plus_mean:.2%}, "
+            f"P3C {outcome.p3c_mean:.2%} "
+            f"(paper, real data: {PAPER_P3C_PLUS_ACCURACY:.0%} vs "
+            f"{PAPER_P3C_ACCURACY:.0%})",
+            f"mean ordering P3C+ >= P3C: {outcome.ordering_reproduced} "
+            "(on the synthetic substitute the paper's 4-point gap is "
+            "within seed noise; see module docstring)",
+        ]
+    )
+
+
+def main(seeds: tuple[int, ...] = DEFAULT_SEEDS, n_genes: int = 2000) -> str:
+    return render(run(seeds=seeds, n_genes=n_genes), n_genes)
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,54 @@
+"""Figure 1: the Poisson test's power pathology.
+
+The paper simulates the probability of observing (and the test
+flagging) at least ``101 % * mu`` objects in a hyperrectangle whose
+null expectation is ``mu``, when the true rate really is ``1.01 mu`` —
+i.e. the test's *power* at a fixed 1 % relative effect.  For growing
+``mu`` this probability approaches 100 %: on big data the Poisson test
+certifies deviations that are statistically significant but practically
+irrelevant, which is why P3C+ adds the effect-size test.
+"""
+
+from __future__ import annotations
+
+from repro.core.stats import poisson_power_relative_effect
+from repro.experiments.runner import format_table
+
+#: Average bin sizes swept in the paper's simulation (x axis up to 1e5).
+DEFAULT_MUS = (25, 100, 500, 1_000, 5_000, 10_000, 25_000, 50_000, 100_000)
+
+
+def run(
+    mus: tuple[int, ...] = DEFAULT_MUS,
+    factor: float = 1.01,
+    alpha: float = 0.05,
+) -> list[tuple[int, float]]:
+    """``(mu, power at a factor-relative effect)`` series."""
+    return [
+        (mu, poisson_power_relative_effect(mu, factor, alpha)) for mu in mus
+    ]
+
+
+def main(
+    mus: tuple[int, ...] = DEFAULT_MUS,
+    alpha: float = 0.05,
+) -> str:
+    series = run(mus, alpha=alpha)
+    table = format_table(
+        ["dataset size (mu)", "P(test flags 1.01 mu)"],
+        [[mu, p] for mu, p in series],
+    )
+    lines = [
+        "Figure 1 — probability the Poisson test flags a 1% relative "
+        f"deviation (alpha={alpha})",
+        table,
+        "",
+        "Paper shape: probability approaches ~100% for large mu — the "
+        "significance test alone cannot tell relevant from irrelevant "
+        "deviations on big data.",
+    ]
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(main())

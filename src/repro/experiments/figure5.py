@@ -1,0 +1,101 @@
+"""Figure 5: effect of redundancy filtering and effect-size statistics.
+
+For a sweep of Poisson thresholds (1e-140 ... 1e-3) the harness counts
+the cluster cores produced by
+
+- 'Poisson'  — the original significance test alone, and
+- 'Combined' — Poisson + the theta_cc effect-size test,
+
+both before (Figures 5a/5c) and after (5b/5d) redundancy filtering, on
+data sets with 5 hidden clusters and 20 % noise.  Paper shape: without
+the filter, 'Poisson' overestimates wildly and the overestimation
+starts at smaller thresholds for larger data; 'Combined' stagnates far
+lower; with the filter both stabilise at the true cluster count, with
+'Combined' exactly correct over the widest threshold range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.p3c_plus import P3CPlusConfig, generate_cluster_cores
+from repro.experiments.configs import FIGURE5_THRESHOLDS, THETA_CC
+from repro.experiments.runner import format_table, make_dataset
+
+
+@dataclass
+class Figure5Row:
+    n: int
+    threshold: float
+    test: str  # 'Poisson' | 'Combined'
+    cores_no_filter: int
+    cores_filtered: int
+
+
+def run(
+    sizes: tuple[int, ...] = (2_000, 20_000),
+    dims: int = 20,
+    num_clusters: int = 5,
+    noise: float = 0.20,
+    thresholds: tuple[float, ...] = FIGURE5_THRESHOLDS,
+    seed: int = 42,
+) -> list[Figure5Row]:
+    rows: list[Figure5Row] = []
+    for n in sizes:
+        dataset = make_dataset(n, dims, num_clusters, noise, seed)
+        for threshold in thresholds:
+            for test, theta in (("Poisson", None), ("Combined", THETA_CC)):
+                config = P3CPlusConfig(
+                    poisson_alpha=threshold,
+                    theta_cc=theta,
+                    redundancy_filter=True,
+                )
+                _, diagnostics = generate_cluster_cores(dataset.data, config)
+                rows.append(
+                    Figure5Row(
+                        n=n,
+                        threshold=threshold,
+                        test=test,
+                        cores_no_filter=diagnostics["cores_before_redundancy"],
+                        cores_filtered=diagnostics["cores_after_redundancy"],
+                    )
+                )
+    return rows
+
+
+def render(rows: list[Figure5Row], num_clusters: int = 5) -> str:
+    table_rows = [
+        [row.n, f"{row.threshold:.0e}", row.test, row.cores_no_filter, row.cores_filtered]
+        for row in rows
+    ]
+    table = format_table(
+        ["DB size", "threshold", "test", "#cores (no filter)", "#cores (filtered)"],
+        table_rows,
+    )
+    return "\n".join(
+        [
+            "Figure 5 — redundancy filtering and effect-size statistics "
+            f"(optimal = {num_clusters} clusters)",
+            table,
+            "",
+            "Paper shape: 'Poisson' without filtering overestimates for "
+            "loose thresholds; 'Combined' stagnates near the optimum; "
+            "with redundancy filtering both land at the true count.",
+        ]
+    )
+
+
+def main(
+    sizes: tuple[int, ...] = (2_000, 20_000),
+    dims: int = 20,
+    num_clusters: int = 5,
+    thresholds: tuple[float, ...] = FIGURE5_THRESHOLDS,
+) -> str:
+    rows = run(
+        sizes=sizes, dims=dims, num_clusters=num_clusters, thresholds=thresholds
+    )
+    return render(rows, num_clusters)
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,86 @@
+"""Figure 6: quality of BoW (Light/MVB) vs P3C+-MR (Light/MVB).
+
+The full 12-panel grid: cluster counts {3, 5, 7} x noise levels
+{0, 5, 10, 20} %, E4SC over a growing DB-size sweep for four
+algorithms.  Paper shape: the Light variants beat their MVB
+counterparts; P3C+-MR-Light's quality holds (or improves) with growing
+size while the others degrade; BoW degrades fastest.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.configs import QUICK_SCALE, ExperimentScale
+from repro.experiments.runner import (
+    SweepRow,
+    algorithm_registry,
+    format_table,
+    make_dataset,
+    run_cell,
+)
+
+#: The four algorithms of Figure 6, in the paper's legend order.
+FIGURE6_ALGORITHMS = ("BoW (Light)", "BoW (MVB)", "MR (Light)", "MR (MVB)")
+
+
+def run(
+    scale: ExperimentScale = QUICK_SCALE,
+    algorithms: tuple[str, ...] = FIGURE6_ALGORITHMS,
+    num_clusters: tuple[int, ...] | None = None,
+    noise_levels: tuple[float, ...] | None = None,
+) -> list[SweepRow]:
+    num_clusters = num_clusters or scale.num_clusters
+    noise_levels = noise_levels or scale.noise_levels
+    registry = algorithm_registry(
+        samples_per_reducer=scale.samples_per_reducer
+    )
+    rows: list[SweepRow] = []
+    for k in num_clusters:
+        for noise in noise_levels:
+            for n in scale.sizes:
+                dataset = make_dataset(n, scale.dims, k, noise, scale.seed)
+                for name in algorithms:
+                    rows.append(run_cell(name, registry[name], dataset))
+    return rows
+
+
+def render(rows: list[SweepRow]) -> str:
+    panels: dict[tuple[int, float], list[SweepRow]] = {}
+    for row in rows:
+        panels.setdefault((row.num_clusters, row.noise), []).append(row)
+
+    blocks: list[str] = ["Figure 6 — E4SC of BoW and P3C+-MR variants"]
+    for (k, noise), panel_rows in sorted(panels.items()):
+        sizes = sorted({row.n for row in panel_rows})
+        table_rows = []
+        for name in FIGURE6_ALGORITHMS:
+            series = {
+                row.n: row.e4sc for row in panel_rows if row.algorithm == name
+            }
+            table_rows.append([name] + [series.get(n, float("nan")) for n in sizes])
+        blocks.append(
+            f"\n({k} clusters, {noise:.0%} noise)\n"
+            + format_table(["algorithm"] + [str(n) for n in sizes], table_rows)
+        )
+    blocks.append(
+        "\nPaper shape: the exact MR algorithms beat the approximate BoW "
+        "per variant, and BoW degrades as size (and its partition count) "
+        "grows. Note: the paper's Light-beats-MVB ordering arises from "
+        "the blurring effect at cluster-scale n (>= 10^6) and is not "
+        "expected at this scaled-down size; at laptop scale the EM "
+        "refinement still pays off (see EXPERIMENTS.md)."
+    )
+    return "\n".join(blocks)
+
+
+def main(
+    scale: ExperimentScale = QUICK_SCALE,
+    num_clusters: tuple[int, ...] | None = None,
+    noise_levels: tuple[float, ...] | None = None,
+) -> str:
+    return render(
+        run(scale, num_clusters=num_clusters, noise_levels=noise_levels)
+    )
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,185 @@
+"""Figure 7: runtime vs DB size for all five algorithms.
+
+Two complementary views:
+
+- **measured** — wall-clock of the real drivers (the MR drivers and
+  BoW run against the in-process MapReduce runtime) over the scaled
+  size sweep;
+- **projected** — the calibrated cluster cost model replays each
+  algorithm's measured *job structure* (number of MR jobs, relative
+  per-record work) at the paper's sizes (10^4 ... 5*10^7), on the
+  paper's 112-slot cluster.
+
+Paper shape: BoW variants and MR (Light) scale gently; P3C+-MR
+(naive/MVB) is slowest (more jobs + EM iterations); MVB costs 10-20 %
+over naive; runtimes are sub-linear until the cluster saturates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from math import ceil
+
+from repro.baselines import BoW, BoWConfig
+from repro.core.p3c_plus import P3CPlusConfig
+from repro.experiments.configs import QUICK_SCALE, ExperimentScale
+from repro.experiments.runner import format_table, make_dataset
+from repro.mapreduce.costmodel import ClusterCostModel
+from repro.mr import P3CPlusMR, P3CPlusMRConfig, P3CPlusMRLight
+
+#: Paper sizes projected by the cost model.
+PAPER_SIZES = (10_000, 100_000, 1_000_000, 5_000_000, 10_000_000, 50_000_000)
+
+
+@dataclass
+class RuntimeRow:
+    algorithm: str
+    n: int
+    seconds: float
+    mr_jobs: int
+
+
+def _mr_algorithms(scale: ExperimentScale) -> dict[str, object]:
+    mr_config = P3CPlusMRConfig(num_splits=8)
+    return {
+        "BoW (Light)": lambda: BoW(
+            bow_config=BoWConfig(
+                variant="light", samples_per_reducer=scale.samples_per_reducer
+            )
+        ),
+        "BoW (MVB)": lambda: BoW(
+            bow_config=BoWConfig(
+                variant="mvb", samples_per_reducer=scale.samples_per_reducer
+            )
+        ),
+        "MR (Light)": lambda: P3CPlusMRLight(mr_config=mr_config),
+        "MR (MVB)": lambda: P3CPlusMR(
+            P3CPlusConfig(outlier_method="mvb"), mr_config
+        ),
+        "MR (Naive)": lambda: P3CPlusMR(
+            P3CPlusConfig(outlier_method="naive"), mr_config
+        ),
+    }
+
+
+def run_measured(
+    scale: ExperimentScale = QUICK_SCALE,
+    num_clusters: int = 5,
+    noise: float = 0.10,
+) -> list[RuntimeRow]:
+    rows: list[RuntimeRow] = []
+    algorithms = _mr_algorithms(scale)
+    for n in scale.sizes:
+        dataset = make_dataset(n, scale.dims, num_clusters, noise, scale.seed)
+        for name, factory in algorithms.items():
+            started = time.perf_counter()
+            result = factory().fit(dataset.data)
+            elapsed = time.perf_counter() - started
+            rows.append(
+                RuntimeRow(
+                    algorithm=name,
+                    n=n,
+                    seconds=elapsed,
+                    mr_jobs=int(result.metadata.get("mr_jobs", 1)),
+                )
+            )
+    return rows
+
+
+#: Relative per-record map cost of one job of each algorithm (RSSC
+#: support counting and EM E-steps touch every candidate/component per
+#: record, a plain histogram pass does not).
+_JOB_MULTIPLIER = {
+    "BoW (Light)": 1.0,
+    "BoW (MVB)": 1.0,
+    "MR (Light)": 1.3,
+    "MR (MVB)": 1.6,
+    "MR (Naive)": 1.5,
+}
+
+#: Per-record plug-in cost inside a BoW reducer, relative to a map scan
+#: (the Light plug-in is a few scans; the MVB plug-in adds EM + OD).
+_BOW_PLUGIN_MULTIPLIER = {"BoW (Light)": 6.0, "BoW (MVB)": 14.0}
+
+
+def project_runtime(
+    algorithm: str,
+    n: int,
+    mr_jobs: int,
+    model: ClusterCostModel,
+    samples_per_reducer: int = 100_000,
+) -> float:
+    """Cost-model projection of one algorithm at paper scale."""
+    if algorithm.startswith("BoW"):
+        scan = model.job_cost(n, shuffle_records=n)
+        partitions = max(1, ceil(n / samples_per_reducer))
+        waves = ceil(partitions / model.reduce_slots)
+        plugin = (
+            waves
+            * samples_per_reducer
+            * model.map_record_cost_s
+            * _BOW_PLUGIN_MULTIPLIER[algorithm]
+        )
+        return scan.total_s + plugin
+    multiplier = _JOB_MULTIPLIER[algorithm]
+    per_job = model.scan_job(n, multiplier=multiplier)
+    return mr_jobs * per_job.total_s
+
+
+def run_projected(
+    measured: list[RuntimeRow],
+    sizes: tuple[int, ...] = PAPER_SIZES,
+    model: ClusterCostModel | None = None,
+) -> list[RuntimeRow]:
+    model = model or ClusterCostModel()
+    # Job counts from the largest measured run of each algorithm.
+    jobs: dict[str, int] = {}
+    for row in sorted(measured, key=lambda r: r.n):
+        jobs[row.algorithm] = row.mr_jobs
+    rows: list[RuntimeRow] = []
+    for n in sizes:
+        for algorithm, mr_jobs in jobs.items():
+            rows.append(
+                RuntimeRow(
+                    algorithm=algorithm,
+                    n=n,
+                    seconds=project_runtime(algorithm, n, mr_jobs, model),
+                    mr_jobs=mr_jobs,
+                )
+            )
+    return rows
+
+
+def _series_table(rows: list[RuntimeRow], title: str) -> str:
+    sizes = sorted({row.n for row in rows})
+    names = sorted({row.algorithm for row in rows})
+    table_rows = []
+    for name in names:
+        series = {row.n: row.seconds for row in rows if row.algorithm == name}
+        table_rows.append(
+            [name] + [round(series.get(n, float("nan")), 2) for n in sizes]
+        )
+    return title + "\n" + format_table(
+        ["algorithm"] + [f"{n:,}" for n in sizes], table_rows
+    )
+
+
+def main(scale: ExperimentScale = QUICK_SCALE) -> str:
+    measured = run_measured(scale)
+    projected = run_projected(measured)
+    return "\n\n".join(
+        [
+            "Figure 7 — runtime (seconds) vs DB size",
+            _series_table(measured, "Measured (scaled sizes, in-process runtime):"),
+            _series_table(
+                projected, "Projected (paper sizes, 112-slot cost model):"
+            ),
+            "Paper shape: MR (MVB/Naive) slowest; MVB ~10-20% over Naive; "
+            "BoW and MR (Light) fastest and near-linear.",
+        ]
+    )
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,92 @@
+"""Consolidated evaluation report: every paper exhibit in one run.
+
+``python -m repro.experiments.report`` (or the ``report`` experiment in
+the CLI) executes every harness at a configurable scale and writes one
+text document with all regenerated tables — the full Section 7 in a
+single artefact.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.experiments import (
+    billion,
+    blurring,
+    colon,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    theta,
+)
+from repro.experiments.configs import QUICK_SCALE, ExperimentScale
+
+#: Exhibit name -> callable returning the rendered table.
+_SECTIONS: dict[str, Callable[[ExperimentScale], str]] = {
+    "figure1": lambda scale: figure1.main(),
+    "figure2": lambda scale: figure2.main(),
+    "figure3": lambda scale: figure3.main(),
+    "figure4": lambda scale: figure4.main(scale),
+    "figure5": lambda scale: figure5.main(
+        sizes=(1_500, scale.sizes[-1]), dims=scale.dims
+    ),
+    "figure6": lambda scale: figure6.main(
+        scale, num_clusters=(3, 5), noise_levels=(0.0, 0.10)
+    ),
+    "figure7": lambda scale: figure7.main(
+        ExperimentScale(
+            name="report-figure7",
+            sizes=scale.sizes[:2],
+            dims=min(scale.dims, 15),
+            samples_per_reducer=scale.samples_per_reducer,
+            seed=scale.seed,
+        )
+    ),
+    "theta": lambda scale: theta.main(),
+    "colon": lambda scale: colon.main(seeds=(7, 11, 23)),
+    "billion": lambda scale: billion.main(scaled_n=4_000, dims=30),
+    "blurring": lambda scale: blurring.main(),
+}
+
+
+def run(
+    scale: ExperimentScale = QUICK_SCALE,
+    sections: tuple[str, ...] | None = None,
+) -> str:
+    """Run the selected (default: all) exhibits and return the report."""
+    chosen = sections or tuple(_SECTIONS)
+    unknown = set(chosen) - set(_SECTIONS)
+    if unknown:
+        raise ValueError(f"unknown report sections: {sorted(unknown)}")
+    blocks = [
+        "P3C+-MR reproduction — consolidated evaluation report",
+        f"scale profile: {scale.name} "
+        f"(sizes {scale.sizes}, {scale.dims} dims, seed {scale.seed})",
+        "=" * 70,
+    ]
+    for name in chosen:
+        started = time.perf_counter()
+        text = _SECTIONS[name](scale)
+        elapsed = time.perf_counter() - started
+        blocks.append(f"\n## {name} ({elapsed:.1f}s)\n\n{text}")
+    return "\n".join(blocks)
+
+
+def main(
+    output_path: str | Path | None = None,
+    scale: ExperimentScale = QUICK_SCALE,
+) -> str:
+    report = run(scale)
+    if output_path is not None:
+        Path(output_path).write_text(report + "\n")
+    return report
+
+
+if __name__ == "__main__":
+    print(main())

@@ -1,0 +1,116 @@
+"""Shared sweep executor and table formatting for the harnesses.
+
+Quality sweeps run the *serial reference* implementations of
+P3C+/P3C+-Light: the test suite proves them equivalent to the
+MapReduce drivers (identical cluster cores; identical Light output),
+and they are an order of magnitude faster under a single-core Python
+runtime.  Runtime experiments (Figure 7, billion-point projection) run
+the real MR drivers so job counts and shuffle volumes are measured.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.baselines import BoW, BoWConfig
+from repro.core.p3c_plus import P3CPlus, P3CPlusConfig, P3CPlusLight
+from repro.core.types import ClusteringResult
+from repro.data import GeneratorConfig, SyntheticDataset, generate_synthetic
+from repro.eval import e4sc_score
+
+
+def make_dataset(
+    n: int,
+    d: int,
+    num_clusters: int,
+    noise: float,
+    seed: int,
+) -> SyntheticDataset:
+    return generate_synthetic(
+        GeneratorConfig(
+            n=n,
+            d=d,
+            num_clusters=num_clusters,
+            noise_fraction=noise,
+            max_cluster_dims=min(10, d),
+            seed=seed,
+        )
+    )
+
+
+def algorithm_registry(
+    config: P3CPlusConfig | None = None,
+    samples_per_reducer: int = 1_000,
+) -> dict[str, Callable[[], Any]]:
+    """The algorithm line-up of Figures 6 and 7, by the paper's labels."""
+    config = config or P3CPlusConfig()
+    return {
+        "BoW (Light)": lambda: BoW(
+            config,
+            BoWConfig(variant="light", samples_per_reducer=samples_per_reducer),
+        ),
+        "BoW (MVB)": lambda: BoW(
+            config,
+            BoWConfig(variant="mvb", samples_per_reducer=samples_per_reducer),
+        ),
+        "MR (Light)": lambda: P3CPlusLight(config),
+        "MR (MVB)": lambda: P3CPlus(config.with_overrides(outlier_method="mvb")),
+        "MR (Naive)": lambda: P3CPlus(config.with_overrides(outlier_method="naive")),
+    }
+
+
+@dataclass
+class SweepRow:
+    """One measured cell of a sweep table."""
+
+    algorithm: str
+    n: int
+    num_clusters: int
+    noise: float
+    e4sc: float
+    seconds: float
+    num_found: int
+
+
+def run_cell(
+    algorithm_name: str,
+    factory: Callable[[], Any],
+    dataset: SyntheticDataset,
+) -> SweepRow:
+    truth = dataset.ground_truth_clusters()
+    started = time.perf_counter()
+    result: ClusteringResult = factory().fit(dataset.data)
+    elapsed = time.perf_counter() - started
+    return SweepRow(
+        algorithm=algorithm_name,
+        n=len(dataset.data),
+        num_clusters=dataset.config.num_clusters,
+        noise=dataset.config.noise_fraction,
+        e4sc=e4sc_score(result.clusters, truth),
+        seconds=elapsed,
+        num_found=result.num_clusters,
+    )
+
+
+def format_table(headers: list[str], rows: list[list[Any]]) -> str:
+    """Fixed-width text table (the harnesses' printable output)."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in rendered:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,60 @@
+"""A faithful, in-process MapReduce runtime.
+
+This package is the *substrate* of the reproduction: the paper's
+algorithms (P3C+-MR, P3C+-MR-Light, BoW) are expressed as genuine
+map / combine / shuffle / reduce programs against this runtime, with
+the same dataflow contracts Hadoop offers:
+
+- input is partitioned into :class:`~repro.mapreduce.types.InputSplit`\\ s,
+  one mapper task per split;
+- mapper tasks emit intermediate ``(key, value)`` pairs, optionally
+  pre-aggregated by a combiner;
+- pairs are partitioned, sorted by key and grouped before reduction;
+- a read-only *distributed cache* ships side data to every task;
+- *counters* account for records and (approximate) shuffle volume,
+  which feeds the cluster cost model used for paper-scale runtime
+  projection.
+
+The runtime executes either serially (deterministic, default) or on a
+process pool; both produce identical output for well-formed jobs.
+"""
+
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.chain import JobChain
+from repro.mapreduce.costmodel import ClusterCostModel, CostEstimate
+from repro.mapreduce.counters import CounterGroup, Counters
+from repro.mapreduce.fs import make_csv_splits
+from repro.mapreduce.job import (
+    Combiner,
+    Context,
+    HashPartitioner,
+    Job,
+    Mapper,
+    Partitioner,
+    Reducer,
+)
+from repro.mapreduce.runtime import JobResult, MapReduceRuntime, TaskFailedError
+from repro.mapreduce.types import InputSplit, JobConf, split_records
+
+__all__ = [
+    "ClusterCostModel",
+    "Combiner",
+    "Context",
+    "CostEstimate",
+    "CounterGroup",
+    "Counters",
+    "DistributedCache",
+    "HashPartitioner",
+    "InputSplit",
+    "Job",
+    "JobChain",
+    "JobConf",
+    "JobResult",
+    "MapReduceRuntime",
+    "Mapper",
+    "make_csv_splits",
+    "Partitioner",
+    "Reducer",
+    "TaskFailedError",
+    "split_records",
+]

@@ -1,0 +1,52 @@
+"""The distributed cache: read-only side data shipped to every task.
+
+P3C+-MR relies on the cache heavily: candidate signature sets, RSSC bit
+masks and Gaussian mixture parameters are all distributed to mappers
+this way rather than through the shuffle (paper, Section 5.3).
+"""
+
+from __future__ import annotations
+
+from types import MappingProxyType
+from typing import Any, Iterator, Mapping
+
+
+class DistributedCache(Mapping[str, Any]):
+    """An immutable string-keyed mapping visible to all tasks of a job.
+
+    Mutating the cache from inside a task would violate MapReduce
+    semantics (tasks must be independent and restartable), so the
+    contents are frozen at construction time.
+    """
+
+    def __init__(self, entries: Mapping[str, Any] | None = None) -> None:
+        self._entries = MappingProxyType(dict(entries or {}))
+
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return self._entries[key]
+        except KeyError:
+            raise KeyError(
+                f"cache entry {key!r} not shipped with this job; "
+                f"available: {sorted(self._entries)}"
+            ) from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __reduce__(self):
+        # MappingProxyType is not picklable; ship a plain dict so tasks
+        # can be dispatched to worker processes.
+        return (DistributedCache, (dict(self._entries),))
+
+    def with_entries(self, **entries: Any) -> "DistributedCache":
+        """Return a new cache extended with ``entries`` (copy-on-write)."""
+        merged = dict(self._entries)
+        merged.update(entries)
+        return DistributedCache(merged)
+
+    def __repr__(self) -> str:
+        return f"DistributedCache({sorted(self._entries)})"

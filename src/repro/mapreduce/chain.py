@@ -1,0 +1,90 @@
+"""Driver helper for multi-job pipelines.
+
+P3C+-MR is a *chain* of MapReduce jobs whose count itself matters (the
+paper attributes P3C+-MR's higher runtime to its larger job count and
+EM iterations, Section 7.5.2).  ``JobChain`` runs jobs against one
+runtime and keeps a per-step ledger so drivers and the cost model can
+report "number of MR jobs" and shuffle volumes faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import Job
+from repro.mapreduce.runtime import JobResult, MapReduceRuntime
+from repro.mapreduce.types import InputSplit, JobConf
+
+
+@dataclass
+class ChainStep:
+    """One executed step of a job chain."""
+
+    name: str
+    result: JobResult
+
+    @property
+    def shuffle_records(self) -> int:
+        return self.result.counters.framework_value(Counters.SHUFFLE_RECORDS)
+
+
+class JobChain:
+    """Runs a sequence of jobs and records per-step accounting."""
+
+    def __init__(self, runtime: MapReduceRuntime) -> None:
+        self.runtime = runtime
+        self.steps: list[ChainStep] = []
+
+    def run(
+        self,
+        name: str,
+        job: Job,
+        splits: Sequence[InputSplit],
+        num_reducers: int = 1,
+        num_splits: int | None = None,
+        **extra: Any,
+    ) -> JobResult:
+        """Run ``job`` over ``splits`` and log it as step ``name``."""
+        conf = JobConf(
+            name=name,
+            num_splits=num_splits if num_splits is not None else len(splits),
+            num_reducers=num_reducers,
+            extra=extra,
+        )
+        result = self.runtime.run(job, splits, conf)
+        self.steps.append(ChainStep(name=name, result=result))
+        return result
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.steps)
+
+    @property
+    def total_wall_time(self) -> float:
+        return sum(step.result.wall_time for step in self.steps)
+
+    @property
+    def total_shuffle_records(self) -> int:
+        return sum(step.shuffle_records for step in self.steps)
+
+    def total_map_input_records(self) -> int:
+        return sum(
+            step.result.counters.framework_value(Counters.MAP_INPUT_RECORDS)
+            for step in self.steps
+        )
+
+    def report(self) -> str:
+        """Human-readable per-step ledger."""
+        lines = [f"{'step':<34} {'jobs':>4} {'shuffle':>10} {'time(s)':>9}"]
+        for step in self.steps:
+            lines.append(
+                f"{step.name:<34} {1:>4} {step.shuffle_records:>10} "
+                f"{step.result.wall_time:>9.4f}"
+            )
+        lines.append(
+            f"{'TOTAL':<34} {self.num_jobs:>4} "
+            f"{self.total_shuffle_records:>10} {self.total_wall_time:>9.4f}"
+        )
+        return "\n".join(lines)

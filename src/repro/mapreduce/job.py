@@ -1,0 +1,179 @@
+"""Task contracts: Mapper, Combiner, Reducer, Partitioner and Context.
+
+These mirror the Hadoop programming model.  A job is a bundle of task
+classes plus a :class:`~repro.mapreduce.types.JobConf`; the runtime in
+:mod:`repro.mapreduce.runtime` drives the lifecycle::
+
+    mapper.setup(ctx); mapper.map(k, v, ctx) per record; mapper.cleanup(ctx)
+    combiner.combine(k, values, ctx)         per map-task key group
+    partitioner.partition(k, n)              per intermediate pair
+    reducer.setup(ctx); reducer.reduce(k, values, ctx); reducer.cleanup(ctx)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.counters import Counters
+
+
+class Context:
+    """Per-task execution context: emit sink, cache, counters, task id.
+
+    ``task_id`` is the split id for map tasks and the partition id for
+    reduce tasks, letting tasks (e.g. BoW's per-reducer sampling) vary
+    deterministic behaviour by task without shared state.
+    """
+
+    def __init__(
+        self,
+        cache: DistributedCache,
+        counters: Counters,
+        task_id: int,
+        conf: Any = None,
+    ) -> None:
+        self.cache = cache
+        self.counters = counters
+        self.task_id = task_id
+        self.conf = conf
+        self._sink: list[tuple[Any, Any]] = []
+
+    def emit(self, key: Any, value: Any) -> None:
+        self._sink.append((key, value))
+
+    def drain(self) -> list[tuple[Any, Any]]:
+        pairs, self._sink = self._sink, []
+        return pairs
+
+
+class Mapper:
+    """Base mapper.  Subclasses override :meth:`map` and optionally the
+    ``setup``/``cleanup`` lifecycle hooks (cleanup is where split-local
+    aggregates — e.g. per-split histograms or MVB medians — are emitted).
+    """
+
+    def setup(self, context: Context) -> None:  # noqa: B027 - optional hook
+        pass
+
+    def map(self, key: Any, value: Any, context: Context) -> None:
+        raise NotImplementedError
+
+    def cleanup(self, context: Context) -> None:  # noqa: B027 - optional hook
+        pass
+
+
+class Reducer:
+    """Base reducer.  ``reduce`` receives one key with all its values."""
+
+    def setup(self, context: Context) -> None:  # noqa: B027 - optional hook
+        pass
+
+    def reduce(self, key: Any, values: list[Any], context: Context) -> None:
+        raise NotImplementedError
+
+    def cleanup(self, context: Context) -> None:  # noqa: B027 - optional hook
+        pass
+
+
+class Combiner:
+    """Optional map-side pre-aggregation.
+
+    A well-formed combiner must be associative and commutative in the
+    values and must emit pairs with the *same* key it received, so that
+    running it zero, one or many times leaves reducer input semantics
+    unchanged.  The runtime asserts the key constraint.
+    """
+
+    def combine(self, key: Any, values: list[Any], context: Context) -> None:
+        raise NotImplementedError
+
+
+class Partitioner:
+    """Maps an intermediate key to a reduce partition."""
+
+    def partition(self, key: Any, num_partitions: int) -> int:
+        raise NotImplementedError
+
+
+class HashPartitioner(Partitioner):
+    """Default partitioner: stable hash of the key modulo #partitions.
+
+    Uses a deterministic hash (not Python's randomised ``hash``) so that
+    multiprocess and serial execution, and repeated runs, agree.
+    """
+
+    def partition(self, key: Any, num_partitions: int) -> int:
+        return _stable_hash(key) % num_partitions
+
+
+def _stable_hash(key: Any) -> int:
+    """A process-stable, recursive hash for common key shapes."""
+    if isinstance(key, str):
+        h = 2166136261
+        for byte in key.encode("utf-8"):
+            h = ((h ^ byte) * 16777619) & 0xFFFFFFFF
+        return h
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, int):
+        return key & 0x7FFFFFFF
+    if isinstance(key, float):
+        return _stable_hash(repr(key))
+    if isinstance(key, tuple):
+        h = 1099511628211
+        for item in key:
+            h = (h * 31 + _stable_hash(item)) & 0x7FFFFFFF
+        return h
+    if key is None:
+        return 0
+    return _stable_hash(repr(key))
+
+
+@dataclass
+class Job:
+    """A complete MapReduce job specification."""
+
+    mapper_factory: Callable[[], Mapper]
+    reducer_factory: Callable[[], Reducer] | None = None
+    combiner_factory: Callable[[], Combiner] | None = None
+    partitioner: Partitioner = field(default_factory=HashPartitioner)
+    cache: DistributedCache = field(default_factory=DistributedCache)
+
+    def describe(self) -> str:
+        mapper = self.mapper_factory().__class__.__name__
+        reducer = (
+            self.reducer_factory().__class__.__name__
+            if self.reducer_factory
+            else "<map-only>"
+        )
+        return f"{mapper} -> {reducer}"
+
+
+def make_sort_key(key: Any) -> Any:
+    """Total-order sort key for heterogeneous intermediate keys.
+
+    Hadoop sorts by serialized byte order; we approximate with
+    ``(type_name, key)`` so mixed key types in one job cannot raise
+    ``TypeError`` during the sort phase.
+    """
+    return (type(key).__name__, key)
+
+
+def group_sorted_pairs(
+    pairs: list[tuple[Any, Any]],
+    sort_keys: bool = True,
+) -> Iterable[tuple[Any, list[Any]]]:
+    """Sort pairs by key (if requested) and group values per key."""
+    from repro.mapreduce.types import iter_grouped
+
+    if sort_keys:
+        pairs = sorted(pairs, key=lambda kv: make_sort_key(kv[0]))
+    else:
+        # Stable grouping without total order: bucket by first occurrence.
+        order: dict[Any, int] = {}
+        for key, _ in pairs:
+            order.setdefault(key, len(order))
+        pairs = sorted(pairs, key=lambda kv: order[kv[0]])
+    return iter_grouped(pairs)

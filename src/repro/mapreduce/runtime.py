@@ -1,0 +1,295 @@
+"""Job execution: split -> map -> combine -> shuffle/sort -> reduce.
+
+The serial executor is fully deterministic and is the default.  The
+multiprocess executor runs map tasks on a process pool (tasks must be
+picklable) and produces identical output because the shuffle re-sorts
+intermediate pairs regardless of task completion order.
+
+Fault tolerance mirrors Hadoop's task model: a failing task (mapper or
+reducer raising any exception) is retried from scratch up to
+``JobConf.max_task_attempts`` times — tasks are pure functions of their
+split, so re-execution is always safe — and the job fails with
+:class:`TaskFailedError` only when one task exhausts its attempts.
+Retries are counted in the ``framework.task_retries`` counter.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.job import Context, Job, group_sorted_pairs
+from repro.mapreduce.types import InputSplit, JobConf
+
+
+class TaskFailedError(RuntimeError):
+    """A task failed on every allowed attempt."""
+
+    def __init__(self, phase: str, task_id: int, attempts: int, cause: Exception):
+        super().__init__(
+            f"{phase} task {task_id} failed after {attempts} attempt(s): "
+            f"{cause!r}"
+        )
+        self.phase = phase
+        self.task_id = task_id
+        self.attempts = attempts
+        self.cause = cause
+
+
+TASK_RETRIES = "task_retries"
+
+
+def _run_with_retries(task_fn, phase: str, task_id: int, max_attempts: int):
+    """Execute a task function with Hadoop-style re-execution."""
+    last_error: Exception | None = None
+    for attempt in range(max_attempts):
+        try:
+            pairs, counters, elapsed = task_fn()
+            if attempt > 0:
+                counters.increment(Counters.FRAMEWORK, TASK_RETRIES, attempt)
+            return pairs, counters, elapsed
+        except Exception as error:  # noqa: BLE001 - any task error retries
+            last_error = error
+    assert last_error is not None
+    raise TaskFailedError(phase, task_id, max_attempts, last_error)
+
+
+@dataclass
+class JobResult:
+    """Output pairs plus accounting for one executed job."""
+
+    output: list[tuple[Any, Any]]
+    counters: Counters
+    conf: JobConf
+    wall_time: float
+    map_task_times: list[float] = field(default_factory=list)
+    reduce_task_times: list[float] = field(default_factory=list)
+
+    @property
+    def values(self) -> list[Any]:
+        return [value for _, value in self.output]
+
+    def as_dict(self) -> dict[Any, Any]:
+        """Output pairs as a dict (requires unique keys)."""
+        out: dict[Any, Any] = {}
+        for key, value in self.output:
+            if key in out:
+                raise ValueError(f"duplicate output key {key!r}")
+            out[key] = value
+        return out
+
+
+def _run_map_task(
+    job: Job,
+    split: InputSplit,
+    conf: JobConf,
+) -> tuple[list[tuple[Any, Any]], Counters, float]:
+    """Execute one mapper task over one split, with optional combining."""
+    started = time.perf_counter()
+    counters = Counters()
+    ctx = Context(job.cache, counters, task_id=split.split_id, conf=conf)
+    mapper = job.mapper_factory()
+    mapper.setup(ctx)
+    n_records = 0
+    for key, value in split:
+        mapper.map(key, value, ctx)
+        n_records += 1
+    mapper.cleanup(ctx)
+    pairs = ctx.drain()
+    counters.increment(Counters.FRAMEWORK, Counters.MAP_INPUT_RECORDS, n_records)
+    counters.increment(Counters.FRAMEWORK, Counters.MAP_OUTPUT_RECORDS, len(pairs))
+
+    if job.combiner_factory is not None and pairs:
+        combine_ctx = Context(job.cache, counters, task_id=split.split_id, conf=conf)
+        combiner = job.combiner_factory()
+        for key, values in group_sorted_pairs(pairs, conf.sort_keys):
+            combiner.combine(key, values, combine_ctx)
+        combined = combine_ctx.drain()
+        emitted_keys = {k for k, _ in pairs}
+        for key, _ in combined:
+            if key not in emitted_keys:
+                raise ValueError(
+                    f"combiner emitted new key {key!r}; combiners must "
+                    "preserve the key space of their input"
+                )
+        pairs = combined
+        counters.increment(
+            Counters.FRAMEWORK, Counters.COMBINE_OUTPUT_RECORDS, len(pairs)
+        )
+    return pairs, counters, time.perf_counter() - started
+
+
+def _run_reduce_task(
+    job: Job,
+    partition_id: int,
+    pairs: list[tuple[Any, Any]],
+    conf: JobConf,
+) -> tuple[list[tuple[Any, Any]], Counters, float]:
+    """Execute one reducer task over one shuffled partition."""
+    started = time.perf_counter()
+    counters = Counters()
+    ctx = Context(job.cache, counters, task_id=partition_id, conf=conf)
+    assert job.reducer_factory is not None
+    reducer = job.reducer_factory()
+    reducer.setup(ctx)
+    n_groups = 0
+    for key, values in group_sorted_pairs(pairs, conf.sort_keys):
+        reducer.reduce(key, values, ctx)
+        n_groups += 1
+    reducer.cleanup(ctx)
+    output = ctx.drain()
+    counters.increment(Counters.FRAMEWORK, Counters.REDUCE_INPUT_GROUPS, n_groups)
+    counters.increment(
+        Counters.FRAMEWORK, Counters.REDUCE_OUTPUT_RECORDS, len(output)
+    )
+    return output, counters, time.perf_counter() - started
+
+
+class MapReduceRuntime:
+    """Executes :class:`~repro.mapreduce.job.Job` specifications.
+
+    Parameters
+    ----------
+    max_workers:
+        ``None`` or ``1`` selects the serial executor.  Larger values run
+        map tasks on a process pool; reduce tasks stay serial (the
+        P3C+-MR jobs use at most a handful of reducers, so the map phase
+        dominates exactly as in the paper's cluster).
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self.history: list[JobResult] = []
+
+    # -- public API ---------------------------------------------------
+
+    def run(self, job: Job, splits: Sequence[InputSplit], conf: JobConf) -> JobResult:
+        """Run one job over pre-computed input splits."""
+        started = time.perf_counter()
+        counters = Counters()
+
+        map_outputs, map_times = self._run_map_phase(job, splits, conf, counters)
+
+        if conf.num_reducers == 0 or job.reducer_factory is None:
+            output = [pair for pairs in map_outputs for pair in pairs]
+            result = JobResult(
+                output=output,
+                counters=counters,
+                conf=conf,
+                wall_time=time.perf_counter() - started,
+                map_task_times=map_times,
+            )
+            self.history.append(result)
+            return result
+
+        partitions = self._shuffle(job, map_outputs, conf, counters)
+        output: list[tuple[Any, Any]] = []
+        reduce_times: list[float] = []
+        for pid in range(conf.num_reducers):
+            part_output, part_counters, elapsed = _run_with_retries(
+                lambda pid=pid: _run_reduce_task(job, pid, partitions[pid], conf),
+                "reduce",
+                pid,
+                conf.max_task_attempts,
+            )
+            output.extend(part_output)
+            counters.merge(part_counters)
+            reduce_times.append(elapsed)
+
+        result = JobResult(
+            output=output,
+            counters=counters,
+            conf=conf,
+            wall_time=time.perf_counter() - started,
+            map_task_times=map_times,
+            reduce_task_times=reduce_times,
+        )
+        self.history.append(result)
+        return result
+
+    # -- phases ---------------------------------------------------------
+
+    def _run_map_phase(
+        self,
+        job: Job,
+        splits: Sequence[InputSplit],
+        conf: JobConf,
+        counters: Counters,
+    ) -> tuple[list[list[tuple[Any, Any]]], list[float]]:
+        map_outputs: list[list[tuple[Any, Any]]] = []
+        map_times: list[float] = []
+        if self.max_workers is None or self.max_workers == 1 or len(splits) == 1:
+            for split in splits:
+                pairs, task_counters, elapsed = _run_with_retries(
+                    lambda split=split: _run_map_task(job, split, conf),
+                    "map",
+                    split.split_id,
+                    conf.max_task_attempts,
+                )
+                map_outputs.append(pairs)
+                counters.merge(task_counters)
+                map_times.append(elapsed)
+        else:
+            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = [
+                    pool.submit(_run_map_task, job, split, conf) for split in splits
+                ]
+                for split, future in zip(splits, futures):
+                    # First attempt ran on the pool; retries re-run the
+                    # task in-process.  Tasks are pure functions of their
+                    # split, so the executor cannot change the output.
+                    def attempt(split=split, future=future, state={"first": True}):
+                        if state["first"]:
+                            state["first"] = False
+                            return future.result()
+                        return _run_map_task(job, split, conf)
+
+                    pairs, task_counters, elapsed = _run_with_retries(
+                        attempt, "map", split.split_id, conf.max_task_attempts
+                    )
+                    map_outputs.append(pairs)
+                    counters.merge(task_counters)
+                    map_times.append(elapsed)
+        return map_outputs, map_times
+
+    def _shuffle(
+        self,
+        job: Job,
+        map_outputs: list[list[tuple[Any, Any]]],
+        conf: JobConf,
+        counters: Counters,
+    ) -> list[list[tuple[Any, Any]]]:
+        partitions: list[list[tuple[Any, Any]]] = [
+            [] for _ in range(conf.num_reducers)
+        ]
+        n_shuffled = 0
+        for pairs in map_outputs:
+            for key, value in pairs:
+                pid = job.partitioner.partition(key, conf.num_reducers)
+                if not 0 <= pid < conf.num_reducers:
+                    raise ValueError(
+                        f"partitioner returned {pid} for {conf.num_reducers} "
+                        "reducers"
+                    )
+                partitions[pid].append((key, value))
+                n_shuffled += 1
+        counters.increment(Counters.FRAMEWORK, Counters.SHUFFLE_RECORDS, n_shuffled)
+        return partitions
+
+    # -- accounting -----------------------------------------------------
+
+    def total_counters(self) -> Counters:
+        """Aggregate counters across every job this runtime executed."""
+        total = Counters()
+        for result in self.history:
+            total.merge(result.counters)
+        return total
+
+    @property
+    def jobs_run(self) -> int:
+        return len(self.history)

@@ -1,0 +1,130 @@
+"""Core value types of the MapReduce runtime: splits and job configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class InputSplit:
+    """A contiguous slice of the input assigned to one mapper task.
+
+    ``records`` is any sequence of ``(key, value)`` pairs.  For the
+    clustering jobs the canonical record is ``(row_index, row_vector)``
+    where ``row_vector`` is a 1-D :class:`numpy.ndarray`; the runtime
+    itself is agnostic to the payload type.
+    """
+
+    split_id: int
+    records: Sequence[tuple[Any, Any]]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[tuple[Any, Any]]:
+        return iter(self.records)
+
+
+class _ArrayRecords(Sequence):
+    """Lazy ``(index, row)`` view over a slice of a 2-D array.
+
+    Avoids materialising one tuple per data point up front; rows are
+    produced on demand as the mapper iterates its split.
+    """
+
+    def __init__(self, data: np.ndarray, start: int, stop: int) -> None:
+        self._data = data
+        self._start = start
+        self._stop = stop
+
+    def __len__(self) -> int:
+        return self._stop - self._start
+
+    def __getitem__(self, i: int) -> tuple[int, np.ndarray]:
+        if i < 0:
+            i += len(self)
+        if not 0 <= i < len(self):
+            raise IndexError(i)
+        idx = self._start + i
+        return idx, self._data[idx]
+
+    def __iter__(self) -> Iterator[tuple[int, np.ndarray]]:
+        for idx in range(self._start, self._stop):
+            yield idx, self._data[idx]
+
+
+def split_records(
+    data: np.ndarray | Sequence[tuple[Any, Any]],
+    num_splits: int,
+) -> list[InputSplit]:
+    """Partition ``data`` into ``num_splits`` roughly equal input splits.
+
+    ``data`` may be a 2-D array (rows become ``(row_index, row)`` records)
+    or an explicit sequence of ``(key, value)`` records.  Splits differ in
+    size by at most one record, mirroring HDFS block alignment on
+    fixed-width rows.
+    """
+    if num_splits < 1:
+        raise ValueError(f"num_splits must be >= 1, got {num_splits}")
+    n = len(data)
+    num_splits = min(num_splits, max(1, n))
+    bounds = np.linspace(0, n, num_splits + 1).astype(int)
+    splits: list[InputSplit] = []
+    for sid in range(num_splits):
+        lo, hi = int(bounds[sid]), int(bounds[sid + 1])
+        if isinstance(data, np.ndarray):
+            records: Sequence[tuple[Any, Any]] = _ArrayRecords(data, lo, hi)
+        else:
+            records = [tuple(rec) for rec in data[lo:hi]]
+        splits.append(InputSplit(split_id=sid, records=records))
+    return splits
+
+
+@dataclass
+class JobConf:
+    """Configuration of one MapReduce job.
+
+    Mirrors the knobs the paper's driver uses: the number of mapper
+    slots (splits), the number of reducers (0 = map-only job, 1 = the
+    single-reducer aggregation pattern most P3C+-MR jobs use), and the
+    job name used in counter reports.
+    """
+
+    name: str = "job"
+    num_splits: int = 4
+    num_reducers: int = 1
+    sort_keys: bool = True
+    #: Hadoop-style task re-execution budget (1 = fail fast).
+    max_task_attempts: int = 2
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.num_splits < 1:
+            raise ValueError("num_splits must be >= 1")
+        if self.num_reducers < 0:
+            raise ValueError("num_reducers must be >= 0")
+        if self.max_task_attempts < 1:
+            raise ValueError("max_task_attempts must be >= 1")
+
+
+def iter_grouped(
+    pairs: Iterable[tuple[Any, Any]],
+) -> Iterator[tuple[Any, list[Any]]]:
+    """Group a key-sorted pair stream into ``(key, [values])`` runs."""
+    current_key: Any = None
+    bucket: list[Any] = []
+    have_key = False
+    for key, value in pairs:
+        if have_key and key == current_key:
+            bucket.append(value)
+        else:
+            if have_key:
+                yield current_key, bucket
+            current_key = key
+            bucket = [value]
+            have_key = True
+    if have_key:
+        yield current_key, bucket

@@ -1,0 +1,200 @@
+"""Attribute-inspection jobs (paper Section 5.6).
+
+One MR job builds a histogram *per cluster* (Eq. 8 restricted to the
+cluster's members); when AI proving is enabled a second job counts the
+support of the augmented signatures "exactly as in the cluster core
+generation step".
+
+Cluster membership is abstracted behind a :class:`MembershipModel`:
+
+- :class:`ArrayMembership` — the membership attribute produced by the
+  OD job (full P3C+-MR pipeline);
+- :class:`ExclusiveSupportMembership` — the Light variant's ``m'``
+  mapping (Section 6): a point contributes only when it supports
+  exactly one cluster core.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.binning import Histogram, bin_index
+from repro.core.types import Interval, Signature
+from repro.mapreduce import Context, DistributedCache, Job, Mapper, Reducer
+from repro.mapreduce.chain import JobChain
+from repro.mapreduce.types import InputSplit
+
+
+class MembershipModel:
+    """Maps a block of (keys, rows) to per-point cluster labels
+    (-1 = outlier / excluded)."""
+
+    def labels(self, keys: np.ndarray, data: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class ArrayMembership(MembershipModel):
+    """Membership attribute written by the OD job, keyed by row index."""
+
+    def __init__(self, membership: np.ndarray) -> None:
+        self.membership = np.asarray(membership, dtype=np.int64)
+
+    def labels(self, keys: np.ndarray, data: np.ndarray) -> np.ndarray:
+        return self.membership[keys]
+
+
+class ExclusiveSupportMembership(MembershipModel):
+    """Section 6's ``m'`` mapping: label = the single covering core, or
+    -1 when the point supports zero or more than one core."""
+
+    def __init__(self, signatures: list[Signature]) -> None:
+        self.signatures = signatures
+
+    def labels(self, keys: np.ndarray, data: np.ndarray) -> np.ndarray:
+        masks = np.stack(
+            [sig.support_mask(data) for sig in self.signatures], axis=1
+        )
+        counts = masks.sum(axis=1)
+        labels = np.where(counts == 1, np.argmax(masks, axis=1), -1)
+        return labels.astype(np.int64)
+
+
+class _BufferedMapper(Mapper):
+    """Shared buffering base: caches the split, exposes labels in cleanup."""
+
+    def setup(self, context: Context) -> None:
+        self._model: MembershipModel = context.cache["membership"]
+        self._keys: list[Any] = []
+        self._rows: list[np.ndarray] = []
+
+    def map(self, key: Any, value: np.ndarray, context: Context) -> None:
+        self._keys.append(key)
+        self._rows.append(value)
+
+    def _block(self) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+        if not self._rows:
+            return None
+        keys = np.asarray(self._keys, dtype=np.int64)
+        data = np.stack(self._rows)
+        return keys, data, self._model.labels(keys, data)
+
+
+class ClusterHistogramMapper(_BufferedMapper):
+    """Per-cluster (d x m_c) histogram partials.
+
+    Bin counts vary per cluster (Freedman-Diaconis on the cluster's
+    member count), so the resolution ships as a per-cluster dict.
+    """
+
+    def setup(self, context: Context) -> None:
+        super().setup(context)
+        self._bins_by_cluster: dict[int, int] = context.cache["num_bins_by_cluster"]
+
+    def cleanup(self, context: Context) -> None:
+        block = self._block()
+        if block is None:
+            return
+        _, data, labels = block
+        d = data.shape[1]
+        for cid in np.unique(labels):
+            cid = int(cid)
+            if cid < 0 or cid not in self._bins_by_cluster:
+                continue
+            num_bins = self._bins_by_cluster[cid]
+            members = data[labels == cid]
+            counts = np.zeros((d, num_bins), dtype=np.int64)
+            for attribute in range(d):
+                bins = bin_index(members[:, attribute], num_bins)
+                counts[attribute] += np.bincount(bins, minlength=num_bins)
+            context.emit(cid, counts)
+
+
+class MatrixSumReducer(Reducer):
+    def reduce(self, key: Any, values: list[np.ndarray], context: Context) -> None:
+        total = values[0].copy()
+        for partial in values[1:]:
+            total += partial
+        context.emit(key, total)
+
+
+def run_cluster_histogram_job(
+    chain: JobChain,
+    splits: list[InputSplit],
+    membership: MembershipModel,
+    num_bins_by_cluster: dict[int, int],
+    step_name: str = "attribute_inspection_histograms",
+) -> dict[int, list[Histogram]]:
+    """Histograms of every attribute for every cluster's members."""
+    job = Job(
+        mapper_factory=ClusterHistogramMapper,
+        reducer_factory=MatrixSumReducer,
+        cache=DistributedCache(
+            {"membership": membership, "num_bins_by_cluster": num_bins_by_cluster}
+        ),
+    )
+    result = chain.run(step_name, job, splits, num_reducers=1)
+    histograms: dict[int, list[Histogram]] = {}
+    for cid, matrix in result.as_dict().items():
+        histograms[int(cid)] = [
+            Histogram(attribute=a, counts=matrix[a])
+            for a in range(matrix.shape[0])
+        ]
+    return histograms
+
+
+class AIProvingMapper(_BufferedMapper):
+    """Counts, per cluster, its member count and the members inside each
+    suggested interval (the AI-proving support job)."""
+
+    def setup(self, context: Context) -> None:
+        super().setup(context)
+        self._candidates: list[tuple[int, Interval]] = context.cache["candidates"]
+
+    def cleanup(self, context: Context) -> None:
+        block = self._block()
+        if block is None:
+            return
+        _, data, labels = block
+        for cid in np.unique(labels):
+            if cid < 0:
+                continue
+            context.emit(("size", int(cid)), int((labels == cid).sum()))
+        for cid, interval in self._candidates:
+            members = data[labels == cid]
+            if len(members) == 0:
+                continue
+            inside = interval.contains_column(members[:, interval.attribute])
+            context.emit(("supp", int(cid), interval), int(inside.sum()))
+
+
+class IntSumReducer(Reducer):
+    def reduce(self, key: Any, values: list[int], context: Context) -> None:
+        context.emit(key, int(sum(values)))
+
+
+def run_ai_proving_job(
+    chain: JobChain,
+    splits: list[InputSplit],
+    membership: MembershipModel,
+    candidates: list[tuple[int, Interval]],
+    step_name: str = "ai_proving",
+) -> tuple[dict[int, int], dict[tuple[int, Interval], int]]:
+    """Returns ``(cluster sizes, interval support per (cluster, interval))``."""
+    job = Job(
+        mapper_factory=AIProvingMapper,
+        reducer_factory=IntSumReducer,
+        cache=DistributedCache(
+            {"membership": membership, "candidates": candidates}
+        ),
+    )
+    result = chain.run(step_name, job, splits, num_reducers=1)
+    sizes: dict[int, int] = {}
+    supports: dict[tuple[int, Interval], int] = {}
+    for key, value in result.output:
+        if key[0] == "size":
+            sizes[key[1]] = value
+        else:
+            supports[(key[1], key[2])] = value
+    return sizes, supports

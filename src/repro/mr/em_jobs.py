@@ -1,0 +1,353 @@
+"""EM as MapReduce jobs (paper Section 5.4).
+
+Sample means and covariances are computed by two MR jobs:
+
+- the *sums* job accumulates, per cluster ``C``, the weighted linear sum
+  ``l_C = sum_i w_Ci x_i``, the weight sum ``w_C`` and the squared
+  weight sum ``w_C2`` (plus, during EM iterations, the data
+  log-likelihood so the driver can test convergence);
+- the *covariance* job, given the means ``mu_C = l_C / w_C`` via the
+  distributed cache, accumulates ``sum_i w_Ci (x_i - mu_C)(x_i - mu_C)^T``
+  and the driver applies the unbiased scale
+  ``w_C / (w_C^2 - w_C2)``.
+
+The per-point weights ``w_Ci`` are supplied by a *weight model* shipped
+in the cache; the same two jobs therefore serve the EM initialisation
+(hard support-set weights, then support-set + assigned strays), the EM
+iterations (posterior responsibilities) and the MVB moment computation
+(hard inside-ball weights) — exactly the reuse the paper describes.
+
+Mappers buffer their split and compute vectorised in ``cleanup``, the
+same split-caching pattern Section 5.5 prescribes for the MVB mapper.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.em import GaussianMixture
+from repro.core.stats import mahalanobis_squared
+from repro.core.types import Signature
+from repro.mapreduce import Context, DistributedCache, Job, Mapper, Reducer
+from repro.mapreduce.chain import JobChain
+from repro.mapreduce.types import InputSplit
+
+
+class WeightModel:
+    """Computes an (n_split, k) weight matrix for a block of points.
+
+    ``data`` is the block in full-space coordinates; implementations
+    project to their subspace as needed.
+    """
+
+    def weights(self, data: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+
+class CoreSupportWeights(WeightModel):
+    """Hard weights: 1 iff the point is in the core's support set
+    (EM-initialisation pass 1)."""
+
+    def __init__(self, signatures: list[Signature]) -> None:
+        self.signatures = signatures
+
+    def weights(self, data: np.ndarray) -> np.ndarray:
+        return np.stack(
+            [sig.support_mask(data).astype(float) for sig in self.signatures],
+            axis=1,
+        )
+
+
+class SupportPlusStrayWeights(WeightModel):
+    """Support-set weights, with stray points (outside every support
+    set) assigned to the Mahalanobis-nearest core (EM-initialisation
+    pass 2, Section 5.4)."""
+
+    def __init__(
+        self,
+        signatures: list[Signature],
+        means: np.ndarray,
+        covariances: np.ndarray,
+        attributes: tuple[int, ...],
+    ) -> None:
+        self.signatures = signatures
+        self.means = means
+        self.covariances = covariances
+        self.attributes = attributes
+
+    def weights(self, data: np.ndarray) -> np.ndarray:
+        base = np.stack(
+            [sig.support_mask(data).astype(float) for sig in self.signatures],
+            axis=1,
+        )
+        stray = base.sum(axis=1) == 0
+        if stray.any():
+            sub = data[np.ix_(stray, list(self.attributes))]
+            distances = np.stack(
+                [
+                    mahalanobis_squared(sub, self.means[j], self.covariances[j])
+                    for j in range(len(self.signatures))
+                ],
+                axis=1,
+            )
+            nearest = np.argmin(distances, axis=1)
+            stray_rows = np.where(stray)[0]
+            base[stray_rows, nearest] = 1.0
+        return base
+
+
+class ResponsibilityWeights(WeightModel):
+    """Soft weights: posterior responsibilities of the current mixture
+    (one EM iteration's E-step)."""
+
+    def __init__(self, mixture: GaussianMixture) -> None:
+        self.mixture = mixture
+
+    def weights(self, data: np.ndarray) -> np.ndarray:
+        sub = self.mixture.project(data)
+        return np.exp(self.mixture.log_responsibilities(sub))
+
+    def log_likelihood(self, data: np.ndarray) -> float:
+        return self.mixture.log_likelihood(self.mixture.project(data))
+
+
+class InsideBallWeights(WeightModel):
+    """Hard weights: 1 iff the point is assigned to the cluster *and*
+    lies inside the cluster's minimum volume ball (MVB moments,
+    Section 5.5)."""
+
+    def __init__(
+        self,
+        mixture: GaussianMixture,
+        centers: np.ndarray,
+        radii: np.ndarray,
+    ) -> None:
+        self.mixture = mixture
+        self.centers = centers
+        self.radii = radii
+
+    def weights(self, data: np.ndarray) -> np.ndarray:
+        sub = self.mixture.project(data)
+        assignment = self.mixture.assign(sub)
+        k = self.mixture.num_components
+        out = np.zeros((len(data), k), dtype=float)
+        for j in range(k):
+            members = assignment == j
+            if not members.any():
+                continue
+            inside = (
+                np.linalg.norm(sub[members] - self.centers[j], axis=1)
+                <= self.radii[j]
+            )
+            rows = np.where(members)[0]
+            out[rows[inside], j] = 1.0
+        return out
+
+
+_SUMS_KEY = "moment_sums"
+_COV_KEY = "cov_sums"
+_LL_KEY = "log_likelihood"
+
+
+class MomentSumsMapper(Mapper):
+    """Accumulates l_C, w_C and w_C2 for its split."""
+
+    def setup(self, context: Context) -> None:
+        self._model: WeightModel = context.cache["weight_model"]
+        self._attributes: tuple[int, ...] = context.cache["attributes"]
+        self._rows: list[np.ndarray] = []
+
+    def map(self, key: Any, value: np.ndarray, context: Context) -> None:
+        self._rows.append(value)
+
+    def cleanup(self, context: Context) -> None:
+        if not self._rows:
+            return
+        data = np.stack(self._rows)
+        weights = self._model.weights(data)
+        sub = data[:, list(self._attributes)]
+        linear = weights.T @ sub
+        weight_sum = weights.sum(axis=0)
+        weight_sq = (weights**2).sum(axis=0)
+        context.emit(_SUMS_KEY, (linear, weight_sum, weight_sq))
+        if isinstance(self._model, ResponsibilityWeights):
+            context.emit(_LL_KEY, self._model.log_likelihood(data))
+
+
+class MomentSumsReducer(Reducer):
+    def reduce(self, key: str, values: list[Any], context: Context) -> None:
+        if key == _LL_KEY:
+            context.emit(key, float(np.sum(values)))
+            return
+        linear = sum(v[0] for v in values)
+        weight_sum = sum(v[1] for v in values)
+        weight_sq = sum(v[2] for v in values)
+        context.emit(key, (linear, weight_sum, weight_sq))
+
+
+class CovarianceSumsMapper(Mapper):
+    """Accumulates sum_i w_Ci (x_i - mu_C)(x_i - mu_C)^T per cluster."""
+
+    def setup(self, context: Context) -> None:
+        self._model: WeightModel = context.cache["weight_model"]
+        self._attributes: tuple[int, ...] = context.cache["attributes"]
+        self._means: np.ndarray = context.cache["means"]
+        self._rows: list[np.ndarray] = []
+
+    def map(self, key: Any, value: np.ndarray, context: Context) -> None:
+        self._rows.append(value)
+
+    def cleanup(self, context: Context) -> None:
+        if not self._rows:
+            return
+        data = np.stack(self._rows)
+        weights = self._model.weights(data)
+        sub = data[:, list(self._attributes)]
+        k = weights.shape[1]
+        m = sub.shape[1]
+        scatter = np.zeros((k, m, m))
+        for j in range(k):
+            diff = sub - self._means[j]
+            scatter[j] = (weights[:, j][:, None] * diff).T @ diff
+        context.emit(_COV_KEY, scatter)
+
+
+class CovarianceSumsReducer(Reducer):
+    def reduce(self, key: str, values: list[np.ndarray], context: Context) -> None:
+        total = values[0].copy()
+        for partial in values[1:]:
+            total += partial
+        context.emit(key, total)
+
+
+def finalize_moments(
+    linear: np.ndarray,
+    weight_sum: np.ndarray,
+    weight_sq: np.ndarray,
+    scatter: np.ndarray,
+    reg: float = 1e-6,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Turn reduced sums into (means, covariances) with the paper's
+    weighted-covariance scale and the same degenerate-cluster handling
+    as :func:`repro.core.em._moments`."""
+    k, m = linear.shape
+    means = np.empty((k, m))
+    covs = np.empty((k, m, m))
+    for j in range(k):
+        total = weight_sum[j]
+        if total <= 0:
+            means[j] = np.full(m, 0.5)
+            covs[j] = np.eye(m) / 12.0
+            continue
+        means[j] = linear[j] / total
+        denominator = total**2 - weight_sq[j]
+        scale = total / denominator if denominator > 0 else 1.0 / total
+        covs[j] = scale * scatter[j] + reg * np.eye(m)
+    return means, covs
+
+
+def run_moment_jobs(
+    chain: JobChain,
+    splits: list[InputSplit],
+    weight_model: WeightModel,
+    attributes: tuple[int, ...],
+    step_prefix: str,
+    reg: float = 1e-6,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, float | None]:
+    """Run the sums + covariance job pair and finalise the moments.
+
+    Returns ``(means, covariances, weight_sums, log_likelihood)``;
+    the log-likelihood is ``None`` unless the weight model is a
+    :class:`ResponsibilityWeights`.
+
+    The covariance job's mappers need the means, so they are shipped in
+    its cache — the means computed by the sums job must be finalised by
+    the driver in between, exactly the two-job dependency of Section 5.4.
+    """
+    sums_job = Job(
+        mapper_factory=MomentSumsMapper,
+        reducer_factory=MomentSumsReducer,
+        cache=DistributedCache(
+            {"weight_model": weight_model, "attributes": attributes}
+        ),
+    )
+    sums_result = chain.run(f"{step_prefix}_sums", sums_job, splits).as_dict()
+    linear, weight_sum, weight_sq = sums_result[_SUMS_KEY]
+    log_likelihood = sums_result.get(_LL_KEY)
+
+    k, m = linear.shape
+    means = np.where(
+        weight_sum[:, None] > 0, linear / np.maximum(weight_sum[:, None], 1e-300), 0.5
+    )
+
+    cov_job = Job(
+        mapper_factory=CovarianceSumsMapper,
+        reducer_factory=CovarianceSumsReducer,
+        cache=DistributedCache(
+            {
+                "weight_model": weight_model,
+                "attributes": attributes,
+                "means": means,
+            }
+        ),
+    )
+    scatter = chain.run(f"{step_prefix}_cov", cov_job, splits).as_dict()[_COV_KEY]
+    means, covs = finalize_moments(linear, weight_sum, weight_sq, scatter, reg)
+    return means, covs, weight_sum, log_likelihood
+
+
+def run_em_mr(
+    chain: JobChain,
+    splits: list[InputSplit],
+    cores: list,
+    n: int,
+    max_iter: int = 15,
+    tol: float = 1e-5,
+    reg: float = 1e-6,
+) -> GaussianMixture:
+    """Full MR-side EM: two-pass initialisation from cluster cores, then
+    two MR jobs per EM iteration (Section 5.4), mirroring
+    :func:`repro.core.em.initialize_from_cores` + :func:`repro.core.em.fit_em`.
+    """
+    from repro.core.em import relevant_attributes
+
+    attributes = relevant_attributes(cores)
+    signatures = [core.signature for core in cores]
+
+    # Initialisation pass 1: support-set moments.
+    means, covs, _, _ = run_moment_jobs(
+        chain, splits, CoreSupportWeights(signatures), attributes, "em_init_support"
+    )
+    # Initialisation pass 2: support sets + Mahalanobis-assigned strays.
+    stray_model = SupportPlusStrayWeights(signatures, means, covs, attributes)
+    means, covs, weight_sum, _ = run_moment_jobs(
+        chain, splits, stray_model, attributes, "em_init_full"
+    )
+    weights = weight_sum / max(weight_sum.sum(), 1.0)
+    weights = np.clip(weights, 1e-12, None)
+    weights /= weights.sum()
+    mixture = GaussianMixture(
+        means=means, covariances=covs, weights=weights, attributes=attributes
+    )
+
+    history: list[float] = []
+    for iteration in range(max_iter):
+        model = ResponsibilityWeights(mixture)
+        means, covs, totals, log_likelihood = run_moment_jobs(
+            chain, splits, model, attributes, f"em_iter{iteration}"
+        )
+        if log_likelihood is not None:
+            history.append(log_likelihood)
+        weights = np.clip(totals / n, 1e-12, None)
+        weights /= weights.sum()
+        mixture = GaussianMixture(
+            means=means, covariances=covs, weights=weights, attributes=attributes
+        )
+        if len(history) >= 2:
+            previous, current = history[-2], history[-1]
+            if abs(current - previous) <= tol * (abs(previous) + 1.0):
+                break
+    mixture.log_likelihood_history = history
+    return mixture

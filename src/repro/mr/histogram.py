@@ -1,0 +1,65 @@
+"""Histogram-building job (paper Section 5.1, Eq. 8).
+
+Mappers accumulate a per-split ``(d, m)`` count matrix and emit it once
+from ``cleanup`` (an in-mapper combiner — the summation form of Eq. 8);
+the single reducer adds the partial matrices into the global histogram.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.binning import Histogram, bin_index
+from repro.mapreduce import Context, DistributedCache, Job, Mapper, Reducer
+from repro.mapreduce.chain import JobChain
+from repro.mapreduce.types import InputSplit
+
+_KEY = "histogram"
+
+
+class HistogramMapper(Mapper):
+    """Accumulates one (d x m) partial histogram per split."""
+
+    def setup(self, context: Context) -> None:
+        self._num_bins = int(context.cache["num_bins"])
+        self._counts: np.ndarray | None = None
+
+    def map(self, key: Any, value: np.ndarray, context: Context) -> None:
+        if self._counts is None:
+            self._counts = np.zeros((len(value), self._num_bins), dtype=np.int64)
+        bins = bin_index(value, self._num_bins)
+        self._counts[np.arange(len(value)), bins] += 1
+
+    def cleanup(self, context: Context) -> None:
+        if self._counts is not None:
+            context.emit(_KEY, self._counts)
+
+
+class HistogramSumReducer(Reducer):
+    """Adds the per-split partial matrices."""
+
+    def reduce(self, key: str, values: list[np.ndarray], context: Context) -> None:
+        total = values[0].copy()
+        for partial in values[1:]:
+            total += partial
+        context.emit(key, total)
+
+
+def run_histogram_job(
+    chain: JobChain,
+    splits: list[InputSplit],
+    num_bins: int,
+) -> list[Histogram]:
+    """Execute the histogram job and return one Histogram per attribute."""
+    job = Job(
+        mapper_factory=HistogramMapper,
+        reducer_factory=HistogramSumReducer,
+        cache=DistributedCache({"num_bins": num_bins}),
+    )
+    result = chain.run("histogram_building", job, splits, num_reducers=1)
+    matrix = result.as_dict()[_KEY]
+    return [
+        Histogram(attribute=a, counts=matrix[a]) for a in range(matrix.shape[0])
+    ]

@@ -1,0 +1,70 @@
+"""The Light variant's membership job (paper Section 6).
+
+One map-only pass computes, per point, (a) the ``m'`` exclusive
+membership — the single covering cluster core, or -1 when the point
+supports zero or several cores — and (b) the unique output assignment
+(the most interesting covering core).  This is the job-based equivalent
+of evaluating every core's support mask, and it lets the Light driver
+run from streaming (file-backed) splits without ever materialising the
+data matrix in the driver.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.types import Signature
+from repro.mapreduce import Context, DistributedCache, Job, Mapper
+from repro.mapreduce.chain import JobChain
+from repro.mapreduce.types import InputSplit
+
+
+class LightMembershipMapper(Mapper):
+    def setup(self, context: Context) -> None:
+        self._signatures: list[Signature] = context.cache["signatures"]
+        self._keys: list[Any] = []
+        self._rows: list[np.ndarray] = []
+
+    def map(self, key: Any, value: np.ndarray, context: Context) -> None:
+        self._keys.append(key)
+        self._rows.append(value)
+
+    def cleanup(self, context: Context) -> None:
+        if not self._rows:
+            return
+        data = np.stack(self._rows)
+        masks = np.stack(
+            [sig.support_mask(data) for sig in self._signatures], axis=1
+        )
+        cover_count = masks.sum(axis=1)
+        exclusive = np.where(cover_count == 1, np.argmax(masks, axis=1), -1)
+        # Cores are ordered by interestingness: the first covering core
+        # is the unique output assignment for shared points.
+        assigned = np.where(
+            cover_count > 0, np.argmax(masks, axis=1), -1
+        )
+        for key, exc, assign in zip(self._keys, exclusive, assigned):
+            context.emit(int(key), (int(exc), int(assign)))
+
+
+def run_light_membership_job(
+    chain: JobChain,
+    splits: list[InputSplit],
+    signatures: list[Signature],
+    n: int,
+    step_name: str = "light_membership",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Returns ``(exclusive, assignment)`` arrays of length ``n``."""
+    job = Job(
+        mapper_factory=LightMembershipMapper,
+        cache=DistributedCache({"signatures": list(signatures)}),
+    )
+    result = chain.run(step_name, job, splits, num_reducers=0)
+    exclusive = np.full(n, -1, dtype=np.int64)
+    assignment = np.full(n, -1, dtype=np.int64)
+    for key, (exc, assign) in result.output:
+        exclusive[key] = exc
+        assignment[key] = assign
+    return exclusive, assignment

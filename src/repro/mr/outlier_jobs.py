@@ -1,0 +1,188 @@
+"""Outlier detection jobs (paper Section 5.5).
+
+- **OD job** — map-only: each mapper assigns its points to the most
+  probable mixture component and writes the point back "augmented with
+  an additional membership attribute" set to the cluster id, or -1 for
+  outliers (squared Mahalanobis distance above the chi-squared critical
+  value).
+- **MVB mean/radius job** — each mapper caches its split, computes the
+  dimension-wise median ``m_C^j`` and median-distance radius ``r_C^j``
+  of its split's members per cluster, and the reducer aggregates by
+  taking the dimension-wise median of the mapper means and the median
+  of the mapper radii.
+- The inside-ball moments then reuse the generic moment jobs of
+  :mod:`repro.mr.em_jobs` with :class:`~repro.mr.em_jobs.InsideBallWeights`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.em import GaussianMixture
+from repro.core.outliers import (
+    ball_consistency_factor,
+    dimensionwise_median,
+    small_sample_inflation,
+)
+from repro.core.stats import chi2_critical_value, mahalanobis_squared
+from repro.mapreduce import Context, DistributedCache, Job, Mapper, Reducer
+from repro.mapreduce.chain import JobChain
+from repro.mapreduce.types import InputSplit
+from repro.mr.em_jobs import InsideBallWeights, run_moment_jobs
+
+
+class ODMapper(Mapper):
+    """Map-only membership labelling: cluster id or -1 per point."""
+
+    def setup(self, context: Context) -> None:
+        self._mixture: GaussianMixture = context.cache["mixture"]
+        self._means: np.ndarray = context.cache["od_means"]
+        self._covs: np.ndarray = context.cache["od_covariances"]
+        self._critical: np.ndarray = context.cache["critical_values"]
+        self._rows: list[np.ndarray] = []
+        self._keys: list[Any] = []
+
+    def map(self, key: Any, value: np.ndarray, context: Context) -> None:
+        self._keys.append(key)
+        self._rows.append(value)
+
+    def cleanup(self, context: Context) -> None:
+        if not self._rows:
+            return
+        data = np.stack(self._rows)
+        sub = self._mixture.project(data)
+        assignment = self._mixture.assign(sub)
+        membership = assignment.copy()
+        for j in range(self._mixture.num_components):
+            members = assignment == j
+            if not members.any():
+                continue
+            d2 = mahalanobis_squared(sub[members], self._means[j], self._covs[j])
+            rows = np.where(members)[0]
+            membership[rows[d2 > self._critical[j]]] = -1
+        for key, label in zip(self._keys, membership):
+            context.emit(key, int(label))
+
+
+def run_od_job(
+    chain: JobChain,
+    splits: list[InputSplit],
+    mixture: GaussianMixture,
+    od_means: np.ndarray,
+    od_covariances: np.ndarray,
+    moment_counts: np.ndarray,
+    alpha: float = 0.001,
+    step_name: str = "outlier_detection",
+) -> dict[int, int]:
+    """Run the OD job; returns ``point index -> cluster id or -1``.
+
+    ``moment_counts`` is the per-cluster number of points that produced
+    ``od_means``/``od_covariances`` (EM totals for the naive variant,
+    inside-ball counts for MVB); the chi-squared cutoff is widened by
+    the small-sample inflation of that count, matching the serial
+    detectors.
+    """
+    dof = len(mixture.attributes)
+    base = chi2_critical_value(dof, alpha)
+    critical = np.empty(mixture.num_components)
+    for j in range(mixture.num_components):
+        inflation = small_sample_inflation(int(moment_counts[j]), dof)
+        critical[j] = base * inflation if np.isfinite(inflation) else np.inf
+    job = Job(
+        mapper_factory=ODMapper,
+        cache=DistributedCache(
+            {
+                "mixture": mixture,
+                "od_means": od_means,
+                "od_covariances": od_covariances,
+                "critical_values": critical,
+            }
+        ),
+    )
+    result = chain.run(step_name, job, splits, num_reducers=0)
+    return {int(k): int(v) for k, v in result.output}
+
+
+_MVB_KEY_PREFIX = "mvb"
+
+
+class MVBStatsMapper(Mapper):
+    """Per-split MVB centre and radius for each cluster (Section 5.5)."""
+
+    def setup(self, context: Context) -> None:
+        self._mixture: GaussianMixture = context.cache["mixture"]
+        self._rows: list[np.ndarray] = []
+
+    def map(self, key: Any, value: np.ndarray, context: Context) -> None:
+        self._rows.append(value)
+
+    def cleanup(self, context: Context) -> None:
+        if not self._rows:
+            return
+        data = np.stack(self._rows)
+        sub = self._mixture.project(data)
+        assignment = self._mixture.assign(sub)
+        for j in range(self._mixture.num_components):
+            members = sub[assignment == j]
+            if len(members) == 0:
+                continue
+            center = dimensionwise_median(members)
+            radius = float(np.median(np.linalg.norm(members - center, axis=1)))
+            context.emit(j, (center, radius))
+
+
+class MVBStatsReducer(Reducer):
+    """Dimension-wise median of mapper centres; median of radii."""
+
+    def reduce(self, key: int, values: list[Any], context: Context) -> None:
+        centers = np.stack([v[0] for v in values])
+        radii = np.array([v[1] for v in values])
+        context.emit(key, (np.median(centers, axis=0), float(np.median(radii))))
+
+
+def run_mvb_jobs(
+    chain: JobChain,
+    splits: list[InputSplit],
+    mixture: GaussianMixture,
+    reg: float = 1e-9,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Three MR jobs computing the MVB moments of every cluster.
+
+    Job 1 estimates ball centre and radius; jobs 2-3 (the generic moment
+    pair) compute mean and covariance over the inside-ball points.
+    Returns ``(means, covariances, inside_ball_counts)`` per cluster.
+    """
+    k = mixture.num_components
+    m = len(mixture.attributes)
+    stats_job = Job(
+        mapper_factory=MVBStatsMapper,
+        reducer_factory=MVBStatsReducer,
+        cache=DistributedCache({"mixture": mixture}),
+    )
+    stats = chain.run("mvb_center_radius", stats_job, splits).as_dict()
+
+    centers = np.full((k, m), 0.5)
+    radii = np.zeros(k)
+    for j, (center, radius) in stats.items():
+        centers[j] = center
+        radii[j] = radius
+
+    model = InsideBallWeights(mixture, centers, radii)
+    means, covs, weight_sums, _ = run_moment_jobs(
+        chain, splits, model, mixture.attributes, "mvb_moments", reg=reg
+    )
+    # Clusters with an empty ball or too few inside-ball points for a
+    # usable covariance (same small-sample rule as the serial
+    # mvb_estimate) keep the mixture's own moments / diagonal scale.
+    consistency = ball_consistency_factor(m)
+    for j in range(k):
+        if radii[j] == 0:
+            means[j] = mixture.means[j]
+            covs[j] = mixture.covariances[j]
+        elif weight_sums[j] < max(2, 2 * m):
+            covs[j] = np.diag(np.diag(mixture.covariances[j]))
+        else:
+            covs[j] = consistency * covs[j]
+    return means, covs, weight_sums

@@ -1,0 +1,220 @@
+"""P3C+-MR: the full MapReduce driver (paper Section 5).
+
+Job plan (one line per MR job):
+
+1.  histogram building                                 (Section 5.1)
+2.  candidate proving, one job per collected batch     (Section 5.3)
+    + candidate-generation jobs when pairs exceed T_gen
+3.  EM initialisation: 2 x (sums + covariance) jobs    (Section 5.4)
+4.  EM iterations: 2 jobs each                         (Section 5.4)
+5.  MVB centre/radius + moments (MVB variant only)     (Section 5.5)
+6.  OD job (map-only membership labelling)             (Section 5.5)
+7.  attribute-inspection histogram job (+ AI proving)  (Section 5.6)
+8.  interval-tightening job                            (Section 5.7)
+
+Relevant-interval detection stays in the driver (Section 5.2: at most
+``d * k`` chi-squared statistics — parallelising it buys nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.binning import freedman_diaconis_bins
+from repro.core.intervals import find_relevant_intervals
+from repro.core.p3c_plus import P3CPlusConfig, _validate_data
+from repro.core.types import ClusteringResult, ProjectedCluster
+from repro.mapreduce import JobChain, MapReduceRuntime
+from repro.mapreduce.types import InputSplit, split_records
+from repro.mr.attribute_jobs import ArrayMembership
+from repro.mr.candidates import DEFAULT_T_GEN
+from repro.mr.core_generation import DEFAULT_T_C, generate_cluster_cores_mr
+from repro.mr.em_jobs import run_em_mr
+from repro.mr.histogram import run_histogram_job
+from repro.mr.inspection import mr_attribute_inspection
+from repro.mr.outlier_jobs import run_mvb_jobs, run_od_job
+from repro.mr.tightening_job import run_tightening_job
+
+
+@dataclass(frozen=True)
+class P3CPlusMRConfig:
+    """MapReduce-side knobs, complementing :class:`P3CPlusConfig`."""
+
+    num_splits: int = 8
+    max_workers: int | None = None  # None/1 = serial executor
+    t_gen: int = DEFAULT_T_GEN
+    t_c: int = DEFAULT_T_C
+    multi_level: bool = True
+
+
+class P3CPlusMR:
+    """The full P3C+-MR algorithm."""
+
+    def __init__(
+        self,
+        config: P3CPlusConfig | None = None,
+        mr_config: P3CPlusMRConfig | None = None,
+    ) -> None:
+        self.config = config or P3CPlusConfig()
+        self.mr_config = mr_config or P3CPlusMRConfig()
+        self.chain: JobChain | None = None
+
+    # -- shared front half (also used by the Light driver) -------------
+
+    def _run_core_phase(self, splits: list[InputSplit], n: int, chain: JobChain):
+        """Histogram job + interval detection + cluster-core generation."""
+        num_bins = self.config.num_bins(n)
+        histograms = run_histogram_job(chain, splits, num_bins)
+        intervals = find_relevant_intervals(
+            histograms, alpha=self.config.chi2_alpha
+        )
+        cores, stats = generate_cluster_cores_mr(
+            chain,
+            splits,
+            intervals,
+            n,
+            poisson_alpha=self.config.poisson_alpha,
+            theta_cc=self.config.theta_cc,
+            redundancy_filter=self.config.redundancy_filter,
+            t_gen=self.mr_config.t_gen,
+            t_c=self.mr_config.t_c,
+            multi_level=self.mr_config.multi_level,
+        )
+        diagnostics = {
+            "num_bins": num_bins,
+            "num_relevant_intervals": len(intervals),
+            "candidates_per_level": stats.candidates_per_level,
+            "proving_jobs": stats.proving_jobs,
+            "cores_before_redundancy": stats.cores_before_redundancy,
+            "cores_after_redundancy": stats.cores_after_redundancy,
+        }
+        return cores, diagnostics
+
+    def _empty_result(
+        self, n: int, d: int, diagnostics: dict, chain: JobChain
+    ) -> ClusteringResult:
+        diagnostics["mr_jobs"] = chain.num_jobs
+        return ClusteringResult(
+            clusters=[],
+            outliers=np.arange(n),
+            n_points=n,
+            n_dims=d,
+            metadata=diagnostics,
+        )
+
+    # -- full pipeline ---------------------------------------------------
+
+    def fit(self, data: np.ndarray) -> ClusteringResult:
+        """Cluster an in-memory data matrix."""
+        data = _validate_data(data)
+        n, d = data.shape
+        splits = split_records(data, self.mr_config.num_splits)
+        return self.fit_splits(splits, n, d)
+
+    def fit_splits(
+        self, splits: list[InputSplit], n: int, d: int
+    ) -> ClusteringResult:
+        """Cluster from pre-built input splits (in-memory or
+        file-backed, see :func:`repro.mapreduce.fs.make_csv_splits`);
+        the driver never materialises the data matrix."""
+        runtime = MapReduceRuntime(max_workers=self.mr_config.max_workers)
+        chain = JobChain(runtime)
+        self.chain = chain
+
+        cores, diagnostics = self._run_core_phase(splits, n, chain)
+        if not cores:
+            return self._empty_result(n, d, diagnostics, chain)
+
+        mixture = run_em_mr(
+            chain, splits, cores, n, max_iter=self.config.em_max_iter
+        )
+        diagnostics["em_iterations"] = len(mixture.log_likelihood_history)
+
+        if self.config.outlier_method == "mvb":
+            od_means, od_covs, moment_counts = run_mvb_jobs(
+                chain, splits, mixture
+            )
+        else:
+            od_means, od_covs = mixture.means, mixture.covariances
+            moment_counts = mixture.weights * n
+        membership_map = run_od_job(
+            chain,
+            splits,
+            mixture,
+            od_means,
+            od_covs,
+            moment_counts,
+            alpha=self.config.outlier_alpha,
+        )
+        membership = np.full(n, -1, dtype=np.int64)
+        for index, label in membership_map.items():
+            membership[index] = label
+
+        return self._finish(splits, n, d, chain, cores, membership, diagnostics)
+
+    def _finish(
+        self,
+        splits: list[InputSplit],
+        n: int,
+        d: int,
+        chain: JobChain,
+        cores,
+        membership: np.ndarray,
+        diagnostics: dict,
+    ) -> ClusteringResult:
+        """Attribute inspection + tightening + result assembly, shared
+        between the full and Light drivers."""
+        model = ArrayMembership(membership)
+        sizes = {
+            j: int((membership == j).sum()) for j in range(len(cores))
+        }
+        known = {j: core.attributes for j, core in enumerate(cores)}
+        attributes = mr_attribute_inspection(
+            chain,
+            splits,
+            model,
+            known,
+            sizes,
+            chi2_alpha=self.config.chi2_alpha,
+            prove=self.config.ai_proving,
+            poisson_alpha=self.config.poisson_alpha,
+            theta_cc=self.config.theta_cc,
+            max_bins=self.config.max_bins,
+        )
+
+        cluster_attributes = {
+            j: tuple(sorted(attributes[j]))
+            for j in range(len(cores))
+            if sizes.get(j, 0) > 0 and attributes.get(j)
+        }
+        signatures = run_tightening_job(
+            chain, splits, model, cluster_attributes
+        )
+
+        clusters: list[ProjectedCluster] = []
+        for j, core in enumerate(cores):
+            if j not in cluster_attributes:
+                continue
+            members = np.where(membership == j)[0]
+            clusters.append(
+                ProjectedCluster(
+                    members=members,
+                    relevant_attributes=frozenset(cluster_attributes[j]),
+                    signature=signatures.get(j),
+                    core=core,
+                )
+            )
+        assigned = np.zeros(n, dtype=bool)
+        for cluster in clusters:
+            assigned[cluster.members] = True
+        diagnostics["mr_jobs"] = chain.num_jobs
+        diagnostics["shuffle_records"] = chain.total_shuffle_records
+        return ClusteringResult(
+            clusters=clusters,
+            outliers=np.where(~assigned)[0],
+            n_points=n,
+            n_dims=d,
+            metadata=diagnostics,
+        )

@@ -1,0 +1,65 @@
+"""Candidate-proving support job (paper Section 5.3).
+
+One MR job counts the supports of an arbitrary candidate batch: every
+mapper receives the full candidate set via the distributed cache,
+builds nothing itself (the RSSC bit masks are precomputed by the driver
+"with only two scans of Ŝ_all" and shipped in the cache), accumulates a
+per-split count vector with the RSSC, and emits it once from cleanup.
+The single reducer sums the per-split vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.types import Signature
+from repro.mapreduce import Context, DistributedCache, Job, Mapper, Reducer
+from repro.mapreduce.chain import JobChain
+from repro.mapreduce.types import InputSplit
+from repro.mr.rssc import RSSC
+
+_KEY = "supports"
+
+
+class SupportCountMapper(Mapper):
+    """RSSC-based per-split support counting."""
+
+    def setup(self, context: Context) -> None:
+        self._rssc: RSSC = context.cache["rssc"]
+        self._counts = np.zeros(self._rssc.num_signatures, dtype=np.int64)
+
+    def map(self, key: Any, value: np.ndarray, context: Context) -> None:
+        self._rssc.add_point(value, self._counts)
+
+    def cleanup(self, context: Context) -> None:
+        context.emit(_KEY, self._counts)
+
+
+class SupportSumReducer(Reducer):
+    def reduce(self, key: str, values: list[np.ndarray], context: Context) -> None:
+        total = values[0].copy()
+        for partial in values[1:]:
+            total += partial
+        context.emit(key, total)
+
+
+def run_support_job(
+    chain: JobChain,
+    splits: list[InputSplit],
+    candidates: list[Signature],
+    step_name: str = "candidate_proving",
+) -> dict[Signature, int]:
+    """Count supports of ``candidates`` with one MR job."""
+    if not candidates:
+        return {}
+    rssc = RSSC(candidates)
+    job = Job(
+        mapper_factory=SupportCountMapper,
+        reducer_factory=SupportSumReducer,
+        cache=DistributedCache({"rssc": rssc}),
+    )
+    result = chain.run(step_name, job, splits, num_reducers=1)
+    counts = result.as_dict()[_KEY]
+    return {sig: int(c) for sig, c in zip(candidates, counts)}

@@ -1,0 +1,43 @@
+"""Shared fixtures: small synthetic data sets reused across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import GeneratorConfig, SyntheticDataset, generate_synthetic
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset() -> SyntheticDataset:
+    """600 points, 8 dims, 2 clusters, 10% noise — fast unit-level data."""
+    return generate_synthetic(
+        GeneratorConfig(
+            n=600,
+            d=8,
+            num_clusters=2,
+            noise_fraction=0.10,
+            max_cluster_dims=4,
+            seed=5,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def small_dataset() -> SyntheticDataset:
+    """1500 points, 12 dims, 3 clusters — pipeline-level data."""
+    return generate_synthetic(
+        GeneratorConfig(
+            n=1_500,
+            d=12,
+            num_clusters=3,
+            noise_fraction=0.10,
+            max_cluster_dims=6,
+            seed=9,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,78 @@
+"""Tests for the label-accuracy measure (colon experiment)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.types import ClusteringResult, ProjectedCluster
+from repro.eval import label_accuracy
+
+
+def _result(cluster_members: list[list[int]], n: int) -> ClusteringResult:
+    clusters = [
+        ProjectedCluster(np.array(m, dtype=np.int64), frozenset({0}))
+        for m in cluster_members
+    ]
+    assigned = np.zeros(n, dtype=bool)
+    for m in cluster_members:
+        assigned[m] = True
+    return ClusteringResult(
+        clusters=clusters,
+        outliers=np.where(~assigned)[0],
+        n_points=n,
+        n_dims=1,
+    )
+
+
+class TestMajorityMapping:
+    def test_perfect_clustering(self):
+        labels = np.array([0, 0, 1, 1])
+        result = _result([[0, 1], [2, 3]], 4)
+        assert label_accuracy(result, labels) == 1.0
+
+    def test_split_class_not_punished(self):
+        labels = np.array([0, 0, 0, 0, 1, 1])
+        result = _result([[0, 1], [2, 3], [4, 5]], 6)
+        assert label_accuracy(result, labels) == 1.0
+
+    def test_mixed_cluster_counts_majority(self):
+        labels = np.array([0, 0, 1, 1, 1, 1])
+        result = _result([[0, 1, 2, 3, 4, 5]], 6)
+        assert label_accuracy(result, labels) == pytest.approx(4 / 6)
+
+    def test_outliers_count_as_errors(self):
+        labels = np.array([0, 0, 1, 1])
+        result = _result([[0, 1]], 4)  # points 2, 3 unassigned
+        assert label_accuracy(result, labels) == pytest.approx(0.5)
+
+    def test_no_clusters_scores_zero(self):
+        labels = np.array([0, 1])
+        result = _result([], 2)
+        assert label_accuracy(result, labels) == 0.0
+
+
+class TestOneToOneMapping:
+    def test_split_is_punished(self):
+        labels = np.array([0, 0, 0, 0, 1, 1])
+        result = _result([[0, 1], [2, 3], [4, 5]], 6)
+        assert label_accuracy(result, labels, mapping="one_to_one") == (
+            pytest.approx(4 / 6)
+        )
+
+    def test_perfect_one_to_one(self):
+        labels = np.array([0, 0, 1, 1])
+        result = _result([[0, 1], [2, 3]], 4)
+        assert label_accuracy(result, labels, mapping="one_to_one") == 1.0
+
+
+class TestValidation:
+    def test_length_mismatch_rejected(self):
+        result = _result([[0]], 1)
+        with pytest.raises(ValueError):
+            label_accuracy(result, np.array([0, 1]))
+
+    def test_unknown_mapping_rejected(self):
+        result = _result([[0, 1]], 2)
+        with pytest.raises(ValueError):
+            label_accuracy(result, np.array([0, 1]), mapping="nope")

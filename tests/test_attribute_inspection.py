@@ -1,0 +1,98 @@
+"""Unit tests for attribute inspection (Section 4.2.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.attribute_inspection import inspect_attributes
+
+
+def _cluster_data(rng, n=800, d=6):
+    """A cluster dense on attributes 0 and 1; uniform elsewhere."""
+    data = rng.uniform(size=(n, d))
+    members = np.zeros(n, dtype=bool)
+    members[:300] = True
+    data[members, 0] = rng.normal(0.3, 0.02, 300).clip(0, 1)
+    data[members, 1] = rng.normal(0.7, 0.02, 300).clip(0, 1)
+    return data, members
+
+
+class TestInspection:
+    def test_finds_missed_attribute(self, rng):
+        data, members = _cluster_data(rng)
+        result = inspect_attributes(
+            data, members, known_attributes=frozenset({0})
+        )
+        assert 1 in result.attributes
+        assert 0 in result.attributes
+
+    def test_known_attributes_always_kept(self, rng):
+        data, members = _cluster_data(rng)
+        result = inspect_attributes(
+            data, members, known_attributes=frozenset({0, 5})
+        )
+        assert {0, 5} <= set(result.attributes)
+
+    def test_uniform_attributes_not_added(self, rng):
+        data, members = _cluster_data(rng)
+        result = inspect_attributes(
+            data, members, known_attributes=frozenset({0, 1})
+        )
+        # attributes 2..5 are uniform for the members
+        assert result.attributes == frozenset({0, 1})
+
+    def test_ai_proving_blocks_weak_intervals(self, rng):
+        """A mild density ripple passes the chi-squared marking at a loose
+        level but must fail AI proving."""
+        data, members = _cluster_data(rng)
+        # Attribute 2: slight concentration for members (weak effect).
+        data[members, 2] = np.where(
+            rng.uniform(size=members.sum()) < 0.6,
+            rng.uniform(0.0, 0.5, members.sum()),
+            rng.uniform(size=members.sum()),
+        )
+        proven = inspect_attributes(
+            data,
+            members,
+            known_attributes=frozenset({0, 1}),
+            chi2_alpha=0.05,
+            prove=True,
+            theta_cc=0.35,
+        )
+        unproven = inspect_attributes(
+            data,
+            members,
+            known_attributes=frozenset({0, 1}),
+            chi2_alpha=0.05,
+            prove=False,
+        )
+        assert len(proven.attributes) <= len(unproven.attributes)
+
+    def test_empty_cluster_returns_known(self, rng):
+        data, _ = _cluster_data(rng)
+        empty = np.zeros(len(data), dtype=bool)
+        result = inspect_attributes(data, empty, known_attributes=frozenset({3}))
+        assert result.attributes == frozenset({3})
+        assert result.intervals == ()
+
+    def test_intervals_cover_dense_regions(self, rng):
+        data, members = _cluster_data(rng)
+        result = inspect_attributes(data, members, known_attributes=frozenset())
+        attr0 = [iv for iv in result.intervals if iv.attribute == 0]
+        assert any(iv.contains(0.3) for iv in attr0)
+
+    def test_explicit_num_bins(self, rng):
+        data, members = _cluster_data(rng)
+        result = inspect_attributes(
+            data, members, known_attributes=frozenset(), num_bins=5
+        )
+        widths = {round(iv.width, 10) for iv in result.intervals}
+        # All intervals are unions of 0.2-wide bins.
+        assert all(w % 0.2 < 1e-9 or abs(w % 0.2 - 0.2) < 1e-9 for w in widths)
+
+    def test_max_bins_clamp(self, rng):
+        data, members = _cluster_data(rng, n=3_000)
+        result = inspect_attributes(
+            data, members, known_attributes=frozenset(), max_bins=4
+        )
+        assert all(iv.width >= 0.25 - 1e-9 for iv in result.intervals)

@@ -1,0 +1,121 @@
+"""Tests for the BoW baseline (partitioning, merging, end-to-end)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import BoW, BoWConfig
+from repro.baselines.bow import _Box, merge_boxes
+from repro.core.types import Interval, Signature
+from repro.eval import e4sc_score
+
+
+def _box(attr_intervals: dict[int, tuple[float, float]], members) -> _Box:
+    signature = Signature(
+        [Interval(a, lo, hi) for a, (lo, hi) in sorted(attr_intervals.items())]
+    )
+    return _Box(
+        signature=signature,
+        attributes=frozenset(attr_intervals),
+        members=np.asarray(members, dtype=np.int64),
+    )
+
+
+class TestMergeBoxes:
+    def test_identical_boxes_merge(self):
+        a = _box({0: (0.1, 0.3), 1: (0.5, 0.7)}, [1, 2])
+        b = _box({0: (0.1, 0.3), 1: (0.5, 0.7)}, [3, 4])
+        merged = merge_boxes([a, b], attribute_jaccard=0.5)
+        assert len(merged) == 1
+        assert set(merged[0].members) == {1, 2, 3, 4}
+
+    def test_overlapping_boxes_take_union_span(self):
+        a = _box({0: (0.1, 0.3)}, [1])
+        b = _box({0: (0.25, 0.5)}, [2])
+        merged = merge_boxes([a, b], attribute_jaccard=0.5)
+        assert len(merged) == 1
+        interval = merged[0].signature.interval_on(0)
+        assert (interval.lower, interval.upper) == (0.1, 0.5)
+
+    def test_disjoint_intervals_dont_merge(self):
+        a = _box({0: (0.1, 0.2)}, [1])
+        b = _box({0: (0.5, 0.6)}, [2])
+        assert len(merge_boxes([a, b], attribute_jaccard=0.5)) == 2
+
+    def test_dissimilar_attribute_sets_dont_merge(self):
+        a = _box({0: (0.1, 0.3), 1: (0.1, 0.3), 2: (0.1, 0.3)}, [1])
+        b = _box({0: (0.1, 0.3), 5: (0.1, 0.3), 6: (0.1, 0.3)}, [2])
+        # Jaccard = 1/5 < 0.5
+        assert len(merge_boxes([a, b], attribute_jaccard=0.5)) == 2
+
+    def test_transitive_merging(self):
+        a = _box({0: (0.1, 0.3)}, [1])
+        b = _box({0: (0.25, 0.45)}, [2])
+        c = _box({0: (0.4, 0.6)}, [3])
+        merged = merge_boxes([a, b, c], attribute_jaccard=0.5)
+        assert len(merged) == 1
+
+    def test_attribute_union_in_merge(self):
+        a = _box({0: (0.1, 0.3), 1: (0.1, 0.3)}, [1])
+        b = _box({0: (0.1, 0.3), 2: (0.1, 0.3)}, [2])
+        merged = merge_boxes([a, b], attribute_jaccard=0.3)
+        assert merged[0].attributes == frozenset({0, 1, 2})
+
+    def test_empty_input(self):
+        assert merge_boxes([], attribute_jaccard=0.5) == []
+
+
+class TestBoWEndToEnd:
+    @pytest.mark.parametrize("variant", ["light", "mvb"])
+    def test_finds_clusters(self, small_dataset, variant):
+        bow = BoW(
+            bow_config=BoWConfig(variant=variant, samples_per_reducer=500)
+        )
+        result = bow.fit(small_dataset.data)
+        truth = small_dataset.ground_truth_clusters()
+        assert result.num_clusters >= 1
+        assert e4sc_score(result.clusters, truth) > 0.3
+
+    def test_partitions_cover_all_points(self, small_dataset):
+        bow = BoW(bow_config=BoWConfig(samples_per_reducer=400))
+        result = bow.fit(small_dataset.data)
+        assert result.metadata["num_partitions"] == (
+            len(small_dataset.data) + 399
+        ) // 400
+
+    def test_single_partition_degenerates_to_plugin(self, tiny_dataset):
+        from repro.core.p3c_plus import P3CPlusLight
+
+        bow = BoW(
+            bow_config=BoWConfig(
+                variant="light", samples_per_reducer=10**6
+            )
+        )
+        bow_result = bow.fit(tiny_dataset.data)
+        plugin_result = P3CPlusLight().fit(tiny_dataset.data)
+        assert bow_result.metadata["num_partitions"] == 1
+        assert bow_result.num_clusters == plugin_result.num_clusters
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        config = BoWConfig(samples_per_reducer=300, seed=3)
+        a = BoW(bow_config=config).fit(tiny_dataset.data)
+        b = BoW(bow_config=config).fit(tiny_dataset.data)
+        assert a.num_clusters == b.num_clusters
+        assert np.array_equal(a.labels(), b.labels())
+
+    def test_merge_reduces_box_count(self, small_dataset):
+        bow = BoW(bow_config=BoWConfig(samples_per_reducer=400))
+        result = bow.fit(small_dataset.data)
+        assert (
+            result.metadata["boxes_after_merge"]
+            <= result.metadata["boxes_before_merge"]
+        )
+
+    def test_members_disjoint(self, small_dataset):
+        bow = BoW(bow_config=BoWConfig(samples_per_reducer=500))
+        result = bow.fit(small_dataset.data)
+        all_members = np.concatenate(
+            [c.members for c in result.clusters]
+        ) if result.clusters else np.empty(0)
+        assert len(all_members) == len(np.unique(all_members))

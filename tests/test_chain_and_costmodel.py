@@ -1,0 +1,116 @@
+"""Tests for the job-chain ledger and the cluster cost model."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import pytest
+
+from repro.mapreduce import (
+    ClusterCostModel,
+    Context,
+    Job,
+    JobChain,
+    Mapper,
+    MapReduceRuntime,
+    Reducer,
+)
+from repro.mapreduce.costmodel import ZERO_COST, CostEstimate
+from repro.mapreduce.types import split_records
+
+
+class _EchoMapper(Mapper):
+    def map(self, key: Any, value: Any, context: Context) -> None:
+        context.emit("k", 1)
+
+
+class _CountReducer(Reducer):
+    def reduce(self, key: Any, values: list[Any], context: Context) -> None:
+        context.emit(key, len(values))
+
+
+class TestJobChain:
+    def _chain(self) -> JobChain:
+        return JobChain(MapReduceRuntime())
+
+    def test_ledger_records_steps(self):
+        chain = self._chain()
+        splits = split_records([(i, i) for i in range(10)], 2)
+        job = Job(mapper_factory=_EchoMapper, reducer_factory=_CountReducer)
+        chain.run("step_a", job, splits)
+        chain.run("step_b", job, splits)
+        assert chain.num_jobs == 2
+        assert [s.name for s in chain.steps] == ["step_a", "step_b"]
+
+    def test_shuffle_totals(self):
+        chain = self._chain()
+        splits = split_records([(i, i) for i in range(10)], 2)
+        job = Job(mapper_factory=_EchoMapper, reducer_factory=_CountReducer)
+        chain.run("step", job, splits)
+        assert chain.total_shuffle_records == 10
+        assert chain.total_map_input_records() == 10
+
+    def test_report_format(self):
+        chain = self._chain()
+        splits = split_records([(i, i) for i in range(4)], 1)
+        job = Job(mapper_factory=_EchoMapper, reducer_factory=_CountReducer)
+        chain.run("my_step", job, splits)
+        report = chain.report()
+        assert "my_step" in report
+        assert "TOTAL" in report
+
+
+class TestCostModel:
+    def test_job_cost_components_positive(self):
+        model = ClusterCostModel()
+        cost = model.job_cost(10**7, shuffle_records=1_000, reduce_records=10)
+        assert cost.overhead_s == model.job_overhead_s
+        assert cost.map_s > 0
+        assert cost.total_s > cost.overhead_s
+
+    def test_map_time_scales_with_waves(self):
+        model = ClusterCostModel(map_slots=10, split_records=1_000)
+        small = model.job_cost(10_000)  # 10 splits, 1 wave
+        large = model.job_cost(100_000)  # 100 splits, 10 waves
+        assert large.map_s == pytest.approx(10 * small.map_s)
+
+    def test_overhead_dominates_small_jobs(self):
+        model = ClusterCostModel()
+        cost = model.job_cost(1_000)
+        assert cost.overhead_s > cost.map_s
+
+    def test_negative_records_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterCostModel().job_cost(-1)
+
+    def test_cost_addition(self):
+        a = CostEstimate(1.0, 2.0, 3.0, 4.0)
+        b = CostEstimate(0.5, 0.5, 0.5, 0.5)
+        total = a + b
+        assert total.total_s == pytest.approx(12.0)
+        assert (ZERO_COST + a).total_s == a.total_s
+
+    def test_chain_cost(self):
+        model = ClusterCostModel()
+        jobs = [model.scan_job(10**6) for _ in range(3)]
+        assert model.chain_cost(jobs).total_s == pytest.approx(
+            sum(j.total_s for j in jobs)
+        )
+
+    def test_multiplier_scales_map_cost(self):
+        model = ClusterCostModel()
+        plain = model.scan_job(10**7, multiplier=1.0)
+        heavy = model.scan_job(10**7, multiplier=2.0)
+        assert heavy.map_s == pytest.approx(2 * plain.map_s)
+
+    def test_billion_point_calibration(self):
+        """The Section 7.5.2 anchor: MR-Light (7 scan jobs) lands in the
+        right order of magnitude at 10^9 points, and BoW's modelled time
+        exceeds it (the paper's headline: 4300s vs 9500s)."""
+        from repro.experiments.figure7 import project_runtime
+
+        model = ClusterCostModel()
+        mr_light = project_runtime("MR (Light)", 10**9, 7, model)
+        bow_light = project_runtime("BoW (Light)", 10**9, 1, model)
+        assert 1_000 < mr_light < 20_000
+        assert bow_light > mr_light

@@ -1,0 +1,111 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import ALGORITHMS, main
+from repro.data.io import load_dataset_csv, load_result_json
+
+
+class TestGenerate:
+    def test_writes_csv_and_labels(self, tmp_path, capsys):
+        out = tmp_path / "data.csv"
+        code = main(
+            [
+                "generate",
+                "--n", "300",
+                "--dims", "8",
+                "--clusters", "2",
+                "--noise", "0.1",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        data, labels = load_dataset_csv(out)
+        assert data.shape == (300, 8)
+        assert labels is not None
+        assert set(np.unique(labels)) <= {-1, 0, 1}
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestCluster:
+    @pytest.fixture()
+    def data_file(self, tmp_path):
+        out = tmp_path / "data.csv"
+        main(
+            [
+                "generate",
+                "--n", "600",
+                "--dims", "8",
+                "--clusters", "2",
+                "--noise", "0.05",
+                "--seed", "5",
+                "--out", str(out),
+            ]
+        )
+        return out
+
+    def test_cluster_and_evaluate_roundtrip(self, tmp_path, data_file, capsys):
+        result_file = tmp_path / "result.json"
+        code = main(
+            [
+                "cluster",
+                "--algorithm", "p3c-plus-light",
+                "--data", str(data_file),
+                "--out", str(result_file),
+            ]
+        )
+        assert code == 0
+        result = load_result_json(result_file)
+        assert result.n_points == 600
+
+        code = main(
+            ["evaluate", "--data", str(data_file), "--result", str(result_file)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "label accuracy" in out
+
+    def test_mismatched_result_rejected(self, tmp_path, data_file, capsys):
+        result_file = tmp_path / "result.json"
+        main(
+            [
+                "cluster",
+                "--algorithm", "p3c-plus-light",
+                "--data", str(data_file),
+                "--out", str(result_file),
+            ]
+        )
+        other = tmp_path / "other.csv"
+        main(
+            ["generate", "--n", "100", "--dims", "8", "--clusters", "2",
+             "--out", str(other)]
+        )
+        code = main(
+            ["evaluate", "--data", str(other), "--result", str(result_file)]
+        )
+        assert code == 2
+
+    def test_all_algorithms_registered(self):
+        assert set(ALGORITHMS) == {
+            "p3c",
+            "p3c-plus",
+            "p3c-plus-light",
+            "mr",
+            "mr-light",
+            "bow-light",
+            "bow-mvb",
+        }
+
+
+class TestExperimentCommand:
+    def test_figure1_prints_table(self, capsys):
+        code = main(["experiment", "figure1"])
+        assert code == 0
+        assert "Figure 1" in capsys.readouterr().out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "nonsense"])

@@ -1,0 +1,77 @@
+"""Tests for the named data sets (colon-like) and normalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_colon_like, normalize_unit_range
+
+
+class TestColonLike:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return make_colon_like(seed=7)
+
+    def test_shape_matches_real_set(self, dataset):
+        assert dataset.data.shape == (62, 2000)
+
+    def test_two_classes(self, dataset):
+        assert set(np.unique(dataset.labels)) == {0, 1}
+
+    def test_values_in_unit_range(self, dataset):
+        assert dataset.data.min() >= 0.0
+        assert dataset.data.max() <= 1.0
+
+    def test_informative_genes_separate_classes(self, dataset):
+        for gene in dataset.informative_genes:
+            tumour = dataset.data[dataset.labels == 1, gene]
+            normal = dataset.data[dataset.labels == 0, gene]
+            assert abs(tumour.mean() - normal.mean()) > 0.2
+
+    def test_noise_genes_dont_separate(self, dataset):
+        noise_genes = [
+            g for g in range(50) if g not in set(dataset.informative_genes)
+        ]
+        diffs = [
+            abs(
+                dataset.data[dataset.labels == 1, g].mean()
+                - dataset.data[dataset.labels == 0, g].mean()
+            )
+            for g in noise_genes[:20]
+        ]
+        assert np.mean(diffs) < 0.15
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_colon_like(n_tumour=0)
+        with pytest.raises(ValueError):
+            make_colon_like(n_informative=0)
+
+    def test_deterministic(self):
+        a = make_colon_like(seed=3)
+        b = make_colon_like(seed=3)
+        assert np.array_equal(a.data, b.data)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestNormalize:
+    def test_output_in_unit_range(self, rng):
+        data = rng.normal(50, 10, size=(100, 4))
+        out = normalize_unit_range(data)
+        assert out.min() == pytest.approx(0.0)
+        assert out.max() == pytest.approx(1.0)
+
+    def test_constant_column_maps_to_half(self):
+        data = np.array([[1.0, 5.0], [2.0, 5.0]])
+        out = normalize_unit_range(data)
+        assert (out[:, 1] == 0.5).all()
+
+    def test_preserves_order(self, rng):
+        data = rng.uniform(size=(50, 1)) * 100 - 30
+        out = normalize_unit_range(data)
+        assert np.array_equal(np.argsort(out[:, 0]), np.argsort(data[:, 0]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            normalize_unit_range(np.zeros(5))

@@ -1,0 +1,122 @@
+"""Edge-case tests across modules (final coverage sweep)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import DOC, DOCConfig, Proclus, ProclusConfig
+from repro.cli import main as cli_main
+from repro.core.p3c_plus import P3CPlus, P3CPlusLight
+from repro.data.io import load_result_json, save_dataset_csv
+from repro.mapreduce import JobChain, MapReduceRuntime
+from repro.mapreduce.costmodel import ClusterCostModel
+
+
+class TestSinglePointAndDegenerate:
+    def test_single_point_dataset(self):
+        data = np.full((1, 3), 0.5)
+        result = P3CPlusLight().fit(data)
+        assert result.n_points == 1
+
+    def test_constant_attribute(self, rng):
+        """A constant column lands all mass in one bin — relevant by the
+        chi-squared test but harmless downstream."""
+        data = rng.uniform(size=(500, 3))
+        data[:, 1] = 0.5
+        result = P3CPlusLight().fit(data)
+        assert result.n_points == 500
+
+    def test_duplicate_points(self):
+        data = np.tile(np.array([[0.3, 0.7]]), (200, 1))
+        result = P3CPlusLight().fit(data)
+        # One degenerate cluster containing everything (or none): both
+        # are legal; the pipeline must simply not crash or mislabel.
+        counted = sum(c.size for c in result.clusters) + len(result.outliers)
+        assert counted == 200
+
+    def test_two_dimensional_minimum(self, rng):
+        data = rng.uniform(size=(300, 2))
+        data[:150, 0] = rng.normal(0.3, 0.02, 150).clip(0, 1)
+        data[:150, 1] = rng.normal(0.7, 0.02, 150).clip(0, 1)
+        result = P3CPlus().fit(data)
+        assert result.n_points == 300
+
+
+class TestCostModelEdges:
+    def test_zero_input_records(self):
+        cost = ClusterCostModel().job_cost(0)
+        assert cost.total_s >= ClusterCostModel().job_overhead_s
+
+    def test_scan_job_shuffle_clamped(self):
+        model = ClusterCostModel()
+        small = model.scan_job(100)
+        assert small.shuffle_s <= 100 * model.shuffle_record_cost_s + 1e-12
+
+
+class TestCLIEdges:
+    def test_cluster_with_normalize(self, tmp_path, rng):
+        raw = rng.normal(50.0, 10.0, size=(300, 6))
+        raw[:150, 0] = rng.normal(20.0, 0.5, 150)
+        raw[:150, 1] = rng.normal(80.0, 0.5, 150)
+        data_path = tmp_path / "raw.csv"
+        save_dataset_csv(data_path, raw)
+        result_path = tmp_path / "out.json"
+        code = cli_main(
+            [
+                "cluster",
+                "--algorithm", "p3c-plus-light",
+                "--data", str(data_path),
+                "--normalize",
+                "--out", str(result_path),
+            ]
+        )
+        assert code == 0
+        assert load_result_json(result_path).n_points == 300
+
+    def test_unnormalised_data_without_flag_fails(self, tmp_path, rng):
+        raw = rng.normal(50.0, 10.0, size=(50, 3))
+        data_path = tmp_path / "raw.csv"
+        save_dataset_csv(data_path, raw)
+        with pytest.raises(ValueError, match="normalis"):
+            cli_main(
+                [
+                    "cluster",
+                    "--algorithm", "p3c-plus-light",
+                    "--data", str(data_path),
+                    "--out", str(tmp_path / "out.json"),
+                ]
+            )
+
+
+class TestBaselineEdges:
+    def test_proclus_more_clusters_than_candidates(self, rng):
+        data = rng.uniform(size=(30, 4))
+        config = ProclusConfig(
+            num_clusters=5, avg_dimensions=2, sample_factor=2, seed=0
+        )
+        result = Proclus(config).fit(data)
+        assert result.n_points == 30
+
+    def test_doc_uniform_data_few_clusters(self, rng):
+        data = rng.uniform(size=(400, 5))
+        result = DOC(DOCConfig(seed=1, max_clusters=3)).fit(data)
+        # Uniform data: boxes exist but are weak; never more than asked.
+        assert result.num_clusters <= 3
+
+    def test_doc_respects_max_clusters(self, small_dataset):
+        result = DOC(DOCConfig(seed=1, max_clusters=1)).fit(
+            small_dataset.data
+        )
+        assert result.num_clusters <= 1
+
+
+class TestChainEdges:
+    def test_chain_with_explicit_num_splits(self, rng):
+        from repro.mr.histogram import run_histogram_job
+        from repro.mapreduce.types import split_records
+
+        chain = JobChain(MapReduceRuntime())
+        splits = split_records(rng.uniform(size=(50, 2)), 3)
+        run_histogram_job(chain, splits, 4)
+        assert chain.steps[0].result.conf.num_splits == len(splits)

@@ -1,0 +1,174 @@
+"""Tests for the subspace quality measures (E4SC, F1, RNIA, CE)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.types import ProjectedCluster
+from repro.eval import ce_score, e4sc_score, f1_score, rnia_score
+from repro.eval.matching import (
+    micro_object_count,
+    micro_object_intersection,
+    pairwise_intersections,
+    total_coverage,
+    union_coverage,
+)
+
+
+def _cluster(members, attrs) -> ProjectedCluster:
+    return ProjectedCluster(
+        members=np.asarray(members, dtype=np.int64),
+        relevant_attributes=frozenset(attrs),
+    )
+
+
+TRUTH = [
+    _cluster(range(0, 50), {0, 1}),
+    _cluster(range(50, 100), {2, 3}),
+]
+
+ALL_SCORES = [e4sc_score, f1_score, rnia_score, ce_score]
+
+
+class TestMicroObjects:
+    def test_count(self):
+        assert micro_object_count(_cluster([1, 2, 3], {0, 1})) == 6
+
+    def test_intersection_factorises(self):
+        a = _cluster([1, 2, 3], {0, 1})
+        b = _cluster([2, 3, 4], {1, 2})
+        assert micro_object_intersection(a, b) == 2 * 1
+
+    def test_no_shared_attributes(self):
+        a = _cluster([1, 2], {0})
+        b = _cluster([1, 2], {1})
+        assert micro_object_intersection(a, b) == 0
+
+    def test_pairwise_matrix(self):
+        matrix = pairwise_intersections(TRUTH, TRUTH)
+        assert matrix[0, 0] == 100
+        assert matrix[0, 1] == 0
+
+    def test_total_coverage_disjoint(self):
+        assert total_coverage(TRUTH) == 200
+
+    def test_total_coverage_overlapping(self):
+        overlapping = [
+            _cluster([0, 1], {0}),
+            _cluster([1, 2], {0}),
+        ]
+        assert total_coverage(overlapping) == 3
+
+    def test_union_coverage_identical(self):
+        assert union_coverage(TRUTH, TRUTH) == 200
+
+
+class TestPerfectScores:
+    @pytest.mark.parametrize("score", ALL_SCORES)
+    def test_identical_clustering_scores_one(self, score):
+        assert score(TRUTH, TRUTH) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("score", ALL_SCORES)
+    def test_empty_found_scores_zero(self, score):
+        assert score([], TRUTH) == 0.0
+
+    @pytest.mark.parametrize("score", ALL_SCORES)
+    def test_empty_truth_rejected(self, score):
+        with pytest.raises(ValueError):
+            score(TRUTH, [])
+
+    @pytest.mark.parametrize("score", ALL_SCORES)
+    def test_scores_in_unit_interval(self, score):
+        found = [
+            _cluster(range(0, 30), {0, 1, 5}),
+            _cluster(range(60, 100), {2}),
+            _cluster(range(30, 40), {7}),
+        ]
+        assert 0.0 <= score(found, TRUTH) <= 1.0
+
+
+class TestE4SCSensitivity:
+    def test_wrong_subspace_punished(self):
+        right = [_cluster(range(0, 50), {0, 1}), _cluster(range(50, 100), {2, 3})]
+        wrong = [_cluster(range(0, 50), {6, 7}), _cluster(range(50, 100), {8, 9})]
+        assert e4sc_score(wrong, TRUTH) == 0.0
+        assert e4sc_score(right, TRUTH) == 1.0
+
+    def test_f1_blind_to_subspace(self):
+        """The paper's criticism of F1: full-space measure, cannot punish
+        wrong subspaces."""
+        wrong_subspace = [
+            _cluster(range(0, 50), {6, 7}),
+            _cluster(range(50, 100), {8, 9}),
+        ]
+        assert f1_score(wrong_subspace, TRUTH) == pytest.approx(1.0)
+        assert e4sc_score(wrong_subspace, TRUTH) < 0.5
+
+    def test_merge_punished(self):
+        merged = [_cluster(range(0, 100), {0, 1, 2, 3})]
+        assert e4sc_score(merged, TRUTH) < 0.8
+
+    def test_split_punished(self):
+        split = [
+            _cluster(range(0, 25), {0, 1}),
+            _cluster(range(25, 50), {0, 1}),
+            _cluster(range(50, 100), {2, 3}),
+        ]
+        assert e4sc_score(split, TRUTH) < 1.0
+
+    def test_phantom_cluster_punished(self):
+        with_phantom = TRUTH + [_cluster(range(100, 120), {5})]
+        assert e4sc_score(with_phantom, TRUTH) < 1.0
+
+    def test_partial_overlap_in_between(self):
+        partial = [
+            _cluster(range(0, 40), {0, 1}),
+            _cluster(range(50, 90), {2, 3}),
+        ]
+        assert 0.5 < e4sc_score(partial, TRUTH) < 1.0
+
+
+class TestCEvsRNIA:
+    def test_ce_punishes_splits_harder(self):
+        split = [
+            _cluster(range(0, 25), {0, 1}),
+            _cluster(range(25, 50), {0, 1}),
+            _cluster(range(50, 100), {2, 3}),
+        ]
+        assert ce_score(split, TRUTH) < rnia_score(split, TRUTH)
+
+    def test_rnia_equals_ce_for_one_to_one(self):
+        found = [
+            _cluster(range(0, 45), {0, 1}),
+            _cluster(range(50, 95), {2, 3}),
+        ]
+        assert rnia_score(found, TRUTH) == pytest.approx(
+            ce_score(found, TRUTH)
+        )
+
+
+class TestScoreProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_random_clusterings_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        found = []
+        for _ in range(int(rng.integers(1, 4))):
+            size = int(rng.integers(1, 40))
+            members = rng.choice(100, size=size, replace=False)
+            attrs = set(
+                int(a) for a in rng.choice(10, size=rng.integers(1, 4), replace=False)
+            )
+            found.append(_cluster(members, attrs))
+        for score in ALL_SCORES:
+            value = score(found, TRUTH)
+            assert 0.0 <= value <= 1.0
+
+    def test_better_overlap_scores_higher(self):
+        close = [_cluster(range(0, 48), {0, 1}), _cluster(range(50, 98), {2, 3})]
+        far = [_cluster(range(0, 10), {0, 1}), _cluster(range(50, 60), {2, 3})]
+        for score in ALL_SCORES:
+            assert score(close, TRUTH) > score(far, TRUTH)

@@ -1,0 +1,102 @@
+"""Smoke + shape tests for the experiment harnesses (tiny parameters)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import figure1, figure2, figure5
+from repro.experiments.configs import ExperimentScale
+from repro.experiments.runner import algorithm_registry, format_table, make_dataset
+
+
+class TestFigure1:
+    def test_power_rises_with_mu(self):
+        series = figure1.run(mus=(100, 10_000, 1_000_000))
+        powers = [p for _, p in series]
+        assert powers == sorted(powers)
+        assert powers[-1] > 0.99
+
+    def test_main_renders(self):
+        text = figure1.main(mus=(100, 1_000))
+        assert "Figure 1" in text
+
+
+class TestFigure2:
+    def test_redundant_signature_removed(self):
+        outcome = figure2.run()
+        assert outcome["s3_passes_poisson"]
+        assert outcome["s3_removed"]
+        assert outcome["s1_kept"] and outcome["s2_kept"]
+
+    def test_paper_ratios(self):
+        outcome = figure2.run()
+        assert outcome["ratios"]["S1"] == pytest.approx(50.0)
+        assert outcome["ratios"]["S3"] == pytest.approx(10.0)
+
+    def test_main_renders(self):
+        assert "redundant" in figure2.main().lower()
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return figure5.run(
+            sizes=(1_200,),
+            dims=10,
+            num_clusters=3,
+            thresholds=(1e-40, 1e-3),
+            seed=1,
+        )
+
+    def test_rows_cover_grid(self, rows):
+        assert len(rows) == 1 * 2 * 2  # sizes x thresholds x tests
+
+    def test_filtered_never_exceeds_unfiltered(self, rows):
+        for row in rows:
+            assert row.cores_filtered <= row.cores_no_filter
+
+    def test_combined_never_exceeds_poisson(self, rows):
+        by_key = {(r.threshold, r.test): r for r in rows}
+        for threshold in (1e-40, 1e-3):
+            combined = by_key[(threshold, "Combined")]
+            poisson = by_key[(threshold, "Poisson")]
+            assert combined.cores_no_filter <= poisson.cores_no_filter
+
+
+class TestRunner:
+    def test_registry_has_all_five_algorithms(self):
+        registry = algorithm_registry()
+        assert set(registry) == {
+            "BoW (Light)",
+            "BoW (MVB)",
+            "MR (Light)",
+            "MR (MVB)",
+            "MR (Naive)",
+        }
+
+    def test_make_dataset_deterministic(self):
+        a = make_dataset(200, 6, 2, 0.1, seed=1)
+        b = make_dataset(200, 6, 2, 0.1, seed=1)
+        assert (a.data == b.data).all()
+
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "2.500" in table
+
+    def test_format_table_empty_rows(self):
+        table = format_table(["col"], [])
+        assert "col" in table
+
+
+class TestScaleProfiles:
+    def test_quick_scale_is_small(self):
+        from repro.experiments.configs import FULL_SCALE, QUICK_SCALE
+
+        assert max(QUICK_SCALE.sizes) <= min(5_001, max(FULL_SCALE.sizes))
+        assert QUICK_SCALE.dims <= FULL_SCALE.dims
+
+    def test_custom_scale(self):
+        scale = ExperimentScale(name="test", sizes=(100,), dims=5)
+        assert scale.noise_levels == (0.0, 0.05, 0.10, 0.20)

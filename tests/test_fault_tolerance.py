@@ -1,0 +1,143 @@
+"""Failure-injection tests for the runtime's task re-execution."""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any
+
+import pytest
+
+from repro.mapreduce import (
+    Context,
+    Job,
+    JobConf,
+    Mapper,
+    MapReduceRuntime,
+    Reducer,
+    TaskFailedError,
+)
+from repro.mapreduce.runtime import TASK_RETRIES
+from repro.mapreduce.types import split_records
+
+# Module-level attempt ledger: mapper instances are re-created per
+# attempt, so flaky behaviour must live outside the task object —
+# exactly the kind of external transient failure retries exist for.
+_ATTEMPTS: dict[tuple[str, int], int] = {}
+
+
+def _reset() -> None:
+    _ATTEMPTS.clear()
+
+
+class FlakyMapper(Mapper):
+    """Fails the first N attempts of each map task."""
+
+    fail_first = 1
+
+    def setup(self, context: Context) -> None:
+        key = ("map", context.task_id)
+        _ATTEMPTS[key] = _ATTEMPTS.get(key, 0) + 1
+        if _ATTEMPTS[key] <= self.fail_first:
+            raise IOError(f"transient failure on split {context.task_id}")
+
+    def map(self, key: Any, value: Any, context: Context) -> None:
+        context.emit("count", 1)
+
+
+class AlwaysFailingMapper(Mapper):
+    def map(self, key: Any, value: Any, context: Context) -> None:
+        raise RuntimeError("permanent failure")
+
+
+class FlakyReducer(Reducer):
+    def setup(self, context: Context) -> None:
+        key = ("reduce", context.task_id)
+        _ATTEMPTS[key] = _ATTEMPTS.get(key, 0) + 1
+        if _ATTEMPTS[key] <= 1:
+            raise IOError("transient reducer failure")
+
+    def reduce(self, key: Any, values: list[Any], context: Context) -> None:
+        context.emit(key, sum(values))
+
+
+class SumReducer(Reducer):
+    def reduce(self, key: Any, values: list[Any], context: Context) -> None:
+        context.emit(key, sum(values))
+
+
+def _splits(n: int = 12, k: int = 3):
+    return split_records([(i, i) for i in range(n)], k)
+
+
+class TestMapRetries:
+    def test_transient_failure_recovered(self):
+        _reset()
+        runtime = MapReduceRuntime()
+        job = Job(mapper_factory=FlakyMapper, reducer_factory=SumReducer)
+        result = runtime.run(job, _splits(), JobConf(max_task_attempts=3))
+        assert result.as_dict() == {"count": 12}
+
+    def test_retries_counted(self):
+        _reset()
+        runtime = MapReduceRuntime()
+        job = Job(mapper_factory=FlakyMapper, reducer_factory=SumReducer)
+        result = runtime.run(job, _splits(k=3), JobConf(max_task_attempts=3))
+        assert result.counters.framework_value(TASK_RETRIES) == 3  # one/split
+
+    def test_permanent_failure_raises(self):
+        runtime = MapReduceRuntime()
+        job = Job(mapper_factory=AlwaysFailingMapper)
+        with pytest.raises(TaskFailedError) as info:
+            runtime.run(job, _splits(), JobConf(max_task_attempts=2, num_reducers=0))
+        assert info.value.phase == "map"
+        assert info.value.attempts == 2
+        assert isinstance(info.value.cause, RuntimeError)
+
+    def test_fail_fast_with_single_attempt(self):
+        _reset()
+        runtime = MapReduceRuntime()
+        job = Job(mapper_factory=FlakyMapper, reducer_factory=SumReducer)
+        with pytest.raises(TaskFailedError):
+            runtime.run(job, _splits(), JobConf(max_task_attempts=1))
+
+    def test_no_duplicate_output_after_retry(self):
+        """Re-executed tasks must not double-count records."""
+        _reset()
+        runtime = MapReduceRuntime()
+        job = Job(mapper_factory=FlakyMapper, reducer_factory=SumReducer)
+        result = runtime.run(job, _splits(n=20, k=4), JobConf(max_task_attempts=4))
+        assert result.as_dict() == {"count": 20}
+
+
+class TestReduceRetries:
+    def test_transient_reducer_recovered(self):
+        _reset()
+        runtime = MapReduceRuntime()
+
+        class CountMapper(Mapper):
+            def map(self, key: Any, value: Any, context: Context) -> None:
+                context.emit("total", value)
+
+        job = Job(mapper_factory=CountMapper, reducer_factory=FlakyReducer)
+        result = runtime.run(job, _splits(n=5, k=1), JobConf(max_task_attempts=2))
+        assert result.as_dict() == {"total": sum(range(5))}
+
+    def test_conf_validates_attempts(self):
+        with pytest.raises(ValueError):
+            JobConf(max_task_attempts=0)
+
+
+class TestDeterminismUnderRetry:
+    def test_output_independent_of_which_attempt_succeeded(self):
+        _reset()
+        runtime = MapReduceRuntime()
+        flaky_job = Job(mapper_factory=FlakyMapper, reducer_factory=SumReducer)
+        flaky = runtime.run(flaky_job, _splits(), JobConf(max_task_attempts=3))
+
+        class CleanMapper(Mapper):
+            def map(self, key: Any, value: Any, context: Context) -> None:
+                context.emit("count", 1)
+
+        clean_job = Job(mapper_factory=CleanMapper, reducer_factory=SumReducer)
+        clean = runtime.run(clean_job, _splits(), JobConf())
+        assert flaky.as_dict() == clean.as_dict()

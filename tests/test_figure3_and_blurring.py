@@ -1,0 +1,76 @@
+"""Tests for the Figure 3 and blurring-effect harnesses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import blurring, figure3
+from repro.data import GeneratorConfig, generate_synthetic
+
+
+class TestFigure3:
+    def test_s2_bit_always_one(self):
+        outcome = figure3.run()
+        assert outcome["s2_bit_always_one"]
+
+    def test_boundaries_span_unit_interval(self):
+        outcome = figure3.run()
+        assert outcome["boundaries"][0] == 0.0
+        assert outcome["boundaries"][-1] == 1.0
+
+    def test_cell_count_matches_boundaries(self):
+        outcome = figure3.run()
+        assert len(outcome["cells"]) == 2 * len(outcome["boundaries"]) - 1
+
+    def test_main_renders(self):
+        assert "Figure 3" in figure3.main()
+
+
+class TestInjection:
+    @pytest.fixture(scope="class")
+    def base(self):
+        return generate_synthetic(
+            GeneratorConfig(
+                n=400, d=8, num_clusters=2, noise_fraction=0.05,
+                max_cluster_dims=4, seed=21,
+            )
+        )
+
+    def test_injected_count(self, base):
+        data, blurred = blurring.inject_blurring_points(base, 6)
+        assert len(data) == 400 + 6 * len(base.hidden_clusters)
+        assert len(blurred) == len(base.hidden_clusters)
+
+    def test_zero_injection_returns_original(self, base):
+        data, _ = blurring.inject_blurring_points(base, 0)
+        assert data is base.data
+
+    def test_injected_points_match_centres_except_blur_attr(self, base):
+        data, blurred = blurring.inject_blurring_points(base, 2)
+        injected = data[400:]
+        for j, (cid, blur_attr) in enumerate(blurred):
+            cluster = base.hidden_clusters[cid]
+            point = injected[2 * j]
+            for interval in cluster.signature:
+                if interval.attribute == blur_attr:
+                    assert point[interval.attribute] in (0.0, 1.0)
+                else:
+                    centre = (interval.lower + interval.upper) / 2
+                    assert point[interval.attribute] == pytest.approx(centre)
+
+    def test_injected_points_in_unit_cube(self, base):
+        data, _ = blurring.inject_blurring_points(base, 4)
+        assert data.min() >= 0.0 and data.max() <= 1.0
+
+
+class TestBlurringRender:
+    def test_render_orders_algorithms(self):
+        rows = [
+            blurring.BlurringRow("MR (Naive)", 0, 1.5),
+            blurring.BlurringRow("MR (MVB)", 0, 1.0),
+            blurring.BlurringRow("MR (Light)", 0, 0.9),
+        ]
+        text = blurring.render(rows)
+        assert text.index("MR (Naive)") < text.index("MR (MVB)")
+        assert "blurring effect" in text

@@ -1,0 +1,100 @@
+"""Tests for file-backed CSV input splits (larger-than-memory path)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.io import save_dataset_csv
+from repro.mapreduce.fs import make_csv_splits
+from repro.mapreduce.types import split_records
+from repro.mr import P3CPlusMRConfig, P3CPlusMRLight
+
+
+@pytest.fixture()
+def csv_file(tmp_path, tiny_dataset):
+    path = tmp_path / "data.csv"
+    save_dataset_csv(path, tiny_dataset.data)
+    return path
+
+
+class TestCSVSplits:
+    def test_dimensions_detected(self, csv_file, tiny_dataset):
+        splits, n, d = make_csv_splits(csv_file, 4)
+        assert n == len(tiny_dataset.data)
+        assert d == tiny_dataset.data.shape[1]
+
+    def test_records_match_source(self, csv_file, tiny_dataset):
+        splits, _, _ = make_csv_splits(csv_file, 4)
+        for split in splits:
+            for idx, row in split:
+                assert np.allclose(row, tiny_dataset.data[idx], atol=1e-8)
+
+    def test_all_rows_covered_exactly_once(self, csv_file, tiny_dataset):
+        splits, n, _ = make_csv_splits(csv_file, 7)
+        seen = sorted(idx for split in splits for idx, _ in split)
+        assert seen == list(range(n))
+
+    def test_single_split(self, csv_file, tiny_dataset):
+        splits, n, _ = make_csv_splits(csv_file, 1)
+        assert len(splits) == 1
+        assert len(splits[0]) == n
+
+    def test_more_splits_than_rows(self, tmp_path):
+        path = tmp_path / "small.csv"
+        save_dataset_csv(path, np.array([[0.1, 0.2], [0.3, 0.4]]))
+        splits, n, _ = make_csv_splits(path, 10)
+        assert n == 2
+        assert sum(len(s) for s in splits) == 2
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError):
+            make_csv_splits(path, 2)
+
+    def test_invalid_split_count(self, csv_file):
+        with pytest.raises(ValueError):
+            make_csv_splits(csv_file, 0)
+
+    def test_streams_are_reiterable(self, csv_file):
+        """Tasks may be retried: a split must be consumable repeatedly."""
+        splits, _, _ = make_csv_splits(csv_file, 3)
+        first = [idx for idx, _ in splits[0]]
+        second = [idx for idx, _ in splits[0]]
+        assert first == second
+
+    def test_getitem(self, csv_file, tiny_dataset):
+        splits, _, _ = make_csv_splits(csv_file, 3)
+        idx, row = splits[0].records[0]
+        assert np.allclose(row, tiny_dataset.data[idx], atol=1e-8)
+        with pytest.raises(IndexError):
+            splits[0].records[len(splits[0])]
+
+
+class TestFileBackedClustering:
+    def test_csv_equals_in_memory_clustering(self, csv_file, tiny_dataset):
+        """The headline property: clustering from file-backed splits is
+        identical to clustering the in-memory matrix."""
+        csv_splits, n, d = make_csv_splits(csv_file, 4)
+        from_file = P3CPlusMRLight(
+            mr_config=P3CPlusMRConfig(num_splits=4)
+        ).fit_splits(csv_splits, n, d)
+
+        from_memory = P3CPlusMRLight(
+            mr_config=P3CPlusMRConfig(num_splits=4)
+        ).fit(tiny_dataset.data)
+
+        assert from_file.num_clusters == from_memory.num_clusters
+        assert np.array_equal(from_file.labels(), from_memory.labels())
+
+    def test_fit_splits_with_memory_splits(self, tiny_dataset):
+        splits = split_records(tiny_dataset.data, 4)
+        n, d = tiny_dataset.data.shape
+        result = P3CPlusMRLight(
+            mr_config=P3CPlusMRConfig(num_splits=4)
+        ).fit_splits(splits, n, d)
+        direct = P3CPlusMRLight(
+            mr_config=P3CPlusMRConfig(num_splits=4)
+        ).fit(tiny_dataset.data)
+        assert np.array_equal(result.labels(), direct.labels())

@@ -1,0 +1,136 @@
+"""Tests for the synthetic workload generator (Section 7.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import GeneratorConfig, generate_synthetic
+
+
+class TestConfigValidation:
+    def test_rejects_bad_noise(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(noise_fraction=1.0)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(d=5, max_cluster_dims=10)
+
+    def test_rejects_bad_widths(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(min_width=0.5, max_width=0.2)
+
+    def test_rejects_zero_clusters(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(num_clusters=0)
+
+
+class TestGeneratedData:
+    @pytest.fixture(scope="class")
+    def dataset(self):
+        return generate_synthetic(
+            GeneratorConfig(
+                n=2_000, d=20, num_clusters=4, noise_fraction=0.15, seed=3
+            )
+        )
+
+    def test_shape(self, dataset):
+        assert dataset.data.shape == (2_000, 20)
+
+    def test_values_in_unit_cube(self, dataset):
+        assert dataset.data.min() >= 0.0
+        assert dataset.data.max() <= 1.0
+
+    def test_noise_fraction(self, dataset):
+        assert len(dataset.noise_indices) == 300
+
+    def test_cluster_count(self, dataset):
+        assert len(dataset.hidden_clusters) == 4
+
+    def test_cluster_sizes_balanced(self, dataset):
+        sizes = [c.size for c in dataset.hidden_clusters]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 1_700
+
+    def test_members_inside_true_signature(self, dataset):
+        for cluster in dataset.hidden_clusters:
+            mask = cluster.signature.support_mask(dataset.data)
+            assert mask[cluster.members].all()
+
+    def test_cluster_dimensionality_in_range(self, dataset):
+        for cluster in dataset.hidden_clusters:
+            assert 2 <= len(cluster.relevant_attributes) <= 10
+
+    def test_interval_widths_in_range(self, dataset):
+        for cluster in dataset.hidden_clusters:
+            for interval in cluster.signature:
+                assert 0.1 <= interval.width <= 0.3 + 1e-9
+
+    def test_overlap_guarantee(self, dataset):
+        """At least two clusters overlap on a relevant attribute."""
+        first = dataset.hidden_clusters[0].signature
+        second = dataset.hidden_clusters[1].signature
+        overlapping = any(
+            a.overlaps(b) for a in first for b in second
+        )
+        assert overlapping
+
+    def test_labels_consistent(self, dataset):
+        labels = dataset.labels
+        for cid, cluster in enumerate(dataset.hidden_clusters):
+            assert (labels[cluster.members] == cid).all()
+        assert (labels[dataset.noise_indices] == -1).all()
+
+    def test_partition_is_complete(self, dataset):
+        total = sum(c.size for c in dataset.hidden_clusters)
+        total += len(dataset.noise_indices)
+        assert total == 2_000
+
+    def test_ground_truth_clusters_adapter(self, dataset):
+        truth = dataset.ground_truth_clusters()
+        assert len(truth) == 4
+        assert truth[0].relevant_attributes == (
+            dataset.hidden_clusters[0].relevant_attributes
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        config = GeneratorConfig(n=500, d=10, num_clusters=2, seed=11)
+        a = generate_synthetic(config)
+        b = generate_synthetic(config)
+        assert np.array_equal(a.data, b.data)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_different_seed_different_data(self):
+        a = generate_synthetic(GeneratorConfig(n=500, d=10, seed=1))
+        b = generate_synthetic(GeneratorConfig(n=500, d=10, seed=2))
+        assert not np.array_equal(a.data, b.data)
+
+
+class TestProperties:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.integers(50, 500),
+        st.integers(1, 4),
+        st.sampled_from([0.0, 0.1, 0.3]),
+    )
+    def test_generator_invariants(self, n, k, noise):
+        dataset = generate_synthetic(
+            GeneratorConfig(
+                n=n,
+                d=8,
+                num_clusters=k,
+                noise_fraction=noise,
+                max_cluster_dims=4,
+                seed=0,
+            )
+        )
+        assert len(dataset.data) == n
+        assert dataset.data.min() >= 0 and dataset.data.max() <= 1
+        assert len(dataset.hidden_clusters) <= k
+        labels = dataset.labels
+        assert ((labels >= -1) & (labels < k)).all()

@@ -1,0 +1,108 @@
+"""Unit tests for harness render/projection helpers (no heavy sweeps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.billion import BillionResult, render as billion_render
+from repro.experiments.colon import ColonResult, render as colon_render
+from repro.experiments.figure4 import Figure4Row, render as figure4_render
+from repro.experiments.figure5 import Figure5Row, render as figure5_render
+from repro.experiments.figure6 import render as figure6_render
+from repro.experiments.figure7 import (
+    RuntimeRow,
+    project_runtime,
+    run_projected,
+)
+from repro.experiments.runner import SweepRow
+from repro.mapreduce.costmodel import ClusterCostModel
+
+
+class TestFigure4Render:
+    def test_pairs_cells(self):
+        rows = [
+            Figure4Row("NAIVE", 1000, 3, 0.05, 0.8),
+            Figure4Row("MVB", 1000, 3, 0.05, 0.9),
+        ]
+        text = figure4_render(rows)
+        assert "1/1 cells" in text
+        assert "0.800" in text and "0.900" in text
+
+
+class TestFigure5Render:
+    def test_renders_thresholds(self):
+        rows = [
+            Figure5Row(n=1000, threshold=1e-20, test="Poisson",
+                       cores_no_filter=40, cores_filtered=5),
+            Figure5Row(n=1000, threshold=1e-20, test="Combined",
+                       cores_no_filter=12, cores_filtered=5),
+        ]
+        text = figure5_render(rows, num_clusters=5)
+        assert "1e-20" in text
+        assert "optimal = 5" in text
+
+
+class TestFigure6Render:
+    def test_panels_grouped(self):
+        rows = [
+            SweepRow("MR (Light)", 1000, 3, 0.0, 0.9, 1.0, 3),
+            SweepRow("BoW (Light)", 1000, 3, 0.0, 0.7, 0.5, 3),
+            SweepRow("MR (Light)", 1000, 5, 0.1, 0.8, 1.2, 5),
+        ]
+        text = figure6_render(rows)
+        assert "(3 clusters, 0% noise)" in text
+        assert "(5 clusters, 10% noise)" in text
+
+
+class TestFigure7Projection:
+    def test_mr_cost_scales_with_jobs(self):
+        model = ClusterCostModel()
+        few = project_runtime("MR (Light)", 10**7, 5, model)
+        many = project_runtime("MR (Light)", 10**7, 10, model)
+        assert many == pytest.approx(2 * few)
+
+    def test_bow_cost_includes_plugin_term(self):
+        model = ClusterCostModel()
+        light = project_runtime("BoW (Light)", 10**8, 1, model)
+        mvb = project_runtime("BoW (MVB)", 10**8, 1, model)
+        assert mvb > light  # heavier plug-in per reducer
+
+    def test_run_projected_uses_largest_measured_jobs(self):
+        measured = [
+            RuntimeRow("MR (Light)", 1000, 1.0, mr_jobs=5),
+            RuntimeRow("MR (Light)", 2000, 2.0, mr_jobs=7),
+        ]
+        projected = run_projected(measured, sizes=(10**6,))
+        assert projected[0].mr_jobs == 7
+
+    def test_monotone_in_n(self):
+        model = ClusterCostModel()
+        times = [
+            project_runtime("BoW (Light)", n, 1, model)
+            for n in (10**5, 10**7, 10**9)
+        ]
+        assert times == sorted(times)
+
+
+class TestBillionRender:
+    def test_mentions_both_algorithms(self):
+        outcome = BillionResult(
+            measured_mr_light_s=10.0,
+            measured_bow_light_s=5.0,
+            measured_mr_jobs=7,
+            projected_mr_light_s=4500.0,
+            projected_bow_light_s=8200.0,
+        )
+        text = billion_render(outcome, scaled_n=4000)
+        assert "MR (Light)" in text and "BoW (Light)" in text
+        assert outcome.projected_ratio == pytest.approx(8200 / 4500)
+
+
+class TestColonRender:
+    def test_reports_means_and_ordering(self):
+        outcome = ColonResult(per_seed=[(7, 0.9, 0.8), (11, 0.7, 0.8)])
+        assert outcome.p3c_plus_mean == pytest.approx(0.8)
+        assert outcome.p3c_mean == pytest.approx(0.8)
+        assert outcome.ordering_reproduced
+        text = colon_render(outcome)
+        assert "mean" in text

@@ -1,0 +1,109 @@
+"""Unit tests for relevant-interval detection (chi-squared marking)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.binning import Histogram, build_all_histograms
+from repro.core.intervals import (
+    find_relevant_intervals,
+    find_relevant_intervals_for_histogram,
+    mark_relevant_bins,
+    merge_adjacent_bins,
+)
+
+
+class TestMarking:
+    def test_uniform_histogram_marks_nothing(self):
+        assert mark_relevant_bins(np.array([100, 101, 99, 100, 100])) == []
+
+    def test_single_spike_marked(self):
+        counts = np.array([10, 10, 500, 10, 10])
+        assert mark_relevant_bins(counts) == [2]
+
+    def test_two_spikes_marked(self):
+        counts = np.array([500, 10, 10, 400, 10])
+        assert mark_relevant_bins(counts) == [0, 3]
+
+    def test_marking_stops_when_remaining_uniform(self):
+        counts = np.array([1000, 50, 52, 48, 50])
+        marked = mark_relevant_bins(counts)
+        assert marked == [0]
+
+    def test_all_but_one_bin_can_be_marked(self):
+        # Strictly decreasing, highly non-uniform histogram.
+        counts = np.array([10_000, 1_000, 1])
+        marked = mark_relevant_bins(counts)
+        assert len(marked) <= 2  # at least one bin always stays unmarked
+
+    def test_tie_broken_to_lowest_index(self):
+        counts = np.array([500, 500, 1, 1, 1, 1, 1, 1])
+        marked = mark_relevant_bins(counts)
+        assert marked[0] in (0, 1)
+        assert sorted(marked) == marked
+
+
+class TestMerging:
+    def _histogram(self, num_bins: int = 10) -> Histogram:
+        return Histogram(attribute=2, counts=np.ones(num_bins, dtype=int))
+
+    def test_no_marks_no_intervals(self):
+        assert merge_adjacent_bins(self._histogram(), []) == []
+
+    def test_single_bin_interval(self):
+        intervals = merge_adjacent_bins(self._histogram(), [3])
+        assert len(intervals) == 1
+        assert intervals[0].lower == pytest.approx(0.3)
+        assert intervals[0].upper == pytest.approx(0.4)
+
+    def test_adjacent_bins_merge(self):
+        intervals = merge_adjacent_bins(self._histogram(), [3, 4, 5])
+        assert len(intervals) == 1
+        assert intervals[0].lower == pytest.approx(0.3)
+        assert intervals[0].upper == pytest.approx(0.6)
+
+    def test_gap_produces_two_intervals(self):
+        intervals = merge_adjacent_bins(self._histogram(), [1, 2, 7])
+        assert len(intervals) == 2
+        assert intervals[0].lower == pytest.approx(0.1)
+        assert intervals[0].upper == pytest.approx(0.3)
+        assert intervals[1].lower == pytest.approx(0.7)
+        assert intervals[1].upper == pytest.approx(0.8)
+
+    def test_unsorted_marks_accepted(self):
+        intervals = merge_adjacent_bins(self._histogram(), [7, 1, 2])
+        assert len(intervals) == 2
+
+
+class TestDetection:
+    def test_relevant_attribute_detected(self, tiny_dataset):
+        relevant_attrs = set()
+        for cluster in tiny_dataset.hidden_clusters:
+            relevant_attrs |= cluster.relevant_attributes
+        histograms = build_all_histograms(tiny_dataset.data, 8)
+        intervals = find_relevant_intervals(histograms, alpha=0.001)
+        found_attrs = {iv.attribute for iv in intervals}
+        # Every hidden-cluster attribute hosts a dense interval.
+        assert relevant_attrs <= found_attrs
+
+    def test_uniform_attribute_not_detected(self, rng):
+        data = rng.uniform(size=(2_000, 3))
+        histograms = build_all_histograms(data, 10)
+        intervals = find_relevant_intervals(histograms, alpha=0.001)
+        assert intervals == []
+
+    def test_interval_covers_the_dense_region(self, rng):
+        data = rng.uniform(size=(3_000, 1))
+        data[:1_000, 0] = rng.normal(0.5, 0.02, size=1_000).clip(0, 1)
+        histograms = build_all_histograms(data, 20)
+        found = find_relevant_intervals_for_histogram(histograms[0])
+        assert found.is_relevant
+        assert any(iv.contains(0.5) for iv in found.intervals)
+
+    def test_result_records_marked_bins(self, rng):
+        data = rng.uniform(size=(3_000, 1))
+        data[:1_500, 0] = 0.55
+        histograms = build_all_histograms(data, 10)
+        found = find_relevant_intervals_for_histogram(histograms[0])
+        assert 5 in found.marked_bins

@@ -1,0 +1,101 @@
+"""Tests for CSV/JSON (de)serialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.p3c_plus import P3CPlusLight
+from repro.data.io import (
+    load_dataset_csv,
+    load_result_json,
+    result_from_dict,
+    result_to_dict,
+    save_dataset_csv,
+    save_result_json,
+)
+
+
+class TestDatasetCSV:
+    def test_roundtrip(self, tmp_path, rng):
+        data = rng.uniform(size=(50, 4))
+        labels = rng.integers(-1, 3, size=50)
+        path = tmp_path / "data.csv"
+        save_dataset_csv(path, data, labels)
+        loaded, loaded_labels = load_dataset_csv(path)
+        assert np.allclose(loaded, data)
+        assert np.array_equal(loaded_labels, labels)
+
+    def test_roundtrip_without_labels(self, tmp_path, rng):
+        data = rng.uniform(size=(10, 2))
+        path = tmp_path / "data.csv"
+        save_dataset_csv(path, data)
+        loaded, labels = load_dataset_csv(path)
+        assert np.allclose(loaded, data)
+        assert labels is None
+
+    def test_rejects_1d(self, tmp_path):
+        with pytest.raises(ValueError):
+            save_dataset_csv(tmp_path / "x.csv", np.zeros(5))
+
+    def test_rejects_label_mismatch(self, tmp_path, rng):
+        with pytest.raises(ValueError):
+            save_dataset_csv(
+                tmp_path / "x.csv", rng.uniform(size=(5, 2)), np.zeros(3)
+            )
+
+    def test_single_row(self, tmp_path):
+        path = tmp_path / "one.csv"
+        save_dataset_csv(path, np.array([[0.1, 0.2]]))
+        loaded, _ = load_dataset_csv(path)
+        assert loaded.shape == (1, 2)
+
+
+class TestResultJSON:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_dataset):
+        return P3CPlusLight().fit(tiny_dataset.data)
+
+    def test_roundtrip_preserves_structure(self, tmp_path, result):
+        path = tmp_path / "result.json"
+        save_result_json(path, result)
+        loaded = load_result_json(path)
+        assert loaded.n_points == result.n_points
+        assert loaded.num_clusters == result.num_clusters
+        assert np.array_equal(loaded.outliers, result.outliers)
+        for a, b in zip(loaded.clusters, result.clusters):
+            assert np.array_equal(a.members, b.members)
+            assert a.relevant_attributes == b.relevant_attributes
+            assert a.signature == b.signature
+
+    def test_labels_roundtrip(self, tmp_path, result):
+        path = tmp_path / "result.json"
+        save_result_json(path, result)
+        loaded = load_result_json(path)
+        assert np.array_equal(loaded.labels(), result.labels())
+
+    def test_version_checked(self, result):
+        payload = result_to_dict(result)
+        payload["format_version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            result_from_dict(payload)
+
+    def test_metadata_is_json_safe(self, result):
+        import json
+
+        payload = result_to_dict(result)
+        json.dumps(payload)  # must not raise
+
+    def test_numpy_metadata_coerced(self):
+        from repro.core.types import ClusteringResult
+        from repro.data.io import result_to_dict
+
+        result = ClusteringResult(
+            clusters=[],
+            n_points=1,
+            n_dims=1,
+            metadata={"count": np.int64(5), "values": np.array([1.5, 2.5])},
+        )
+        payload = result_to_dict(result)
+        assert payload["metadata"]["count"] == 5
+        assert payload["metadata"]["values"] == [1.5, 2.5]

@@ -1,0 +1,232 @@
+"""Tests for the MapReduce runtime: golden wordcount, combiners,
+partitioners, counters, map-only jobs and executor equivalence."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import pytest
+
+from repro.mapreduce import (
+    Combiner,
+    Context,
+    Counters,
+    DistributedCache,
+    HashPartitioner,
+    Job,
+    JobConf,
+    Mapper,
+    MapReduceRuntime,
+    Partitioner,
+    Reducer,
+)
+from repro.mapreduce.types import InputSplit, split_records
+
+
+class WordCountMapper(Mapper):
+    def map(self, key: Any, value: str, context: Context) -> None:
+        for word in value.split():
+            context.emit(word, 1)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key: Any, values: list[int], context: Context) -> None:
+        context.emit(key, sum(values))
+
+
+class SumCombiner(Combiner):
+    def combine(self, key: Any, values: list[int], context: Context) -> None:
+        context.emit(key, sum(values))
+
+
+class BadCombiner(Combiner):
+    def combine(self, key: Any, values: list[int], context: Context) -> None:
+        context.emit(("rogue", key), sum(values))
+
+
+def _text_splits() -> list[InputSplit]:
+    lines = [
+        (0, "the quick brown fox"),
+        (1, "the lazy dog"),
+        (2, "the quick dog"),
+        (3, "fox and dog and fox"),
+    ]
+    return split_records(lines, 2)
+
+
+EXPECTED_COUNTS = {
+    "the": 3,
+    "quick": 2,
+    "brown": 1,
+    "fox": 3,
+    "lazy": 1,
+    "dog": 3,
+    "and": 2,
+}
+
+
+class TestWordCount:
+    def test_golden_output(self):
+        runtime = MapReduceRuntime()
+        job = Job(mapper_factory=WordCountMapper, reducer_factory=SumReducer)
+        result = runtime.run(job, _text_splits(), JobConf(num_reducers=1))
+        assert result.as_dict() == EXPECTED_COUNTS
+
+    def test_multiple_reducers_same_result(self):
+        runtime = MapReduceRuntime()
+        job = Job(mapper_factory=WordCountMapper, reducer_factory=SumReducer)
+        result = runtime.run(job, _text_splits(), JobConf(num_reducers=4))
+        assert result.as_dict() == EXPECTED_COUNTS
+
+    def test_combiner_preserves_result(self):
+        runtime = MapReduceRuntime()
+        job = Job(
+            mapper_factory=WordCountMapper,
+            reducer_factory=SumReducer,
+            combiner_factory=SumCombiner,
+        )
+        result = runtime.run(job, _text_splits(), JobConf(num_reducers=2))
+        assert result.as_dict() == EXPECTED_COUNTS
+
+    def test_combiner_reduces_shuffle_volume(self):
+        runtime = MapReduceRuntime()
+        plain = runtime.run(
+            Job(mapper_factory=WordCountMapper, reducer_factory=SumReducer),
+            _text_splits(),
+            JobConf(),
+        )
+        combined = runtime.run(
+            Job(
+                mapper_factory=WordCountMapper,
+                reducer_factory=SumReducer,
+                combiner_factory=SumCombiner,
+            ),
+            _text_splits(),
+            JobConf(),
+        )
+        shuffle = Counters.SHUFFLE_RECORDS
+        assert combined.counters.framework_value(shuffle) < (
+            plain.counters.framework_value(shuffle)
+        )
+
+    def test_rogue_combiner_rejected(self):
+        # A key-inventing combiner is a programming error: the task fails
+        # deterministically, exhausts its retries and kills the job.
+        from repro.mapreduce import TaskFailedError
+
+        runtime = MapReduceRuntime()
+        job = Job(
+            mapper_factory=WordCountMapper,
+            reducer_factory=SumReducer,
+            combiner_factory=BadCombiner,
+        )
+        with pytest.raises(TaskFailedError) as info:
+            runtime.run(job, _text_splits(), JobConf())
+        assert isinstance(info.value.cause, ValueError)
+        assert "combiner" in str(info.value.cause)
+
+
+class TestMapOnly:
+    def test_zero_reducers_passes_map_output_through(self):
+        runtime = MapReduceRuntime()
+        job = Job(mapper_factory=WordCountMapper)
+        result = runtime.run(job, _text_splits(), JobConf(num_reducers=0))
+        assert sorted(k for k, _ in result.output)[:2] == ["and", "and"]
+        assert len(result.output) == sum(EXPECTED_COUNTS.values())
+
+
+class TestCounters:
+    def test_record_accounting(self):
+        runtime = MapReduceRuntime()
+        job = Job(mapper_factory=WordCountMapper, reducer_factory=SumReducer)
+        result = runtime.run(job, _text_splits(), JobConf())
+        fw = result.counters
+        assert fw.framework_value(Counters.MAP_INPUT_RECORDS) == 4
+        assert fw.framework_value(Counters.MAP_OUTPUT_RECORDS) == 15
+        assert fw.framework_value(Counters.REDUCE_OUTPUT_RECORDS) == len(
+            EXPECTED_COUNTS
+        )
+
+    def test_counters_merge(self):
+        a, b = Counters(), Counters()
+        a.increment("g", "x", 2)
+        b.increment("g", "x", 3)
+        a.merge(b)
+        assert a.value("g", "x") == 5
+
+    def test_negative_increment_rejected(self):
+        counters = Counters()
+        with pytest.raises(ValueError):
+            counters.increment("g", "x", -1)
+
+    def test_runtime_history_totals(self):
+        runtime = MapReduceRuntime()
+        job = Job(mapper_factory=WordCountMapper, reducer_factory=SumReducer)
+        runtime.run(job, _text_splits(), JobConf())
+        runtime.run(job, _text_splits(), JobConf())
+        total = runtime.total_counters()
+        assert total.framework_value(Counters.MAP_INPUT_RECORDS) == 8
+        assert runtime.jobs_run == 2
+
+
+class TestPartitioner:
+    def test_hash_partitioner_stable(self):
+        partitioner = HashPartitioner()
+        assert partitioner.partition("abc", 7) == partitioner.partition("abc", 7)
+        assert 0 <= partitioner.partition(("a", 3), 5) < 5
+        assert 0 <= partitioner.partition(3.25, 5) < 5
+        assert partitioner.partition(None, 3) == 0
+
+    def test_out_of_range_partition_rejected(self):
+        class BrokenPartitioner(Partitioner):
+            def partition(self, key: Any, num_partitions: int) -> int:
+                return num_partitions  # off by one
+
+        runtime = MapReduceRuntime()
+        job = Job(
+            mapper_factory=WordCountMapper,
+            reducer_factory=SumReducer,
+            partitioner=BrokenPartitioner(),
+        )
+        with pytest.raises(ValueError, match="partitioner"):
+            runtime.run(job, _text_splits(), JobConf(num_reducers=2))
+
+
+class TestMultiprocess:
+    def test_process_pool_matches_serial(self):
+        serial = MapReduceRuntime()
+        parallel = MapReduceRuntime(max_workers=2)
+        job = Job(mapper_factory=WordCountMapper, reducer_factory=SumReducer)
+        a = serial.run(job, _text_splits(), JobConf())
+        b = parallel.run(job, _text_splits(), JobConf())
+        assert a.as_dict() == b.as_dict()
+
+    def test_invalid_workers_rejected(self):
+        with pytest.raises(ValueError):
+            MapReduceRuntime(max_workers=0)
+
+
+class TestCacheAndContext:
+    def test_cache_is_read_only(self):
+        cache = DistributedCache({"a": 1})
+        with pytest.raises(TypeError):
+            cache["b"] = 2  # type: ignore[index]
+
+    def test_missing_entry_names_available_keys(self):
+        cache = DistributedCache({"a": 1})
+        with pytest.raises(KeyError, match="available"):
+            cache["missing"]
+
+    def test_with_entries_copy_on_write(self):
+        cache = DistributedCache({"a": 1})
+        extended = cache.with_entries(b=2)
+        assert "b" not in cache
+        assert extended["b"] == 2
+        assert extended["a"] == 1
+
+    def test_duplicate_output_keys_rejected_in_as_dict(self):
+        runtime = MapReduceRuntime()
+        job = Job(mapper_factory=WordCountMapper)
+        result = runtime.run(job, _text_splits(), JobConf(num_reducers=0))
+        with pytest.raises(ValueError, match="duplicate"):
+            result.as_dict()

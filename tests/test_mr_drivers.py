@@ -1,0 +1,143 @@
+"""End-to-end equivalence of the MapReduce drivers and serial references.
+
+The MR formulation is *exact* (the paper's headline claim), so:
+
+- cluster cores must be identical signature-for-signature;
+- the Light variant's full output must match the serial Light exactly;
+- the full pipeline's quality must match the serial P3C+ to tolerance
+  (EM partial sums differ only in float association order).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.p3c_plus import P3CPlus, P3CPlusConfig, P3CPlusLight
+from repro.eval import e4sc_score
+from repro.mr import P3CPlusMR, P3CPlusMRConfig, P3CPlusMRLight
+
+
+@pytest.fixture(scope="module")
+def mr_config() -> P3CPlusMRConfig:
+    return P3CPlusMRConfig(num_splits=4)
+
+
+class TestLightEquivalence:
+    def test_cores_identical(self, small_dataset, mr_config):
+        serial = P3CPlusLight().fit(small_dataset.data)
+        mr = P3CPlusMRLight(mr_config=mr_config).fit(small_dataset.data)
+        serial_cores = sorted(
+            (c.core.signature for c in serial.clusters),
+            key=lambda s: s.intervals,
+        )
+        mr_cores = sorted(
+            (c.core.signature for c in mr.clusters), key=lambda s: s.intervals
+        )
+        assert serial_cores == mr_cores
+
+    def test_memberships_identical(self, small_dataset, mr_config):
+        serial = P3CPlusLight().fit(small_dataset.data)
+        mr = P3CPlusMRLight(mr_config=mr_config).fit(small_dataset.data)
+        assert np.array_equal(serial.labels(), mr.labels())
+
+    def test_outliers_identical(self, small_dataset, mr_config):
+        serial = P3CPlusLight().fit(small_dataset.data)
+        mr = P3CPlusMRLight(mr_config=mr_config).fit(small_dataset.data)
+        assert np.array_equal(serial.outliers, mr.outliers)
+
+    def test_multi_level_collection_same_cores(self, small_dataset):
+        baseline = P3CPlusMRLight(
+            mr_config=P3CPlusMRConfig(num_splits=4, multi_level=False)
+        ).fit(small_dataset.data)
+        multi = P3CPlusMRLight(
+            mr_config=P3CPlusMRConfig(num_splits=4, multi_level=True, t_c=50)
+        ).fit(small_dataset.data)
+        assert sorted(
+            (c.core.signature for c in baseline.clusters),
+            key=lambda s: s.intervals,
+        ) == sorted(
+            (c.core.signature for c in multi.clusters),
+            key=lambda s: s.intervals,
+        )
+
+    def test_multi_level_uses_fewer_proving_jobs(self, small_dataset):
+        per_level = P3CPlusMRLight(
+            mr_config=P3CPlusMRConfig(num_splits=2, multi_level=False)
+        )
+        per_level.fit(small_dataset.data)
+        collected = P3CPlusMRLight(
+            mr_config=P3CPlusMRConfig(num_splits=2, multi_level=True)
+        )
+        collected.fit(small_dataset.data)
+        per_level_jobs = sum(
+            1 for s in per_level.chain.steps if s.name == "candidate_proving"
+        )
+        collected_jobs = sum(
+            1 for s in collected.chain.steps if s.name == "candidate_proving"
+        )
+        assert collected_jobs <= per_level_jobs
+
+
+class TestFullEquivalence:
+    def test_cores_identical(self, small_dataset, mr_config):
+        config = P3CPlusConfig(outlier_method="mvb")
+        serial = P3CPlus(config).fit(small_dataset.data)
+        mr = P3CPlusMR(config, mr_config).fit(small_dataset.data)
+        serial_cores = sorted(
+            (c.core.signature for c in serial.clusters),
+            key=lambda s: s.intervals,
+        )
+        mr_cores = sorted(
+            (c.core.signature for c in mr.clusters), key=lambda s: s.intervals
+        )
+        assert serial_cores == mr_cores
+
+    def test_quality_matches_serial(self, small_dataset, mr_config):
+        truth = small_dataset.ground_truth_clusters()
+        config = P3CPlusConfig(outlier_method="mvb")
+        serial = e4sc_score(P3CPlus(config).fit(small_dataset.data).clusters, truth)
+        mr = e4sc_score(
+            P3CPlusMR(config, mr_config).fit(small_dataset.data).clusters, truth
+        )
+        assert mr == pytest.approx(serial, abs=0.05)
+
+    def test_naive_variant_runs(self, small_dataset, mr_config):
+        config = P3CPlusConfig(outlier_method="naive")
+        result = P3CPlusMR(config, mr_config).fit(small_dataset.data)
+        assert result.num_clusters >= 1
+
+    def test_job_ledger_recorded(self, small_dataset, mr_config):
+        driver = P3CPlusMR(mr_config=mr_config)
+        result = driver.fit(small_dataset.data)
+        assert result.metadata["mr_jobs"] == driver.chain.num_jobs
+        assert result.metadata["mr_jobs"] > 10  # EM alone needs many jobs
+        assert driver.chain.total_shuffle_records > 0
+
+    def test_light_runs_fewer_jobs(self, small_dataset, mr_config):
+        full = P3CPlusMR(mr_config=mr_config)
+        light = P3CPlusMRLight(mr_config=mr_config)
+        full_jobs = full.fit(small_dataset.data).metadata["mr_jobs"]
+        light_jobs = light.fit(small_dataset.data).metadata["mr_jobs"]
+        assert light_jobs < full_jobs
+
+
+class TestDriverEdgeCases:
+    def test_uniform_data_yields_no_clusters(self, rng):
+        data = rng.uniform(size=(800, 5))
+        result = P3CPlusMRLight(
+            mr_config=P3CPlusMRConfig(num_splits=3)
+        ).fit(data)
+        assert result.num_clusters == 0
+        assert len(result.outliers) == 800
+
+    def test_unnormalised_data_rejected(self):
+        data = np.full((10, 2), 3.5)
+        with pytest.raises(ValueError, match="normalis"):
+            P3CPlusMRLight().fit(data)
+
+    def test_chain_reset_between_fits(self, small_dataset, mr_config):
+        driver = P3CPlusMRLight(mr_config=mr_config)
+        first = driver.fit(small_dataset.data).metadata["mr_jobs"]
+        second = driver.fit(small_dataset.data).metadata["mr_jobs"]
+        assert first == second

@@ -1,0 +1,110 @@
+"""Tests for the exact(er) MVE estimator — the paper's unevaluated
+extension (Section 4.2.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.outliers import (
+    detect_outliers_mve,
+    minimum_volume_enclosing_ellipsoid,
+    mvb_estimate,
+    mve_estimate,
+)
+from repro.core.p3c_plus import P3CPlus, P3CPlusConfig
+
+
+class TestMVEE:
+    def test_contains_all_points(self, rng):
+        points = rng.normal(size=(80, 3))
+        center, shape = minimum_volume_enclosing_ellipsoid(points)
+        diff = points - center
+        distances = np.einsum("ij,jk,ik->i", diff, shape, diff)
+        assert distances.max() <= 1.05  # tolerance of the iteration
+
+    def test_sphere_for_symmetric_cloud(self, rng):
+        points = rng.normal(size=(3_000, 2))
+        _, shape = minimum_volume_enclosing_ellipsoid(points, tolerance=1e-6)
+        eigenvalues = np.linalg.eigvalsh(shape)
+        assert eigenvalues.max() / eigenvalues.min() < 2.5
+
+    def test_elongated_cloud_yields_elongated_ellipsoid(self, rng):
+        points = rng.normal(size=(500, 2)) * np.array([10.0, 0.1])
+        _, shape = minimum_volume_enclosing_ellipsoid(points, tolerance=1e-6)
+        eigenvalues = np.linalg.eigvalsh(shape)
+        assert eigenvalues.max() / eigenvalues.min() > 100
+
+    def test_tighter_than_bounding_sphere(self, rng):
+        """The MVEE of an elongated cloud has far less volume than the
+        minimum enclosing sphere."""
+        points = rng.normal(size=(300, 2)) * np.array([5.0, 0.05])
+        _, shape = minimum_volume_enclosing_ellipsoid(points, tolerance=1e-6)
+        # volume ∝ 1/sqrt(det(shape)); sphere radius >= max |x|.
+        ellipsoid_volume = 1.0 / np.sqrt(np.linalg.det(shape))
+        radius = np.linalg.norm(points, axis=1).max()
+        sphere_volume = radius**2
+        assert ellipsoid_volume < 0.5 * sphere_volume
+
+    def test_single_point(self):
+        center, shape = minimum_volume_enclosing_ellipsoid(
+            np.array([[0.3, 0.7]])
+        )
+        assert center == pytest.approx([0.3, 0.7])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_volume_enclosing_ellipsoid(np.empty((0, 2)))
+
+
+class TestMVEEstimate:
+    def test_resists_masking(self, rng):
+        core = rng.normal(0.3, 0.01, size=(200, 2))
+        heavy = np.full((60, 2), 0.9)
+        points = np.vstack([core, heavy])
+        estimate = mve_estimate(points)
+        assert estimate.mean[0] == pytest.approx(0.3, abs=0.02)
+
+    def test_converges(self, rng):
+        points = rng.normal(0.5, 0.05, size=(150, 3))
+        estimate = mve_estimate(points)
+        assert estimate.iterations <= 20
+        assert estimate.subset_size >= len(points) // 2
+
+    def test_elongated_cluster_tighter_than_mvb(self, rng):
+        """The paper's conjecture: on anisotropic clusters the ellipsoid
+        fits better than the ball, giving a smaller covariance volume."""
+        points = rng.normal(0.0, 1.0, size=(400, 2)) * np.array([0.2, 0.005])
+        points += 0.5
+        mve = mve_estimate(points)
+        mvb = mvb_estimate(points)
+        assert np.linalg.det(mve.covariance) <= np.linalg.det(
+            mvb.covariance
+        ) * 1.5
+
+
+class TestMVEDetector:
+    def test_flags_injected_outliers(self, rng):
+        points = rng.normal(0.5, 0.02, size=(300, 3))
+        outliers = np.full((8, 3), 0.95)
+        data = np.vstack([points, outliers])
+        flags, _ = detect_outliers_mve(data, alpha=0.001)
+        assert flags[-8:].all()
+        assert flags[:300].mean() < 0.05
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            detect_outliers_mve(np.empty((0, 2)))
+
+    def test_tiny_cluster_flags_nothing(self, rng):
+        points = rng.uniform(size=(4, 6))
+        flags, _ = detect_outliers_mve(points)
+        assert not flags.any()
+
+
+class TestPipelineIntegration:
+    def test_mve_outlier_method_runs(self, tiny_dataset):
+        config = P3CPlusConfig(outlier_method="mve")
+        result = P3CPlus(config).fit(tiny_dataset.data)
+        assert result.n_points == len(tiny_dataset.data)
+        assert result.num_clusters >= 1

@@ -1,0 +1,122 @@
+"""Unit tests for naive and MVB outlier detection (Section 4.2.2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.outliers import (
+    detect_outliers_mvb,
+    detect_outliers_naive,
+    dimensionwise_median,
+    mvb_estimate,
+    small_sample_inflation,
+)
+
+
+def _cluster_with_outliers(rng, n=500, dim=3, n_outliers=10):
+    points = rng.normal(0.5, 0.02, size=(n, dim))
+    outliers = rng.uniform(size=(n_outliers, dim))
+    # Keep injected outliers far from the core.
+    outliers = 0.5 + np.sign(outliers - 0.5) * (0.2 + 0.3 * np.abs(outliers - 0.5))
+    return np.vstack([points, outliers]).clip(0, 1)
+
+
+class TestDimensionwiseMedian:
+    def test_matches_numpy(self, rng):
+        points = rng.uniform(size=(101, 4))
+        assert dimensionwise_median(points) == pytest.approx(
+            np.median(points, axis=0)
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dimensionwise_median(np.empty((0, 3)))
+
+
+class TestMVBEstimate:
+    def test_ball_contains_half(self, rng):
+        points = rng.normal(0.5, 0.05, size=(400, 3))
+        estimate = mvb_estimate(points)
+        inside = (
+            np.linalg.norm(points - estimate.center, axis=1) <= estimate.radius
+        )
+        assert inside.sum() >= len(points) // 2
+
+    def test_resists_masking(self, rng):
+        """Far outliers must not drag the MVB mean (the masking effect
+        that breaks the naive estimator)."""
+        core = rng.normal(0.3, 0.01, size=(300, 2))
+        heavy = np.full((60, 2), 0.95)
+        points = np.vstack([core, heavy])
+        estimate = mvb_estimate(points)
+        naive_mean = points.mean(axis=0)
+        assert abs(estimate.mean[0] - 0.3) < abs(naive_mean[0] - 0.3)
+
+    def test_small_sample_falls_back_to_diagonal(self, rng):
+        points = rng.normal(0.5, 0.05, size=(8, 6))  # inside < 2 * dim
+        estimate = mvb_estimate(points)
+        off_diagonal = estimate.covariance - np.diag(np.diag(estimate.covariance))
+        assert np.allclose(off_diagonal, 0.0)
+
+    def test_single_point(self):
+        estimate = mvb_estimate(np.array([[0.5, 0.5]]))
+        assert estimate.radius == 0.0
+        assert np.isfinite(estimate.covariance).all()
+
+
+class TestSmallSampleInflation:
+    def test_large_sample_no_inflation(self):
+        assert small_sample_inflation(10_000, 5) == pytest.approx(1.0, abs=0.01)
+
+    def test_small_sample_inflates(self):
+        assert small_sample_inflation(20, 10) > 2.0
+
+    def test_degenerate_sample_infinite(self):
+        assert small_sample_inflation(5, 10) == float("inf")
+
+
+class TestNaiveDetector:
+    def test_flags_injected_outliers(self, rng):
+        points = _cluster_with_outliers(rng)
+        mean = np.median(points, axis=0)
+        core = points[:500]
+        cov = np.cov(core.T)
+        flags = detect_outliers_naive(points, mean, cov, alpha=0.001)
+        assert flags[-10:].all()
+        assert flags[:500].mean() < 0.05
+
+    def test_empty_input(self):
+        flags = detect_outliers_naive(np.empty((0, 2)), np.zeros(2), np.eye(2))
+        assert flags.shape == (0,)
+
+    def test_masking_effect_exists(self, rng):
+        """With moments from ALL points (incl. heavy contamination), the
+        naive detector misses outliers that MVB catches."""
+        core = rng.normal(0.3, 0.01, size=(300, 2))
+        heavy = rng.normal(0.9, 0.01, size=(90, 2))
+        points = np.vstack([core, heavy]).clip(0, 1)
+        naive_flags = detect_outliers_naive(
+            points, points.mean(axis=0), np.cov(points.T), alpha=0.001
+        )
+        mvb_flags, _ = detect_outliers_mvb(points, alpha=0.001)
+        assert mvb_flags[300:].mean() > naive_flags[300:].mean()
+
+
+class TestMVBDetector:
+    def test_flags_injected_outliers(self, rng):
+        points = _cluster_with_outliers(rng)
+        flags, estimate = detect_outliers_mvb(points, alpha=0.001)
+        assert flags[-10:].all()
+        assert flags[:500].mean() < 0.05
+        assert estimate.n_inside >= 250
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            detect_outliers_mvb(np.empty((0, 2)))
+
+    def test_tiny_cluster_flags_nothing(self, rng):
+        """Fewer points than dimensions: no covariance, no flags."""
+        points = rng.uniform(size=(4, 6))
+        flags, _ = detect_outliers_mvb(points)
+        assert not flags.any()

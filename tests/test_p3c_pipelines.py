@@ -1,0 +1,129 @@
+"""End-to-end tests of the serial P3C / P3C+ / P3C+-Light pipelines."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.p3c import P3C, P3C_CONFIG
+from repro.core.p3c_plus import P3CPlus, P3CPlusConfig, P3CPlusLight
+from repro.eval import e4sc_score
+
+
+class TestP3CPlus:
+    def test_recovers_hidden_clusters(self, small_dataset):
+        result = P3CPlus().fit(small_dataset.data)
+        truth = small_dataset.ground_truth_clusters()
+        assert result.num_clusters >= 1
+        assert e4sc_score(result.clusters, truth) > 0.6
+
+    def test_cluster_count_close_to_truth(self, small_dataset):
+        result = P3CPlus().fit(small_dataset.data)
+        k_true = len(small_dataset.hidden_clusters)
+        assert abs(result.num_clusters - k_true) <= 2
+
+    def test_members_and_outliers_partition(self, small_dataset):
+        result = P3CPlus().fit(small_dataset.data)
+        counted = len(result.outliers) + sum(c.size for c in result.clusters)
+        assert counted == len(small_dataset.data)
+
+    def test_signatures_cover_members(self, small_dataset):
+        result = P3CPlus().fit(small_dataset.data)
+        for cluster in result.clusters:
+            assert cluster.signature is not None
+            mask = cluster.signature.support_mask(small_dataset.data)
+            assert mask[cluster.members].all()
+
+    def test_metadata_diagnostics(self, small_dataset):
+        result = P3CPlus().fit(small_dataset.data)
+        assert result.metadata["num_bins"] >= 1
+        assert result.metadata["num_relevant_intervals"] >= 1
+        assert "em_iterations" in result.metadata
+
+    def test_uniform_data_no_clusters(self, rng):
+        data = rng.uniform(size=(1_000, 6))
+        result = P3CPlus().fit(data)
+        assert result.num_clusters == 0
+        assert len(result.outliers) == 1_000
+
+    def test_rejects_out_of_range_data(self):
+        with pytest.raises(ValueError, match="normalis"):
+            P3CPlus().fit(np.full((10, 2), 2.0))
+
+    def test_rejects_nan(self):
+        data = np.full((10, 2), 0.5)
+        data[0, 0] = np.nan
+        with pytest.raises(ValueError):
+            P3CPlus().fit(data)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            P3CPlus().fit(np.zeros(10))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            P3CPlus().fit(np.zeros((0, 3)))
+
+
+class TestP3CPlusLight:
+    def test_recovers_hidden_clusters(self, small_dataset):
+        result = P3CPlusLight().fit(small_dataset.data)
+        truth = small_dataset.ground_truth_clusters()
+        assert e4sc_score(result.clusters, truth) > 0.6
+
+    def test_no_em_metadata(self, small_dataset):
+        result = P3CPlusLight().fit(small_dataset.data)
+        assert "em_iterations" not in result.metadata
+
+    def test_members_come_from_support_sets(self, small_dataset):
+        result = P3CPlusLight().fit(small_dataset.data)
+        for cluster in result.clusters:
+            mask = cluster.core.signature.support_mask(small_dataset.data)
+            assert mask[cluster.members].all()
+
+    def test_unique_assignment_despite_overlaps(self, small_dataset):
+        result = P3CPlusLight().fit(small_dataset.data)
+        all_members = np.concatenate([c.members for c in result.clusters])
+        assert len(all_members) == len(np.unique(all_members))
+
+
+class TestOriginalP3C:
+    def test_config_disables_every_extension(self):
+        assert P3C_CONFIG.binning == "sturges"
+        assert P3C_CONFIG.theta_cc is None
+        assert not P3C_CONFIG.redundancy_filter
+        assert P3C_CONFIG.outlier_method == "naive"
+        assert not P3C_CONFIG.ai_proving
+
+    def test_runs_end_to_end(self, small_dataset):
+        result = P3C().fit(small_dataset.data)
+        assert result.n_points == len(small_dataset.data)
+
+    def test_redundancy_filter_difference(self, small_dataset):
+        """P3C+ (with the filter) finds at most as many cores as the
+        Poisson-only configuration without it."""
+        with_filter = P3CPlus().fit(small_dataset.data)
+        without = P3CPlus(
+            P3CPlusConfig(redundancy_filter=False, theta_cc=None)
+        ).fit(small_dataset.data)
+        assert (
+            with_filter.metadata["cores_after_redundancy"]
+            <= without.metadata["cores_after_redundancy"]
+        )
+
+
+class TestConfig:
+    def test_with_overrides(self):
+        config = P3CPlusConfig().with_overrides(theta_cc=0.2)
+        assert config.theta_cc == 0.2
+        assert config.binning == "freedman-diaconis"
+
+    def test_num_bins_rules(self):
+        fd = P3CPlusConfig(binning="freedman-diaconis")
+        sturges = P3CPlusConfig(binning="sturges")
+        assert fd.num_bins(1_000_000) == 100
+        assert sturges.num_bins(1_000_000) == 21
+
+    def test_max_bins_clamp(self):
+        config = P3CPlusConfig(max_bins=50)
+        assert config.num_bins(10**9) == 50

@@ -1,0 +1,105 @@
+"""Property-based tests on end-to-end pipeline invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.p3c_plus import P3CPlusConfig, P3CPlusLight, generate_cluster_cores
+from repro.data import GeneratorConfig, generate_synthetic
+
+
+def _fit_light(seed: int, num_clusters: int, noise: float):
+    dataset = generate_synthetic(
+        GeneratorConfig(
+            n=600,
+            d=8,
+            num_clusters=num_clusters,
+            noise_fraction=noise,
+            max_cluster_dims=4,
+            seed=seed,
+        )
+    )
+    return dataset, P3CPlusLight().fit(dataset.data)
+
+
+class TestResultInvariants:
+    @settings(max_examples=8, deadline=None)
+    @given(
+        st.integers(0, 50),
+        st.integers(1, 3),
+        st.sampled_from([0.0, 0.1, 0.2]),
+    )
+    def test_partition_and_coverage(self, seed, num_clusters, noise):
+        dataset, result = _fit_light(seed, num_clusters, noise)
+        n = len(dataset.data)
+
+        # Members of different clusters are disjoint.
+        all_members = (
+            np.concatenate([c.members for c in result.clusters])
+            if result.clusters
+            else np.empty(0, dtype=np.int64)
+        )
+        assert len(all_members) == len(np.unique(all_members))
+
+        # Members + outliers partition the data set.
+        assert len(all_members) + len(result.outliers) == n
+        assert len(np.intersect1d(all_members, result.outliers)) == 0
+
+        # Every cluster has a non-empty subspace and a covering signature.
+        for cluster in result.clusters:
+            assert cluster.relevant_attributes
+            assert cluster.size > 0
+            assert cluster.core is not None
+            mask = cluster.core.signature.support_mask(dataset.data)
+            assert mask[cluster.members].all()
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(0, 30))
+    def test_determinism(self, seed):
+        _, first = _fit_light(seed, 2, 0.1)
+        _, second = _fit_light(seed, 2, 0.1)
+        assert np.array_equal(first.labels(), second.labels())
+
+
+class TestCoreGenerationMonotonicity:
+    @pytest.fixture(scope="class")
+    def data(self):
+        dataset = generate_synthetic(
+            GeneratorConfig(
+                n=800, d=8, num_clusters=2, noise_fraction=0.1,
+                max_cluster_dims=4, seed=3,
+            )
+        )
+        return dataset.data
+
+    def test_stricter_effect_size_never_adds_cores(self, data):
+        counts = []
+        for theta in (None, 0.1, 0.35, 0.8):
+            config = P3CPlusConfig(theta_cc=theta, redundancy_filter=False)
+            _, diagnostics = generate_cluster_cores(data, config)
+            counts.append(diagnostics["cores_before_redundancy"])
+        # None (no test) is the loosest; growing theta only removes.
+        for looser, stricter in zip(counts, counts[1:]):
+            assert stricter <= looser
+
+    def test_redundancy_filter_output_subset(self, data):
+        config = P3CPlusConfig(redundancy_filter=True)
+        _, diagnostics = generate_cluster_cores(data, config)
+        assert (
+            diagnostics["cores_after_redundancy"]
+            <= diagnostics["cores_before_redundancy"]
+        )
+
+    def test_stricter_poisson_never_adds_cores(self, data):
+        counts = []
+        for alpha in (0.01, 1e-5, 1e-20):
+            config = P3CPlusConfig(
+                poisson_alpha=alpha, theta_cc=None, redundancy_filter=False
+            )
+            _, diagnostics = generate_cluster_cores(data, config)
+            counts.append(diagnostics["cores_before_redundancy"])
+        for looser, stricter in zip(counts, counts[1:]):
+            assert stricter <= looser + 1  # maximality can shift by one

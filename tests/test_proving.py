@@ -1,0 +1,115 @@
+"""Unit tests for candidate proving (Eq. 1 + effect size)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.proving import SupportTester, count_supports
+from repro.core.types import Interval, Signature
+
+
+def _sig(*attrs: int, width: float = 0.1) -> Signature:
+    return Signature([Interval(a, 0.0, width) for a in attrs])
+
+
+class TestCountSupports:
+    def test_matches_signature_support(self, tiny_dataset):
+        sigs = [_sig(0, width=0.5), _sig(0, 1, width=0.5)]
+        supports = count_supports(tiny_dataset.data, sigs)
+        for sig in sigs:
+            assert supports[sig] == sig.support(tiny_dataset.data)
+
+
+class TestSupportTester:
+    def test_validates_n(self):
+        with pytest.raises(ValueError):
+            SupportTester(0)
+
+    def test_level1_significant_singleton_passes(self):
+        tester = SupportTester(n=1_000, alpha=0.01, theta_cc=0.35)
+        sig = _sig(0)  # width 0.1 => expected 100
+        assert tester.passes(sig, support=500, known={})
+
+    def test_level1_uniform_singleton_fails(self):
+        tester = SupportTester(n=1_000, alpha=0.01, theta_cc=0.35)
+        sig = _sig(0)
+        assert not tester.passes(sig, support=100, known={})
+
+    def test_effect_size_blocks_weak_but_significant(self):
+        # Huge n: +2% is significant but below theta_cc = 0.35.
+        tester = SupportTester(n=10_000_000, alpha=0.01, theta_cc=0.35)
+        sig = _sig(0)  # expected 1e6
+        support = 1_020_000
+        assert not tester.passes(sig, support, known={})
+        poisson_only = SupportTester(n=10_000_000, alpha=0.01, theta_cc=None)
+        assert poisson_only.passes(sig, support, known={})
+
+    def test_eq1_requires_every_leave_one_out(self):
+        tester = SupportTester(n=1_000, alpha=0.01, theta_cc=None)
+        pair = _sig(0, 1)
+        known = {_sig(0): 500, _sig(1): 900}
+        # 120 >> 500*0.1 = 50 (attr 1 left out: parent {0});
+        # but 120 vs 900*0.1 = 90 (attr 0 left out) is a weak deviation.
+        assert not tester.passes(pair, support=92, known=known)
+        assert tester.passes(pair, support=500, known=known)
+
+    def test_missing_parent_raises_keyerror(self):
+        tester = SupportTester(n=100)
+        with pytest.raises(KeyError):
+            tester.parent_support(_sig(0, 1), {})
+
+    def test_empty_parent_has_support_n(self):
+        tester = SupportTester(n=123)
+        parents = tester.parent_support(_sig(0), {})
+        assert list(parents.values()) == [123]
+
+
+class TestProveBatch:
+    def test_level_order_resolves_parents(self):
+        tester = SupportTester(n=1_000, alpha=0.01, theta_cc=None)
+        s0, s1 = _sig(0), _sig(1)
+        pair = _sig(0, 1)
+        supports = {s0: 400, s1: 400, pair: 380}
+        proven = tester.prove([pair, s0, s1], supports)
+        assert {p.signature for p in proven} == {s0, s1, pair}
+
+    def test_unproven_parent_blocks_child(self):
+        tester = SupportTester(n=1_000, alpha=0.01, theta_cc=None)
+        s0, s1 = _sig(0), _sig(1)
+        pair = _sig(0, 1)
+        # s1 is uniform (fails level 1), so the pair must not be proven
+        # even though its own counts look significant.
+        supports = {s0: 400, s1: 100, pair: 95}
+        proven = {p.signature for p in tester.prove([s0, s1, pair], supports)}
+        assert s0 in proven
+        assert s1 not in proven
+        assert pair not in proven
+
+    def test_proven_set_carries_across_batches(self):
+        tester = SupportTester(n=1_000, alpha=0.01, theta_cc=None)
+        s0, s1 = _sig(0), _sig(1)
+        batch1 = tester.prove([s0, s1], {s0: 400, s1: 400})
+        assert len(batch1) == 2
+        pair = _sig(0, 1)
+        batch2 = tester.prove(
+            [pair],
+            {pair: 380},
+            known={s0: 400, s1: 400},
+            proven_set=[p.signature for p in batch1],
+        )
+        assert [p.signature for p in batch2] == [pair]
+
+    def test_missing_parent_support_fails_closed(self):
+        tester = SupportTester(n=1_000, alpha=0.01, theta_cc=None)
+        pair = _sig(0, 1)
+        proven = tester.prove(
+            [pair], {pair: 380}, proven_set=[_sig(0), _sig(1)]
+        )
+        assert proven == []
+
+    def test_proven_signature_records_support(self):
+        tester = SupportTester(n=1_000, alpha=0.01, theta_cc=None)
+        (proven,) = tester.prove([_sig(0)], {_sig(0): 400})
+        assert proven.support == 400
+        assert proven.p == 1

@@ -1,0 +1,100 @@
+"""Unit + property tests for redundancy filtering (Section 4.2.1)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.redundancy import filter_redundant, interestingness, is_redundant
+from repro.core.types import Interval, Signature
+from repro.experiments.figure2 import build_scenario
+
+
+class TestInterestingness:
+    def test_ratio(self):
+        sig = Signature([Interval(0, 0.0, 0.1)])
+        assert interestingness(sig, 50, 100) == 50 / 10.0
+
+    def test_zero_volume(self):
+        sig = Signature([Interval(0, 0.5, 0.5)])
+        assert interestingness(sig, 5, 100) == float("inf")
+        assert interestingness(sig, 0, 100) == 0.0
+
+
+class TestFigure2Example:
+    """The paper's worked example must come out exactly."""
+
+    def test_s3_is_redundant(self):
+        scenario = build_scenario()
+        items = list(scenario.supports.items())
+        s3 = scenario.signatures["S3"]
+        assert is_redundant(s3, scenario.supports[s3], items, scenario.n)
+
+    def test_s1_s2_not_redundant(self):
+        scenario = build_scenario()
+        items = list(scenario.supports.items())
+        for name in ("S1", "S2"):
+            sig = scenario.signatures[name]
+            assert not is_redundant(sig, scenario.supports[sig], items, scenario.n)
+
+    def test_filter_keeps_exactly_s1_s2(self):
+        scenario = build_scenario()
+        kept = filter_redundant(scenario.supports, scenario.n)
+        assert set(kept) == {
+            scenario.signatures["S1"],
+            scenario.signatures["S2"],
+        }
+
+
+class TestFilterProperties:
+    def test_single_signature_never_redundant(self):
+        sig = Signature([Interval(0, 0.0, 0.1)])
+        assert filter_redundant({sig: 10}, 100) == [sig]
+
+    def test_idempotence_on_figure2(self):
+        scenario = build_scenario()
+        once = filter_redundant(scenario.supports, scenario.n)
+        supports_once = {sig: scenario.supports[sig] for sig in once}
+        twice = filter_redundant(supports_once, scenario.n)
+        assert set(once) == set(twice)
+
+    def test_equally_interesting_signatures_all_kept(self):
+        # Ties are not 'strictly more interesting': nothing is removed.
+        a = Signature([Interval(0, 0.0, 0.1), Interval(1, 0.0, 0.1)])
+        b = Signature([Interval(0, 0.0, 0.1), Interval(2, 0.0, 0.1)])
+        kept = filter_redundant({a: 50, b: 50}, 1_000)
+        assert set(kept) == {a, b}
+
+    def test_covering_interval_counts(self):
+        # A wider interval on the same attribute covers a narrower one.
+        wide = Signature([Interval(0, 0.0, 0.4), Interval(1, 0.0, 0.1)])
+        narrow = Signature([Interval(0, 0.1, 0.2)])
+        # narrow's only interval is covered by wide's attr-0 interval and
+        # wide is more interesting => narrow is redundant.
+        kept = filter_redundant({wide: 500, narrow: 12}, 1_000)
+        assert kept == [wide]
+
+    @settings(max_examples=25)
+    @given(
+        st.dictionaries(
+            st.integers(0, 5),
+            st.integers(1, 100),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_filter_is_idempotent_property(self, spec):
+        """filter(filter(X)) == filter(X) for arbitrary singleton sets."""
+        supports = {
+            Signature([Interval(attr, 0.0, 0.1 + attr * 0.05)]): supp
+            for attr, supp in spec.items()
+        }
+        once = filter_redundant(supports, 1_000)
+        twice = filter_redundant({s: supports[s] for s in once}, 1_000)
+        assert set(once) == set(twice)
+
+    def test_filter_output_sorted_deterministically(self):
+        scenario = build_scenario()
+        assert filter_redundant(scenario.supports, scenario.n) == filter_redundant(
+            scenario.supports, scenario.n
+        )

@@ -1,0 +1,128 @@
+"""Tests for the related-work baselines PROCLUS and DOC (Section 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import DOC, DOCConfig, Proclus, ProclusConfig
+from repro.eval import e4sc_score, f1_score
+
+
+class TestProclusConfig:
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            ProclusConfig(num_clusters=0)
+        with pytest.raises(ValueError):
+            ProclusConfig(avg_dimensions=1)
+
+    def test_dimensionality_check(self, tiny_dataset):
+        config = ProclusConfig(num_clusters=2, avg_dimensions=100)
+        with pytest.raises(ValueError, match="dimensionality"):
+            Proclus(config).fit(tiny_dataset.data)
+
+
+class TestProclus:
+    @pytest.fixture(scope="class")
+    def result(self, small_dataset):
+        config = ProclusConfig(num_clusters=3, avg_dimensions=4, seed=2)
+        return Proclus(config).fit(small_dataset.data)
+
+    def test_finds_k_clusters(self, result):
+        assert 1 <= result.num_clusters <= 3
+
+    def test_reasonable_object_quality(self, result, small_dataset):
+        truth = small_dataset.ground_truth_clusters()
+        assert f1_score(result.clusters, truth) > 0.4
+
+    def test_every_cluster_has_at_least_two_dimensions(self, result):
+        for cluster in result.clusters:
+            assert len(cluster.relevant_attributes) >= 2
+
+    def test_partition_plus_outliers_complete(self, result, small_dataset):
+        counted = len(result.outliers) + sum(c.size for c in result.clusters)
+        assert counted == len(small_dataset.data)
+
+    def test_deterministic_given_seed(self, small_dataset):
+        config = ProclusConfig(num_clusters=3, avg_dimensions=4, seed=9)
+        a = Proclus(config).fit(small_dataset.data)
+        b = Proclus(config).fit(small_dataset.data)
+        assert np.array_equal(a.labels(), b.labels())
+
+    def test_medoids_recorded(self, result):
+        assert len(result.metadata["medoids"]) >= 1
+
+    def test_rejects_empty_data(self):
+        with pytest.raises(ValueError):
+            Proclus().fit(np.empty((0, 3)))
+
+
+class TestDOCConfig:
+    def test_validates_parameters(self):
+        with pytest.raises(ValueError):
+            DOCConfig(alpha=0.0)
+        with pytest.raises(ValueError):
+            DOCConfig(beta=1.5)
+        with pytest.raises(ValueError):
+            DOCConfig(width=-1.0)
+
+
+class TestDOC:
+    @pytest.fixture(scope="class")
+    def result(self, small_dataset):
+        return DOC(DOCConfig(seed=3)).fit(small_dataset.data)
+
+    def test_finds_clusters(self, result):
+        assert result.num_clusters >= 1
+
+    def test_clusters_are_dense_boxes(self, result, small_dataset):
+        data = small_dataset.data
+        for cluster in result.clusters:
+            signature = cluster.signature
+            assert signature is not None
+            for interval in signature:
+                # Box width bounded by 2w.
+                assert interval.width <= 2 * 0.3 + 1e-9
+            assert signature.support_mask(data)[cluster.members].all()
+
+    def test_clusters_disjoint(self, result):
+        members = np.concatenate([c.members for c in result.clusters])
+        assert len(members) == len(np.unique(members))
+
+    def test_min_size_respected(self, result, small_dataset):
+        min_size = int(0.08 * len(small_dataset.data))
+        for cluster in result.clusters:
+            assert cluster.size >= min_size
+
+    def test_deterministic_given_seed(self, small_dataset):
+        a = DOC(DOCConfig(seed=5)).fit(small_dataset.data)
+        b = DOC(DOCConfig(seed=5)).fit(small_dataset.data)
+        assert a.num_clusters == b.num_clusters
+        assert np.array_equal(a.labels(), b.labels())
+
+    def test_rejects_empty_data(self):
+        with pytest.raises(ValueError):
+            DOC().fit(np.empty((0, 3)))
+
+
+class TestAgainstP3CPlus:
+    def test_p3c_plus_beats_parametric_baselines(self, small_dataset):
+        """The motivation for choosing P3C (paper Sections 1-2): better
+        subspace quality without k/l/width parameters."""
+        from repro.core.p3c_plus import P3CPlus
+
+        truth = small_dataset.ground_truth_clusters()
+        p3c_plus = e4sc_score(
+            P3CPlus().fit(small_dataset.data).clusters, truth
+        )
+        proclus = e4sc_score(
+            Proclus(ProclusConfig(num_clusters=3, avg_dimensions=4, seed=2))
+            .fit(small_dataset.data)
+            .clusters,
+            truth,
+        )
+        doc = e4sc_score(
+            DOC(DOCConfig(seed=3)).fit(small_dataset.data).clusters, truth
+        )
+        assert p3c_plus > proclus
+        assert p3c_plus > doc

@@ -1,0 +1,92 @@
+"""Tests for the consolidated report harness and the Light membership job."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.types import ClusterCore
+from repro.experiments import report
+from repro.experiments.configs import ExperimentScale
+from repro.mapreduce import JobChain, MapReduceRuntime
+from repro.mapreduce.types import split_records
+from repro.mr.light_jobs import run_light_membership_job
+
+
+class TestReport:
+    def test_section_selection(self):
+        text = report.run(sections=("figure1", "figure2"))
+        assert "figure1" in text
+        assert "figure2" in text
+        assert "figure6" not in text
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            report.run(sections=("nope",))
+
+    def test_report_header_names_scale(self):
+        scale = ExperimentScale(name="unit-test", sizes=(400,), dims=8)
+        text = report.run(scale=scale, sections=("figure1",))
+        assert "unit-test" in text
+        assert "Figure 1" in text
+
+
+class TestLightMembershipJob:
+    def test_matches_driver_side_masks(self, tiny_dataset):
+        data = tiny_dataset.data
+        n = len(data)
+        cores = []
+        for cluster in tiny_dataset.hidden_clusters:
+            sig = cluster.signature
+            cores.append(
+                ClusterCore(
+                    signature=sig,
+                    support=sig.support(data),
+                    expected_support=sig.expected_support(n),
+                )
+            )
+        signatures = [c.signature for c in cores]
+        chain = JobChain(MapReduceRuntime())
+        splits = split_records(data, 5)
+        exclusive, assignment = run_light_membership_job(
+            chain, splits, signatures, n
+        )
+
+        masks = np.stack([s.support_mask(data) for s in signatures], axis=1)
+        cover = masks.sum(axis=1)
+        expected_exclusive = np.where(cover == 1, np.argmax(masks, axis=1), -1)
+        expected_assignment = np.where(cover > 0, np.argmax(masks, axis=1), -1)
+        assert np.array_equal(exclusive, expected_exclusive)
+        assert np.array_equal(assignment, expected_assignment)
+
+    def test_uncovered_points_are_minus_one(self, tiny_dataset):
+        from repro.core.types import Interval, Signature
+
+        chain = JobChain(MapReduceRuntime())
+        splits = split_records(tiny_dataset.data, 3)
+        # A signature covering nothing.
+        empty_sig = Signature([Interval(0, 0.999999, 1.0)])
+        exclusive, assignment = run_light_membership_job(
+            chain, splits, [empty_sig], len(tiny_dataset.data)
+        )
+        assert (assignment == -1).sum() > 0
+
+
+class TestExclusiveSupportMembership:
+    def test_matches_light_membership_job(self, tiny_dataset):
+        """The cache-shipped membership model and the map-only job are
+        two routes to the same m' mapping."""
+        from repro.mr.attribute_jobs import ExclusiveSupportMembership
+
+        data = tiny_dataset.data
+        signatures = [c.signature for c in tiny_dataset.hidden_clusters]
+
+        chain = JobChain(MapReduceRuntime())
+        splits = split_records(data, 4)
+        exclusive, _ = run_light_membership_job(
+            chain, splits, signatures, len(data)
+        )
+
+        model = ExclusiveSupportMembership(signatures)
+        keys = np.arange(len(data))
+        assert np.array_equal(model.labels(keys, data), exclusive)

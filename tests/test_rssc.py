@@ -1,0 +1,125 @@
+"""Tests for the Rapid Signature Support Counter (Section 5.3).
+
+The crucial property: RSSC counting equals brute-force closed-interval
+support counting bit-for-bit, including points sitting exactly on
+interval boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.proving import count_supports
+from repro.core.types import Interval, Signature
+from repro.mr.rssc import RSSC
+
+
+def _random_signatures(rng, num_sigs: int, d: int) -> list[Signature]:
+    signatures = []
+    for _ in range(num_sigs):
+        num_attrs = rng.integers(1, min(4, d) + 1)
+        attrs = rng.choice(d, size=num_attrs, replace=False)
+        intervals = []
+        for attribute in attrs:
+            lo = rng.uniform(0, 0.8)
+            hi = lo + rng.uniform(0.05, 0.2)
+            intervals.append(Interval(int(attribute), lo, min(hi, 1.0)))
+        signatures.append(Signature(intervals))
+    return signatures
+
+
+class TestRSSCEquality:
+    def test_matches_bruteforce_random(self, rng):
+        data = rng.uniform(size=(500, 6))
+        signatures = _random_signatures(rng, 25, 6)
+        rssc = RSSC(signatures)
+        assert rssc.count_supports(data) == count_supports(data, signatures)
+
+    def test_matches_bruteforce_on_synthetic(self, tiny_dataset):
+        data = tiny_dataset.data
+        signatures = [
+            cluster.signature for cluster in tiny_dataset.hidden_clusters
+        ]
+        rssc = RSSC(signatures)
+        assert rssc.count_supports(data) == count_supports(data, signatures)
+
+    def test_boundary_points_counted_as_closed(self):
+        sig = Signature([Interval(0, 0.25, 0.5)])
+        rssc = RSSC([sig])
+        data = np.array([[0.25], [0.5], [0.2499999], [0.5000001]])
+        counts = rssc.count_supports(data)
+        assert counts[sig] == 2
+
+    def test_shared_boundary_between_signatures(self):
+        left = Signature([Interval(0, 0.0, 0.5)])
+        right = Signature([Interval(0, 0.5, 1.0)])
+        rssc = RSSC([left, right])
+        counts = rssc.count_supports(np.array([[0.5]]))
+        assert counts[left] == 1
+        assert counts[right] == 1
+
+    def test_degenerate_interval(self):
+        sig = Signature([Interval(0, 0.3, 0.3)])
+        rssc = RSSC([sig])
+        counts = rssc.count_supports(np.array([[0.3], [0.30001], [0.29999]]))
+        assert counts[sig] == 1
+
+    def test_irrelevant_attribute_bits_stay_set(self):
+        # Figure 3's point: a signature without an interval on attribute
+        # a keeps bit 1 in every cell of a's binning.
+        sig_a = Signature([Interval(0, 0.2, 0.4)])
+        sig_b = Signature([Interval(1, 0.6, 0.8)])
+        rssc = RSSC([sig_a, sig_b])
+        point = np.array([0.3, 0.7])
+        assert rssc.membership_bits(point) == 0b11
+
+    def test_empty_candidate_set(self):
+        rssc = RSSC([])
+        assert rssc.count_supports(np.zeros((3, 2))) == {}
+
+    def test_membership_bits_early_exit(self):
+        sig = Signature([Interval(0, 0.0, 0.1), Interval(1, 0.0, 0.1)])
+        rssc = RSSC([sig])
+        assert rssc.membership_bits(np.array([0.9, 0.05])) == 0
+
+    def test_relevant_attributes_listed(self):
+        signatures = [
+            Signature([Interval(2, 0.1, 0.2)]),
+            Signature([Interval(0, 0.1, 0.2)]),
+        ]
+        assert RSSC(signatures).relevant_attributes == (0, 2)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_equality_property(self, seed):
+        rng = np.random.default_rng(seed)
+        d = int(rng.integers(1, 5))
+        data = rng.uniform(size=(60, d))
+        # Include exact boundary values in the data.
+        signatures = _random_signatures(rng, int(rng.integers(1, 10)), d)
+        for sig in signatures[: min(3, len(signatures))]:
+            interval = sig.intervals[0]
+            data[0, interval.attribute] = interval.lower
+            data[1, interval.attribute] = interval.upper
+        rssc = RSSC(signatures)
+        assert rssc.count_supports(data) == count_supports(data, signatures)
+
+
+class TestAddPoint:
+    def test_counts_accumulate(self, rng):
+        data = rng.uniform(size=(100, 3))
+        signatures = _random_signatures(rng, 5, 3)
+        rssc = RSSC(signatures)
+        counts = np.zeros(len(signatures), dtype=np.int64)
+        for point in data:
+            rssc.add_point(point, counts)
+        expected = count_supports(data, signatures)
+        for j, sig in enumerate(signatures):
+            assert counts[j] == expected[sig]
+
+    def test_num_signatures(self, rng):
+        signatures = _random_signatures(rng, 7, 4)
+        assert RSSC(signatures).num_signatures == 7

@@ -1,0 +1,50 @@
+"""Unit tests for interval tightening (Section 5.7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.tightening import tighten_intervals
+
+
+class TestTightening:
+    def test_minmax_bounds(self, rng):
+        data = rng.uniform(size=(100, 3))
+        mask = np.ones(100, dtype=bool)
+        signature = tighten_intervals(data, mask, frozenset({0, 2}))
+        for interval in signature:
+            column = data[:, interval.attribute]
+            assert interval.lower == pytest.approx(column.min())
+            assert interval.upper == pytest.approx(column.max())
+
+    def test_only_members_considered(self, rng):
+        data = rng.uniform(size=(100, 2))
+        data[0] = [0.0, 0.0]  # extreme point excluded from the cluster
+        mask = np.ones(100, dtype=bool)
+        mask[0] = False
+        signature = tighten_intervals(data, mask, frozenset({0}))
+        assert signature.interval_on(0).lower > 0.0
+
+    def test_attributes_sorted(self, rng):
+        data = rng.uniform(size=(10, 5))
+        mask = np.ones(10, dtype=bool)
+        signature = tighten_intervals(data, mask, frozenset({4, 1, 3}))
+        assert [iv.attribute for iv in signature] == [1, 3, 4]
+
+    def test_empty_attributes_rejected(self, rng):
+        data = rng.uniform(size=(10, 2))
+        with pytest.raises(ValueError):
+            tighten_intervals(data, np.ones(10, dtype=bool), frozenset())
+
+    def test_empty_cluster_rejected(self, rng):
+        data = rng.uniform(size=(10, 2))
+        with pytest.raises(ValueError):
+            tighten_intervals(data, np.zeros(10, dtype=bool), frozenset({0}))
+
+    def test_single_member_degenerate_interval(self):
+        data = np.array([[0.25, 0.5], [0.9, 0.9]])
+        mask = np.array([True, False])
+        signature = tighten_intervals(data, mask, frozenset({0, 1}))
+        assert signature.interval_on(0).width == 0.0
+        assert signature.interval_on(0).lower == 0.25
