@@ -1,0 +1,115 @@
+"""Runtime-scaling bench: thread/process executors vs serial.
+
+Times the two dominant P3C+-MR job shapes — the histogram job
+(Section 5.1) and the RSSC support-counting job (Section 5.3) — under
+every executor backend, asserts bit-identical outputs, and emits a JSON
+record (``benchmarks/output/runtime_scaling.json``) for the bench
+trajectory: per-executor wall times and speedups vs serial.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.core.intervals import find_relevant_intervals
+from repro.core.types import Signature
+from repro.data import GeneratorConfig, generate_synthetic
+from repro.mapreduce import JobChain, MapReduceRuntime
+from repro.mapreduce.types import split_records
+from repro.mr.histogram import run_histogram_job
+from repro.mr.support import run_support_job
+
+from conftest import OUTPUT_DIR
+
+EXECUTORS = ("serial", "thread", "process")
+NUM_SPLITS = 8
+WORKERS = 4
+NUM_BINS = 10
+MAX_CANDIDATES = 400
+
+
+def _dataset(n: int = 12_000, d: int = 16) -> np.ndarray:
+    return generate_synthetic(
+        GeneratorConfig(
+            n=n, d=d, num_clusters=3, noise_fraction=0.1,
+            max_cluster_dims=8, seed=7,
+        )
+    ).data
+
+
+def _candidates(chain: JobChain, splits) -> list[Signature]:
+    """Realistic 2-signature candidate batch from relevant intervals."""
+    histograms = run_histogram_job(chain, splits, NUM_BINS)
+    intervals = find_relevant_intervals(histograms, alpha=0.001)
+    candidates = []
+    for i, first in enumerate(intervals):
+        for second in intervals[i + 1:]:
+            if first.attribute != second.attribute:
+                candidates.append(Signature([first, second]))
+            if len(candidates) >= MAX_CANDIDATES:
+                return candidates
+    return candidates
+
+
+def test_runtime_scaling(save_exhibit):
+    data = _dataset()
+    timings: dict[str, dict[str, float]] = {"histogram": {}, "support": {}}
+    outputs: dict[str, tuple] = {}
+    candidates: list[Signature] | None = None
+
+    for name in EXECUTORS:
+        runtime = MapReduceRuntime(executor=name, max_workers=WORKERS)
+        chain = JobChain(runtime)
+        splits = split_records(data, NUM_SPLITS)
+
+        started = time.perf_counter()
+        histograms = run_histogram_job(chain, splits, NUM_BINS)
+        timings["histogram"][name] = time.perf_counter() - started
+
+        if candidates is None:
+            candidates = _candidates(JobChain(MapReduceRuntime()), splits)
+        started = time.perf_counter()
+        supports = run_support_job(chain, splits, candidates)
+        timings["support"][name] = time.perf_counter() - started
+
+        outputs[name] = (
+            tuple(tuple(h.counts) for h in histograms),
+            tuple(sorted(supports.values())),
+        )
+
+    # Parity guard: every backend computed the same histograms/supports.
+    assert outputs["thread"] == outputs["serial"]
+    assert outputs["process"] == outputs["serial"]
+
+    record = {
+        "n": int(len(data)),
+        "d": int(data.shape[1]),
+        "num_splits": NUM_SPLITS,
+        "workers": WORKERS,
+        "num_candidates": len(candidates),
+        "seconds": timings,
+        "speedup_vs_serial": {
+            job: {
+                name: round(times["serial"] / times[name], 3)
+                for name in EXECUTORS
+            }
+            for job, times in timings.items()
+        },
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / "runtime_scaling.json"
+    path.write_text(json.dumps(record, indent=2) + "\n")
+
+    lines = [
+        "Runtime scaling — executor wall times (s), "
+        f"{len(data)} x {data.shape[1]}, {NUM_SPLITS} splits, "
+        f"{WORKERS} workers",
+    ]
+    for job, times in timings.items():
+        row = "  ".join(f"{name}={times[name]:.3f}" for name in EXECUTORS)
+        lines.append(f"{job:<12} {row}")
+    lines.append(f"[json saved to {path}]")
+    save_exhibit("runtime_scaling", "\n".join(lines))

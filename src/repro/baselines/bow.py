@@ -64,6 +64,10 @@ class BoWConfig:
     attribute_jaccard: float = 0.5
     num_splits: int = 8
     seed: int = 0
+    #: Executor backend ("serial"/"thread"/"process"); ``None`` keeps
+    #: the auto rule: max_workers > 1 selects the process pool.
+    executor: str | None = None
+    max_workers: int | None = None
 
 
 class _PartitionMapper(Mapper):
@@ -186,7 +190,9 @@ class BoW:
         bow = self.bow_config
         num_partitions = max(1, ceil(n / bow.samples_per_reducer))
 
-        runtime = MapReduceRuntime()
+        runtime = MapReduceRuntime(
+            max_workers=bow.max_workers, executor=bow.executor
+        )
         chain = JobChain(runtime)
         self.chain = chain
         splits = split_records(data, bow.num_splits)

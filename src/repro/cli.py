@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import dataclass
 from typing import Any, Callable
 
 import numpy as np
@@ -36,10 +37,21 @@ from repro.data.io import (
     save_result_json,
 )
 from repro.eval import e4sc_score, label_accuracy
+from repro.mapreduce.events import format_trace
+from repro.mapreduce.executors import EXECUTORS
 from repro.mr import P3CPlusMR, P3CPlusMRConfig, P3CPlusMRLight
 
-ALGORITHMS: dict[str, Callable[[P3CPlusConfig], Any]] = {
-    "p3c": lambda config: P3C(
+
+@dataclass(frozen=True)
+class ExecOptions:
+    """Runtime executor selection forwarded to the MR/BoW drivers."""
+
+    executor: str | None = None
+    max_workers: int | None = None
+
+
+ALGORITHMS: dict[str, Callable[[P3CPlusConfig, ExecOptions], Any]] = {
+    "p3c": lambda config, opts: P3C(
         config.with_overrides(
             binning="sturges",
             theta_cc=None,
@@ -48,12 +60,36 @@ ALGORITHMS: dict[str, Callable[[P3CPlusConfig], Any]] = {
             ai_proving=False,
         )
     ),
-    "p3c-plus": P3CPlus,
-    "p3c-plus-light": P3CPlusLight,
-    "mr": lambda config: P3CPlusMR(config, P3CPlusMRConfig()),
-    "mr-light": lambda config: P3CPlusMRLight(config, P3CPlusMRConfig()),
-    "bow-light": lambda config: BoW(config, BoWConfig(variant="light")),
-    "bow-mvb": lambda config: BoW(config, BoWConfig(variant="mvb")),
+    "p3c-plus": lambda config, opts: P3CPlus(config),
+    "p3c-plus-light": lambda config, opts: P3CPlusLight(config),
+    "mr": lambda config, opts: P3CPlusMR(
+        config,
+        P3CPlusMRConfig(
+            executor=opts.executor, max_workers=opts.max_workers
+        ),
+    ),
+    "mr-light": lambda config, opts: P3CPlusMRLight(
+        config,
+        P3CPlusMRConfig(
+            executor=opts.executor, max_workers=opts.max_workers
+        ),
+    ),
+    "bow-light": lambda config, opts: BoW(
+        config,
+        BoWConfig(
+            variant="light",
+            executor=opts.executor,
+            max_workers=opts.max_workers,
+        ),
+    ),
+    "bow-mvb": lambda config, opts: BoW(
+        config,
+        BoWConfig(
+            variant="mvb",
+            executor=opts.executor,
+            max_workers=opts.max_workers,
+        ),
+    ),
 }
 
 EXPERIMENTS = (
@@ -98,6 +134,25 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="min-max normalise attributes to [0, 1] first",
     )
+    cluster.add_argument(
+        "--executor",
+        choices=sorted(EXECUTORS),
+        default=None,
+        help="MapReduce executor backend for the mr/bow algorithms "
+        "(default: serial, or process when --workers > 1)",
+    )
+    cluster.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for the thread/process executors",
+    )
+    cluster.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the per-task runtime event trace and job ledger "
+        "after clustering (mr/bow algorithms only)",
+    )
 
     evaluate = commands.add_parser("evaluate", help="score a saved result")
     evaluate.add_argument("--data", required=True)
@@ -136,10 +191,18 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     config = P3CPlusConfig(
         theta_cc=args.theta_cc, poisson_alpha=args.poisson_alpha
     )
-    algorithm = ALGORITHMS[args.algorithm](config)
+    opts = ExecOptions(executor=args.executor, max_workers=args.workers)
+    algorithm = ALGORITHMS[args.algorithm](config, opts)
     result = algorithm.fit(data)
     save_result_json(args.out, result)
     print(result.summary())
+    if args.trace:
+        chain = getattr(algorithm, "chain", None)
+        if chain is None:
+            print("(--trace: no MapReduce chain; serial algorithms emit no events)")
+        else:
+            print(format_trace(chain.runtime.events))
+            print(chain.report())
     print(f"result written to {args.out}")
     return 0
 

@@ -21,8 +21,28 @@ process pool; both produce identical output for well-formed jobs.
 
 from repro.mapreduce.cache import DistributedCache
 from repro.mapreduce.chain import JobChain
-from repro.mapreduce.costmodel import ClusterCostModel, CostEstimate
+from repro.mapreduce.costmodel import (
+    ClusterCostModel,
+    CostEstimate,
+    calibrate_from_events,
+)
 from repro.mapreduce.counters import CounterGroup, Counters
+from repro.mapreduce.events import (
+    Event,
+    EventKind,
+    EventLog,
+    events_to_jsonl,
+    format_trace,
+)
+from repro.mapreduce.executors import (
+    Executor,
+    ProcessExecutor,
+    SerialExecutor,
+    TaskFailedError,
+    TaskRunner,
+    ThreadExecutor,
+    resolve_executor,
+)
 from repro.mapreduce.fs import make_csv_splits
 from repro.mapreduce.job import (
     Combiner,
@@ -33,10 +53,11 @@ from repro.mapreduce.job import (
     Partitioner,
     Reducer,
 )
-from repro.mapreduce.runtime import JobResult, MapReduceRuntime, TaskFailedError
+from repro.mapreduce.runtime import JobResult, MapReduceRuntime, Shuffle
 from repro.mapreduce.types import InputSplit, JobConf, split_records
 
 __all__ = [
+    "calibrate_from_events",
     "ClusterCostModel",
     "Combiner",
     "Context",
@@ -44,6 +65,12 @@ __all__ = [
     "CounterGroup",
     "Counters",
     "DistributedCache",
+    "Event",
+    "EventKind",
+    "EventLog",
+    "events_to_jsonl",
+    "Executor",
+    "format_trace",
     "HashPartitioner",
     "InputSplit",
     "Job",
@@ -54,7 +81,13 @@ __all__ = [
     "Mapper",
     "make_csv_splits",
     "Partitioner",
+    "ProcessExecutor",
     "Reducer",
+    "resolve_executor",
+    "SerialExecutor",
+    "Shuffle",
     "TaskFailedError",
+    "TaskRunner",
+    "ThreadExecutor",
     "split_records",
 ]

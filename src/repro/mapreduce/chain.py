@@ -76,15 +76,32 @@ class JobChain:
         )
 
     def report(self) -> str:
-        """Human-readable per-step ledger."""
-        lines = [f"{'step':<34} {'jobs':>4} {'shuffle':>10} {'time(s)':>9}"]
+        """Human-readable per-step ledger.
+
+        One row per executed job with its map/reduce task counts, the
+        executor backend it ran on, shuffle volume and the phase wall
+        times measured by the runtime's event stream.
+        """
+        header = (
+            f"{'step':<34} {'maps':>5} {'reds':>5} {'executor':>8} "
+            f"{'shuffle':>10} {'map(s)':>8} {'reduce(s)':>9} {'wall(s)':>8}"
+        )
+        lines = [header]
         for step in self.steps:
+            result = step.result
             lines.append(
-                f"{step.name:<34} {1:>4} {step.shuffle_records:>10} "
-                f"{step.result.wall_time:>9.4f}"
+                f"{step.name:<34} {result.num_map_tasks:>5} "
+                f"{result.num_reduce_tasks:>5} {result.executor:>8} "
+                f"{step.shuffle_records:>10} {result.phase_seconds('map'):>8.4f} "
+                f"{result.phase_seconds('reduce'):>9.4f} {result.wall_time:>8.4f}"
             )
+        total_maps = sum(s.result.num_map_tasks for s in self.steps)
+        total_reds = sum(s.result.num_reduce_tasks for s in self.steps)
         lines.append(
-            f"{'TOTAL':<34} {self.num_jobs:>4} "
-            f"{self.total_shuffle_records:>10} {self.total_wall_time:>9.4f}"
+            f"{f'TOTAL ({self.num_jobs} jobs)':<34} {total_maps:>5} "
+            f"{total_reds:>5} {'':>8} {self.total_shuffle_records:>10} "
+            f"{sum(s.result.phase_seconds('map') for s in self.steps):>8.4f} "
+            f"{sum(s.result.phase_seconds('reduce') for s in self.steps):>9.4f} "
+            f"{self.total_wall_time:>8.4f}"
         )
         return "\n".join(lines)

@@ -19,8 +19,12 @@ overhead).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from math import ceil
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:
+    from repro.mapreduce.events import Event
 
 
 @dataclass(frozen=True)
@@ -104,6 +108,10 @@ class ClusterCostModel:
             total = total + job
         return total
 
+    def calibrate(self, events: Iterable[Event]) -> "ClusterCostModel":
+        """Shorthand for :func:`calibrate_from_events` on this model."""
+        return calibrate_from_events(events, base=self)
+
     def scan_job(self, n: int, multiplier: float = 1.0) -> CostEstimate:
         """Shorthand for the dominant P3C+-MR job shape: full-scan map
         phase with a tiny single-reducer aggregation."""
@@ -113,3 +121,46 @@ class ClusterCostModel:
             reduce_records=100,
             record_cost_multiplier=multiplier,
         )
+
+
+def calibrate_from_events(
+    events: Iterable[Event],
+    base: ClusterCostModel | None = None,
+) -> ClusterCostModel:
+    """Fit the model's per-record constants to a measured event stream.
+
+    Consumes ``task_finish`` events (their durations and counter
+    snapshots) from a runtime's :class:`~repro.mapreduce.events.EventLog`
+    and returns a copy of ``base`` whose ``map_record_cost_s`` and
+    ``reduce_record_cost_s`` reflect the *measured* per-record task
+    cost on this machine.  Projecting a job mix through the calibrated
+    model answers "what would this exact workload cost at cluster
+    scale" with locally observed constants instead of the paper-anchored
+    defaults; constants without a local observable (e.g. the shuffle's
+    network cost) keep their calibrated-against-the-paper values.
+    """
+    from repro.mapreduce.counters import Counters
+    from repro.mapreduce.events import EventKind
+
+    base = base or ClusterCostModel()
+    map_seconds = reduce_seconds = 0.0
+    map_records = reduce_groups = 0
+    for event in events:
+        if event.kind != EventKind.TASK_FINISH or event.duration_s is None:
+            continue
+        if event.phase == "map":
+            map_seconds += event.duration_s
+            map_records += event.counter(
+                Counters.FRAMEWORK, Counters.MAP_INPUT_RECORDS
+            )
+        elif event.phase == "reduce":
+            reduce_seconds += event.duration_s
+            reduce_groups += event.counter(
+                Counters.FRAMEWORK, Counters.REDUCE_INPUT_GROUPS
+            )
+    overrides: dict[str, float] = {}
+    if map_records > 0:
+        overrides["map_record_cost_s"] = map_seconds / map_records
+    if reduce_groups > 0:
+        overrides["reduce_record_cost_s"] = reduce_seconds / reduce_groups
+    return replace(base, **overrides)

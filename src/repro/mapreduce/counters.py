@@ -50,6 +50,7 @@ class Counters:
     SHUFFLE_RECORDS = "shuffle_records"
     REDUCE_INPUT_GROUPS = "reduce_input_groups"
     REDUCE_OUTPUT_RECORDS = "reduce_output_records"
+    TASK_RETRIES = "task_retries"
     FRAMEWORK = "framework"
 
     def __init__(self) -> None:
@@ -77,6 +78,12 @@ class Counters:
 
     def framework_value(self, counter: str) -> int:
         return self.value(self.FRAMEWORK, counter)
+
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        """Immutable ``{group: {counter: value}}`` view for event records."""
+        return {
+            group.name: dict(group.items()) for group in self._groups.values()
+        }
 
     def __repr__(self) -> str:
         return f"Counters({list(self._groups)})"

@@ -1,0 +1,308 @@
+"""Pluggable task executors and the unified task lifecycle.
+
+The runtime delegates *how* a batch of tasks runs to an
+:class:`Executor` backend:
+
+``SerialExecutor``
+    In-process, in-order — fully deterministic, the default.
+``ThreadExecutor``
+    A thread pool.  The P3C+ mappers are NumPy-heavy and release the
+    GIL inside vectorised kernels, so threads overlap real work without
+    any pickling cost.
+``ProcessExecutor``
+    A process pool for CPU-bound pure-Python tasks.  Task functions,
+    their arguments and their outputs must be picklable.
+
+*What* a task's lifecycle is — first attempt, Hadoop-style retry with
+optional exponential backoff, retry counting, lifecycle events —
+lives in exactly one place, :class:`TaskRunner`, shared by the map and
+reduce phases.  First attempts of a phase are dispatched through the
+executor as one batch; retries re-run in-process (tasks are pure
+functions of their arguments, so the backend cannot change the output).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.events import EventKind, EventLog
+
+
+class TaskFailedError(RuntimeError):
+    """A task failed on every allowed attempt.
+
+    Carries the job-level :class:`Counters` accumulated up to the
+    failure (including ``framework.task_retries`` for the exhausted
+    task), so retry accounting survives even when no ``JobResult`` is
+    produced.
+    """
+
+    def __init__(
+        self,
+        phase: str,
+        task_id: int,
+        attempts: int,
+        cause: Exception,
+        counters: Counters | None = None,
+    ):
+        super().__init__(
+            f"{phase} task {task_id} failed after {attempts} attempt(s): "
+            f"{cause!r}"
+        )
+        self.phase = phase
+        self.task_id = task_id
+        self.attempts = attempts
+        self.cause = cause
+        self.counters = counters
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """Result of one task attempt: a value or a captured exception."""
+
+    value: Any = None
+    error: Exception | None = None
+
+    @classmethod
+    def capture(cls, fn: Callable[..., Any], args: tuple) -> "TaskOutcome":
+        try:
+            return cls(value=fn(*args))
+        except Exception as error:  # noqa: BLE001 - any task error retries
+            return cls(error=error)
+
+
+class Executor:
+    """Backend contract: run a batch of task calls, never raise.
+
+    ``run_batch`` returns one :class:`TaskOutcome` per call, in call
+    order, regardless of completion order — ordering (and therefore
+    output determinism) is the runner's job, not the backend's.
+    """
+
+    name: str = "executor"
+
+    def run_batch(
+        self, fn: Callable[..., Any], calls: Sequence[tuple]
+    ) -> list[TaskOutcome]:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """In-order, in-process execution — deterministic, zero overhead."""
+
+    name = "serial"
+
+    def run_batch(
+        self, fn: Callable[..., Any], calls: Sequence[tuple]
+    ) -> list[TaskOutcome]:
+        return [TaskOutcome.capture(fn, args) for args in calls]
+
+
+class _PoolExecutor(Executor):
+    """Shared submit/collect logic for the pool-backed executors."""
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be >= 1")
+        self.max_workers = max_workers or os.cpu_count() or 1
+
+    def _make_pool(self):
+        raise NotImplementedError
+
+    def run_batch(
+        self, fn: Callable[..., Any], calls: Sequence[tuple]
+    ) -> list[TaskOutcome]:
+        if len(calls) <= 1 or self.max_workers == 1:
+            # A pool buys nothing for a single task; skip its overhead.
+            return [TaskOutcome.capture(fn, args) for args in calls]
+        with self._make_pool() as pool:
+            futures: list[Future] = [pool.submit(fn, *args) for args in calls]
+            outcomes: list[TaskOutcome] = []
+            for future in futures:
+                try:
+                    outcomes.append(TaskOutcome(value=future.result()))
+                except Exception as error:  # noqa: BLE001
+                    outcomes.append(TaskOutcome(error=error))
+        return outcomes
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool backend for GIL-releasing (NumPy-heavy) tasks."""
+
+    name = "thread"
+
+    def _make_pool(self):
+        return ThreadPoolExecutor(max_workers=self.max_workers)
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool backend; tasks and their data must be picklable."""
+
+    name = "process"
+
+    def _make_pool(self):
+        return ProcessPoolExecutor(max_workers=self.max_workers)
+
+
+EXECUTORS: dict[str, type[Executor]] = {
+    SerialExecutor.name: SerialExecutor,
+    ThreadExecutor.name: ThreadExecutor,
+    ProcessExecutor.name: ProcessExecutor,
+}
+
+
+def resolve_executor(
+    spec: str | Executor | None,
+    max_workers: int | None = None,
+) -> Executor:
+    """Resolve an executor selection to a backend instance.
+
+    ``spec`` may be an :class:`Executor` instance (used as-is), a name
+    from :data:`EXECUTORS`, or ``None`` for the historical auto rule:
+    ``max_workers`` > 1 selects the process pool, anything else serial.
+    """
+    if isinstance(spec, Executor):
+        return spec
+    if spec is None:
+        if max_workers is not None and max_workers > 1:
+            return ProcessExecutor(max_workers)
+        return SerialExecutor()
+    try:
+        backend = EXECUTORS[spec]
+    except KeyError:
+        raise ValueError(
+            f"unknown executor {spec!r}; expected one of {sorted(EXECUTORS)}"
+        ) from None
+    if backend is SerialExecutor:
+        return SerialExecutor()
+    return backend(max_workers)
+
+
+class TaskRunner:
+    """The single retry/backoff path for every task of every phase.
+
+    One runner executes one job: it dispatches each phase's first
+    attempts as a batch through the executor, settles them in task
+    order (retrying failed attempts in-process with exponential
+    backoff), merges per-task counters into the job counters, counts
+    every retry — including those of tasks that go on to exhaust their
+    attempts — and emits the full lifecycle event stream.
+    """
+
+    def __init__(
+        self,
+        executor: Executor,
+        events: EventLog,
+        job_name: str,
+        max_attempts: int,
+        backoff_s: float = 0.0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.executor = executor
+        self.events = events
+        self.job_name = job_name
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+
+    def run_phase(
+        self,
+        phase: str,
+        fn: Callable[..., tuple[Any, Counters, float]],
+        calls: Sequence[tuple],
+        task_ids: Sequence[int],
+        counters: Counters,
+    ) -> list[tuple[Any, float]]:
+        """Run one phase's tasks; returns ``(payload, seconds)`` per task.
+
+        ``fn`` is the task function: it must return a
+        ``(payload, task_counters, elapsed_seconds)`` triple.
+        """
+        started = time.perf_counter()
+        self.events.emit(EventKind.PHASE_START, self.job_name, phase=phase)
+        for task_id in task_ids:
+            self.events.emit(
+                EventKind.TASK_START,
+                self.job_name,
+                phase=phase,
+                task_id=task_id,
+                attempt=1,
+            )
+        outcomes = self.executor.run_batch(fn, calls)
+        results = [
+            self._settle(phase, task_id, fn, args, outcome, counters)
+            for task_id, args, outcome in zip(task_ids, calls, outcomes)
+        ]
+        self.events.emit(
+            EventKind.PHASE_FINISH,
+            self.job_name,
+            phase=phase,
+            duration_s=time.perf_counter() - started,
+            counters=counters.snapshot(),
+        )
+        return results
+
+    def _settle(
+        self,
+        phase: str,
+        task_id: int,
+        fn: Callable[..., Any],
+        args: tuple,
+        outcome: TaskOutcome,
+        counters: Counters,
+    ) -> tuple[Any, float]:
+        attempt = 1
+        while True:
+            if outcome.error is None:
+                payload, task_counters, elapsed = outcome.value
+                counters.merge(task_counters)
+                self.events.emit(
+                    EventKind.TASK_FINISH,
+                    self.job_name,
+                    phase=phase,
+                    task_id=task_id,
+                    attempt=attempt,
+                    duration_s=elapsed,
+                    counters=task_counters.snapshot(),
+                )
+                return payload, elapsed
+            if attempt >= self.max_attempts:
+                self.events.emit(
+                    EventKind.TASK_FAILED,
+                    self.job_name,
+                    phase=phase,
+                    task_id=task_id,
+                    attempt=attempt,
+                    error=repr(outcome.error),
+                    counters=counters.snapshot(),
+                )
+                raise TaskFailedError(
+                    phase, task_id, attempt, outcome.error, counters=counters
+                )
+            counters.increment(Counters.FRAMEWORK, Counters.TASK_RETRIES)
+            self.events.emit(
+                EventKind.TASK_RETRY,
+                self.job_name,
+                phase=phase,
+                task_id=task_id,
+                attempt=attempt,
+                error=repr(outcome.error),
+            )
+            if self.backoff_s > 0:
+                time.sleep(self.backoff_s * (2 ** (attempt - 1)))
+            attempt += 1
+            self.events.emit(
+                EventKind.TASK_START,
+                self.job_name,
+                phase=phase,
+                task_id=task_id,
+                attempt=attempt,
+            )
+            # Retries re-run in-process: tasks are pure functions of
+            # their arguments, so the backend cannot change the output.
+            outcome = TaskOutcome.capture(fn, args)

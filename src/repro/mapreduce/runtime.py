@@ -1,60 +1,106 @@
-"""Job execution: split -> map -> combine -> shuffle/sort -> reduce.
+"""Job execution: split -> map (+combine, +partition) -> shuffle -> reduce.
 
-The serial executor is fully deterministic and is the default.  The
-multiprocess executor runs map tasks on a process pool (tasks must be
-picklable) and produces identical output because the shuffle re-sorts
-intermediate pairs regardless of task completion order.
+The runtime is layered:
+
+- :mod:`repro.mapreduce.executors` decides *where* task batches run
+  (serial / thread pool / process pool) and owns the one retry path
+  (:class:`~repro.mapreduce.executors.TaskRunner`);
+- :class:`Shuffle` partitions intermediate pairs *inside each map
+  task* (map-side partitioning: pre-partitioned output crosses the
+  process boundary once and makes per-partition reduce scheduling
+  natural) and merges the per-task partition lists between phases;
+- this module composes them: both the map and the reduce phase run
+  through the same executor, so reducers parallelise exactly like
+  mappers.
+
+Output is deterministic for every backend: results are collected in
+task order and each reduce partition re-sorts its pairs, so completion
+order cannot leak into the output.
 
 Fault tolerance mirrors Hadoop's task model: a failing task (mapper or
 reducer raising any exception) is retried from scratch up to
 ``JobConf.max_task_attempts`` times — tasks are pure functions of their
 split, so re-execution is always safe — and the job fails with
 :class:`TaskFailedError` only when one task exhausts its attempts.
-Retries are counted in the ``framework.task_retries`` counter.
+Every retry is counted in ``framework.task_retries`` (exhausted tasks
+included) and every attempt is visible in the runtime's event stream.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from repro.mapreduce.counters import Counters
-from repro.mapreduce.job import Context, Job, group_sorted_pairs
+from repro.mapreduce.events import Event, EventKind, EventLog
+from repro.mapreduce.executors import (
+    Executor,
+    TaskFailedError,
+    TaskRunner,
+    resolve_executor,
+)
+from repro.mapreduce.job import Context, Job, Partitioner, group_sorted_pairs
 from repro.mapreduce.types import InputSplit, JobConf
 
+#: Backwards-compatible alias; the canonical name lives on ``Counters``.
+TASK_RETRIES = Counters.TASK_RETRIES
 
-class TaskFailedError(RuntimeError):
-    """A task failed on every allowed attempt."""
-
-    def __init__(self, phase: str, task_id: int, attempts: int, cause: Exception):
-        super().__init__(
-            f"{phase} task {task_id} failed after {attempts} attempt(s): "
-            f"{cause!r}"
-        )
-        self.phase = phase
-        self.task_id = task_id
-        self.attempts = attempts
-        self.cause = cause
+__all__ = [
+    "JobResult",
+    "MapReduceRuntime",
+    "Shuffle",
+    "TaskFailedError",
+    "TASK_RETRIES",
+]
 
 
-TASK_RETRIES = "task_retries"
+class Shuffle:
+    """Partitioning of intermediate pairs, split across the two sides.
 
+    ``scatter`` runs map-side, inside each map task: it fans the task's
+    pairs out into ``num_partitions`` buckets and accounts for the
+    shuffle volume in the task's own counters.  ``gather`` runs in the
+    runtime between the phases: it concatenates the per-task buckets
+    into one pair list per reduce partition (in task order, preserving
+    determinism).
+    """
 
-def _run_with_retries(task_fn, phase: str, task_id: int, max_attempts: int):
-    """Execute a task function with Hadoop-style re-execution."""
-    last_error: Exception | None = None
-    for attempt in range(max_attempts):
-        try:
-            pairs, counters, elapsed = task_fn()
-            if attempt > 0:
-                counters.increment(Counters.FRAMEWORK, TASK_RETRIES, attempt)
-            return pairs, counters, elapsed
-        except Exception as error:  # noqa: BLE001 - any task error retries
-            last_error = error
-    assert last_error is not None
-    raise TaskFailedError(phase, task_id, max_attempts, last_error)
+    def __init__(self, partitioner: Partitioner, num_partitions: int) -> None:
+        if num_partitions < 1:
+            raise ValueError("num_partitions must be >= 1")
+        self.partitioner = partitioner
+        self.num_partitions = num_partitions
+
+    def scatter(
+        self, pairs: list[tuple[Any, Any]], counters: Counters
+    ) -> list[list[tuple[Any, Any]]]:
+        buckets: list[list[tuple[Any, Any]]] = [
+            [] for _ in range(self.num_partitions)
+        ]
+        for key, value in pairs:
+            pid = self.partitioner.partition(key, self.num_partitions)
+            if not 0 <= pid < self.num_partitions:
+                raise ValueError(
+                    f"partitioner returned {pid} for {self.num_partitions} "
+                    "reducers"
+                )
+            buckets[pid].append((key, value))
+        counters.increment(Counters.FRAMEWORK, Counters.SHUFFLE_RECORDS, len(pairs))
+        return buckets
+
+    @staticmethod
+    def gather(
+        task_buckets: Sequence[list[list[tuple[Any, Any]]]],
+        num_partitions: int,
+    ) -> list[list[tuple[Any, Any]]]:
+        partitions: list[list[tuple[Any, Any]]] = [
+            [] for _ in range(num_partitions)
+        ]
+        for buckets in task_buckets:
+            for pid, bucket in enumerate(buckets):
+                partitions[pid].extend(bucket)
+        return partitions
 
 
 @dataclass
@@ -65,12 +111,30 @@ class JobResult:
     counters: Counters
     conf: JobConf
     wall_time: float
+    executor: str = "serial"
     map_task_times: list[float] = field(default_factory=list)
     reduce_task_times: list[float] = field(default_factory=list)
+    events: list[Event] = field(default_factory=list)
 
     @property
     def values(self) -> list[Any]:
         return [value for _, value in self.output]
+
+    @property
+    def num_map_tasks(self) -> int:
+        return len(self.map_task_times)
+
+    @property
+    def num_reduce_tasks(self) -> int:
+        return len(self.reduce_task_times)
+
+    def phase_seconds(self, phase: str) -> float:
+        """Wall time of one phase (``"map"`` / ``"reduce"``), from events."""
+        return sum(
+            e.duration_s or 0.0
+            for e in self.events
+            if e.kind == EventKind.PHASE_FINISH and e.phase == phase
+        )
 
     def as_dict(self) -> dict[Any, Any]:
         """Output pairs as a dict (requires unique keys)."""
@@ -86,8 +150,14 @@ def _run_map_task(
     job: Job,
     split: InputSplit,
     conf: JobConf,
-) -> tuple[list[tuple[Any, Any]], Counters, float]:
-    """Execute one mapper task over one split, with optional combining."""
+) -> tuple[Any, Counters, float]:
+    """Execute one mapper task over one split.
+
+    Runs the mapper lifecycle, the optional combiner, and — for jobs
+    with a reduce phase — map-side partitioning.  The payload is a flat
+    pair list for map-only jobs and a per-partition bucket list
+    otherwise.
+    """
     started = time.perf_counter()
     counters = Counters()
     ctx = Context(job.cache, counters, task_id=split.split_id, conf=conf)
@@ -119,7 +189,12 @@ def _run_map_task(
         counters.increment(
             Counters.FRAMEWORK, Counters.COMBINE_OUTPUT_RECORDS, len(pairs)
         )
-    return pairs, counters, time.perf_counter() - started
+
+    payload: Any = pairs
+    if conf.num_reducers > 0 and job.reducer_factory is not None:
+        shuffle = Shuffle(job.partitioner, conf.num_reducers)
+        payload = shuffle.scatter(pairs, counters)
+    return payload, counters, time.perf_counter() - started
 
 
 def _run_reduce_task(
@@ -154,16 +229,26 @@ class MapReduceRuntime:
     Parameters
     ----------
     max_workers:
-        ``None`` or ``1`` selects the serial executor.  Larger values run
-        map tasks on a process pool; reduce tasks stay serial (the
-        P3C+-MR jobs use at most a handful of reducers, so the map phase
-        dominates exactly as in the paper's cluster).
+        Worker count for pool-backed executors.  With ``executor=None``
+        the historical auto rule applies: ``max_workers`` > 1 selects
+        the process pool, anything else the serial executor.
+    executor:
+        Backend selection: ``"serial"``, ``"thread"``, ``"process"``,
+        an :class:`~repro.mapreduce.executors.Executor` instance, or
+        ``None`` for the auto rule.  A job may override the runtime
+        default via ``JobConf.executor``.
     """
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        executor: str | Executor | None = None,
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers
+        self.default_executor = resolve_executor(executor, max_workers)
+        self.events = EventLog()
         self.history: list[JobResult] = []
 
     # -- public API ---------------------------------------------------
@@ -172,114 +257,67 @@ class MapReduceRuntime:
         """Run one job over pre-computed input splits."""
         started = time.perf_counter()
         counters = Counters()
+        executor = (
+            resolve_executor(conf.executor, self.max_workers)
+            if conf.executor is not None
+            else self.default_executor
+        )
+        runner = TaskRunner(
+            executor,
+            self.events,
+            conf.name,
+            conf.max_task_attempts,
+            conf.retry_backoff_s,
+        )
+        first_event = len(self.events)
+        self.events.emit(EventKind.JOB_START, conf.name)
 
-        map_outputs, map_times = self._run_map_phase(job, splits, conf, counters)
+        map_results = runner.run_phase(
+            "map",
+            _run_map_task,
+            [(job, split, conf) for split in splits],
+            [split.split_id for split in splits],
+            counters,
+        )
+        map_outputs = [payload for payload, _ in map_results]
+        map_times = [elapsed for _, elapsed in map_results]
 
+        reduce_times: list[float] = []
         if conf.num_reducers == 0 or job.reducer_factory is None:
             output = [pair for pairs in map_outputs for pair in pairs]
-            result = JobResult(
-                output=output,
-                counters=counters,
-                conf=conf,
-                wall_time=time.perf_counter() - started,
-                map_task_times=map_times,
-            )
-            self.history.append(result)
-            return result
-
-        partitions = self._shuffle(job, map_outputs, conf, counters)
-        output: list[tuple[Any, Any]] = []
-        reduce_times: list[float] = []
-        for pid in range(conf.num_reducers):
-            part_output, part_counters, elapsed = _run_with_retries(
-                lambda pid=pid: _run_reduce_task(job, pid, partitions[pid], conf),
+        else:
+            partitions = Shuffle.gather(map_outputs, conf.num_reducers)
+            reduce_results = runner.run_phase(
                 "reduce",
-                pid,
-                conf.max_task_attempts,
+                _run_reduce_task,
+                [(job, pid, partitions[pid], conf) for pid in range(conf.num_reducers)],
+                list(range(conf.num_reducers)),
+                counters,
             )
-            output.extend(part_output)
-            counters.merge(part_counters)
-            reduce_times.append(elapsed)
+            output = [
+                pair for part_output, _ in reduce_results for pair in part_output
+            ]
+            reduce_times = [elapsed for _, elapsed in reduce_results]
 
+        wall_time = time.perf_counter() - started
+        self.events.emit(
+            EventKind.JOB_FINISH,
+            conf.name,
+            duration_s=wall_time,
+            counters=counters.snapshot(),
+        )
         result = JobResult(
             output=output,
             counters=counters,
             conf=conf,
-            wall_time=time.perf_counter() - started,
+            wall_time=wall_time,
+            executor=executor.name,
             map_task_times=map_times,
             reduce_task_times=reduce_times,
+            events=self.events.events[first_event:],
         )
         self.history.append(result)
         return result
-
-    # -- phases ---------------------------------------------------------
-
-    def _run_map_phase(
-        self,
-        job: Job,
-        splits: Sequence[InputSplit],
-        conf: JobConf,
-        counters: Counters,
-    ) -> tuple[list[list[tuple[Any, Any]]], list[float]]:
-        map_outputs: list[list[tuple[Any, Any]]] = []
-        map_times: list[float] = []
-        if self.max_workers is None or self.max_workers == 1 or len(splits) == 1:
-            for split in splits:
-                pairs, task_counters, elapsed = _run_with_retries(
-                    lambda split=split: _run_map_task(job, split, conf),
-                    "map",
-                    split.split_id,
-                    conf.max_task_attempts,
-                )
-                map_outputs.append(pairs)
-                counters.merge(task_counters)
-                map_times.append(elapsed)
-        else:
-            with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
-                futures = [
-                    pool.submit(_run_map_task, job, split, conf) for split in splits
-                ]
-                for split, future in zip(splits, futures):
-                    # First attempt ran on the pool; retries re-run the
-                    # task in-process.  Tasks are pure functions of their
-                    # split, so the executor cannot change the output.
-                    def attempt(split=split, future=future, state={"first": True}):
-                        if state["first"]:
-                            state["first"] = False
-                            return future.result()
-                        return _run_map_task(job, split, conf)
-
-                    pairs, task_counters, elapsed = _run_with_retries(
-                        attempt, "map", split.split_id, conf.max_task_attempts
-                    )
-                    map_outputs.append(pairs)
-                    counters.merge(task_counters)
-                    map_times.append(elapsed)
-        return map_outputs, map_times
-
-    def _shuffle(
-        self,
-        job: Job,
-        map_outputs: list[list[tuple[Any, Any]]],
-        conf: JobConf,
-        counters: Counters,
-    ) -> list[list[tuple[Any, Any]]]:
-        partitions: list[list[tuple[Any, Any]]] = [
-            [] for _ in range(conf.num_reducers)
-        ]
-        n_shuffled = 0
-        for pairs in map_outputs:
-            for key, value in pairs:
-                pid = job.partitioner.partition(key, conf.num_reducers)
-                if not 0 <= pid < conf.num_reducers:
-                    raise ValueError(
-                        f"partitioner returned {pid} for {conf.num_reducers} "
-                        "reducers"
-                    )
-                partitions[pid].append((key, value))
-                n_shuffled += 1
-        counters.increment(Counters.FRAMEWORK, Counters.SHUFFLE_RECORDS, n_shuffled)
-        return partitions
 
     # -- accounting -----------------------------------------------------
 

@@ -99,6 +99,11 @@ class JobConf:
     sort_keys: bool = True
     #: Hadoop-style task re-execution budget (1 = fail fast).
     max_task_attempts: int = 2
+    #: Base delay before a retry; doubles per attempt (0 = immediate).
+    retry_backoff_s: float = 0.0
+    #: Per-job executor override (``"serial"``/``"thread"``/``"process"``);
+    #: ``None`` defers to the runtime's configured default.
+    executor: str | None = None
     extra: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -108,6 +113,8 @@ class JobConf:
             raise ValueError("num_reducers must be >= 0")
         if self.max_task_attempts < 1:
             raise ValueError("max_task_attempts must be >= 1")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be >= 0")
 
 
 def iter_grouped(

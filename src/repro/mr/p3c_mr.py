@@ -22,7 +22,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.binning import freedman_diaconis_bins
 from repro.core.intervals import find_relevant_intervals
 from repro.core.p3c_plus import P3CPlusConfig, _validate_data
 from repro.core.types import ClusteringResult, ProjectedCluster
@@ -44,6 +43,9 @@ class P3CPlusMRConfig:
 
     num_splits: int = 8
     max_workers: int | None = None  # None/1 = serial executor
+    #: Executor backend ("serial"/"thread"/"process"); ``None`` keeps
+    #: the auto rule: max_workers > 1 selects the process pool.
+    executor: str | None = None
     t_gen: int = DEFAULT_T_GEN
     t_c: int = DEFAULT_T_C
     multi_level: bool = True
@@ -119,7 +121,10 @@ class P3CPlusMR:
         """Cluster from pre-built input splits (in-memory or
         file-backed, see :func:`repro.mapreduce.fs.make_csv_splits`);
         the driver never materialises the data matrix."""
-        runtime = MapReduceRuntime(max_workers=self.mr_config.max_workers)
+        runtime = MapReduceRuntime(
+            max_workers=self.mr_config.max_workers,
+            executor=self.mr_config.executor,
+        )
         chain = JobChain(runtime)
         self.chain = chain
 

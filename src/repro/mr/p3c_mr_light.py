@@ -42,7 +42,10 @@ class P3CPlusMRLight(P3CPlusMR):
         self, splits: list[InputSplit], n: int, d: int
     ) -> ClusteringResult:
         """Cluster from pre-built (possibly file-backed) input splits."""
-        runtime = MapReduceRuntime(max_workers=self.mr_config.max_workers)
+        runtime = MapReduceRuntime(
+            max_workers=self.mr_config.max_workers,
+            executor=self.mr_config.executor,
+        )
         chain = JobChain(runtime)
         self.chain = chain
 

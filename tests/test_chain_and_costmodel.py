@@ -59,6 +59,30 @@ class TestJobChain:
         assert "my_step" in report
         assert "TOTAL" in report
 
+    def test_report_shows_task_counts_executor_and_phase_times(self):
+        chain = self._chain()
+        splits = split_records([(i, i) for i in range(10)], 3)
+        job = Job(mapper_factory=_EchoMapper, reducer_factory=_CountReducer)
+        chain.run("counted_step", job, splits, num_reducers=2)
+        report = chain.report()
+        header, row, total = report.splitlines()
+        for column in ("maps", "reds", "executor", "map(s)", "reduce(s)"):
+            assert column in header
+        assert "serial" in row
+        assert row.split()[1:3] == ["3", "2"]  # map tasks, reduce tasks
+        assert "TOTAL (1 jobs)" in total
+
+    def test_report_totals_sum_task_counts(self):
+        chain = self._chain()
+        splits = split_records([(i, i) for i in range(10)], 2)
+        job = Job(mapper_factory=_EchoMapper, reducer_factory=_CountReducer)
+        chain.run("a", job, splits)
+        chain.run("b", job, splits, num_reducers=3)
+        total = chain.report().splitlines()[-1]
+        assert "TOTAL (2 jobs)" in total
+        # "TOTAL (2 jobs)" splits into three tokens; counts follow.
+        assert total.split()[3:5] == ["4", "4"]  # 2+2 maps, 1+3 reduces
+
 
 class TestCostModel:
     def test_job_cost_components_positive(self):

@@ -88,6 +88,41 @@ class TestCluster:
         )
         assert code == 2
 
+    def test_trace_and_executor_flags(self, tmp_path, data_file, capsys):
+        result_file = tmp_path / "result.json"
+        code = main(
+            [
+                "cluster",
+                "--algorithm", "mr-light",
+                "--data", str(data_file),
+                "--out", str(result_file),
+                "--executor", "thread",
+                "--workers", "2",
+                "--trace",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "job_start" in out and "task_finish" in out
+        assert "thread" in out  # ledger names the executor
+        assert "TOTAL" in out
+
+    def test_trace_on_serial_algorithm_prints_note(
+        self, tmp_path, data_file, capsys
+    ):
+        result_file = tmp_path / "result.json"
+        code = main(
+            [
+                "cluster",
+                "--algorithm", "p3c-plus-light",
+                "--data", str(data_file),
+                "--out", str(result_file),
+                "--trace",
+            ]
+        )
+        assert code == 0
+        assert "no MapReduce chain" in capsys.readouterr().out
+
     def test_all_algorithms_registered(self):
         assert set(ALGORITHMS) == {
             "p3c",

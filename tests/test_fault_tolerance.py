@@ -1,8 +1,9 @@
-"""Failure-injection tests for the runtime's task re-execution."""
+"""Failure-injection tests for the runtime's task re-execution, in both
+the map and reduce phases, across executor backends."""
 
 from __future__ import annotations
 
-import itertools
+import os
 from typing import Any
 
 import pytest
@@ -125,6 +126,147 @@ class TestReduceRetries:
     def test_conf_validates_attempts(self):
         with pytest.raises(ValueError):
             JobConf(max_task_attempts=0)
+
+
+class CountMapper(Mapper):
+    def map(self, key: Any, value: Any, context: Context) -> None:
+        context.emit(key % 4, 1)
+
+
+class AlwaysFailingReducer(Reducer):
+    def reduce(self, key: Any, values: list[Any], context: Context) -> None:
+        raise RuntimeError("permanent reducer failure")
+
+
+class ChildProcessFailingMapper(Mapper):
+    """Fails in pool worker processes, succeeds in the parent.
+
+    Exercises the pool-first-attempt / in-process-retry path: the first
+    attempt runs on the process pool (different pid) and fails; the
+    retry re-runs in the parent and succeeds.
+    """
+
+    parent_pid = os.getpid()
+
+    def setup(self, context: Context) -> None:
+        if os.getpid() != self.parent_pid:
+            raise IOError("worker lost")
+
+    def map(self, key: Any, value: Any, context: Context) -> None:
+        context.emit("count", 1)
+
+
+class TestRetriesAcrossExecutors:
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_map_faults_recovered(self, executor):
+        _reset()
+        runtime = MapReduceRuntime(executor=executor, max_workers=2)
+        job = Job(mapper_factory=FlakyMapper, reducer_factory=SumReducer)
+        result = runtime.run(job, _splits(), JobConf(max_task_attempts=3))
+        assert result.as_dict() == {"count": 12}
+        assert result.counters.framework_value(TASK_RETRIES) == 3
+
+    @pytest.mark.parametrize("executor", ["serial", "thread"])
+    def test_reduce_faults_recovered_in_parallel_phase(self, executor):
+        _reset()
+        runtime = MapReduceRuntime(executor=executor, max_workers=2)
+        job = Job(mapper_factory=CountMapper, reducer_factory=FlakyReducer)
+        result = runtime.run(
+            job,
+            _splits(n=16, k=4),
+            JobConf(num_reducers=4, max_task_attempts=2),
+        )
+        assert sum(result.as_dict().values()) == 16
+        # Every non-empty reduce partition failed once and was retried.
+        retried = {
+            tid for phase, tid in _ATTEMPTS if phase == "reduce"
+        }
+        assert result.counters.framework_value(TASK_RETRIES) >= len(retried)
+
+    def test_process_pool_first_attempt_retried_in_process(self):
+        runtime = MapReduceRuntime(executor="process", max_workers=2)
+        job = Job(
+            mapper_factory=ChildProcessFailingMapper,
+            reducer_factory=SumReducer,
+        )
+        result = runtime.run(job, _splits(), JobConf(max_task_attempts=2))
+        assert result.as_dict() == {"count": 12}
+        assert result.counters.framework_value(TASK_RETRIES) == 3
+
+    def test_backoff_path_still_recovers(self):
+        _reset()
+        runtime = MapReduceRuntime()
+        job = Job(mapper_factory=FlakyMapper, reducer_factory=SumReducer)
+        result = runtime.run(
+            job,
+            _splits(),
+            JobConf(max_task_attempts=3, retry_backoff_s=0.001),
+        )
+        assert result.as_dict() == {"count": 12}
+
+    def test_negative_backoff_rejected(self):
+        with pytest.raises(ValueError):
+            JobConf(retry_backoff_s=-0.1)
+
+
+class TestExhaustedTaskAccounting:
+    def test_retries_recorded_for_exhausted_map_task(self):
+        runtime = MapReduceRuntime()
+        job = Job(mapper_factory=AlwaysFailingMapper)
+        with pytest.raises(TaskFailedError) as info:
+            runtime.run(
+                job, _splits(), JobConf(max_task_attempts=3, num_reducers=0)
+            )
+        # The failed-then-exhausted task's re-executions are counted
+        # even though the job produced no result.
+        assert info.value.counters is not None
+        assert info.value.counters.framework_value(TASK_RETRIES) == 2
+
+    def test_retries_recorded_for_exhausted_reduce_task(self):
+        runtime = MapReduceRuntime()
+        job = Job(
+            mapper_factory=CountMapper, reducer_factory=AlwaysFailingReducer
+        )
+        with pytest.raises(TaskFailedError) as info:
+            runtime.run(job, _splits(), JobConf(max_task_attempts=2))
+        assert info.value.phase == "reduce"
+        assert info.value.counters.framework_value(TASK_RETRIES) == 1
+
+    def test_failed_job_leaves_event_trail(self):
+        from repro.mapreduce import EventKind
+
+        runtime = MapReduceRuntime()
+        job = Job(mapper_factory=AlwaysFailingMapper)
+        with pytest.raises(TaskFailedError):
+            runtime.run(
+                job,
+                _splits(n=4, k=1),
+                JobConf(name="doomed", max_task_attempts=3, num_reducers=0),
+            )
+        kinds = [e.kind for e in runtime.events.select(job="doomed")]
+        assert kinds.count(EventKind.TASK_START) == 3  # every attempt
+        assert kinds.count(EventKind.TASK_RETRY) == 2
+        assert kinds.count(EventKind.TASK_FAILED) == 1
+
+
+class TestRetryEvents:
+    def test_every_attempt_emits_events(self):
+        from repro.mapreduce import EventKind
+
+        _reset()
+        runtime = MapReduceRuntime()
+        job = Job(mapper_factory=FlakyMapper, reducer_factory=SumReducer)
+        runtime.run(
+            job, _splits(), JobConf(name="flaky", max_task_attempts=3)
+        )
+        events = runtime.events.select(job="flaky", phase="map")
+        starts = [e for e in events if e.kind == EventKind.TASK_START]
+        retries = [e for e in events if e.kind == EventKind.TASK_RETRY]
+        # 3 splits, each failing once: 6 attempts, 3 retry events.
+        assert len(starts) == 6
+        assert len(retries) == 3
+        assert all(e.error is not None for e in retries)
+        assert {e.attempt for e in starts} == {1, 2}
 
 
 class TestDeterminismUnderRetry:

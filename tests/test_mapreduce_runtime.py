@@ -178,6 +178,10 @@ class TestPartitioner:
         assert partitioner.partition(None, 3) == 0
 
     def test_out_of_range_partition_rejected(self):
+        # Partitioning is map-side: a broken partitioner fails the map
+        # task deterministically, exhausting its retries.
+        from repro.mapreduce import TaskFailedError
+
         class BrokenPartitioner(Partitioner):
             def partition(self, key: Any, num_partitions: int) -> int:
                 return num_partitions  # off by one
@@ -188,8 +192,10 @@ class TestPartitioner:
             reducer_factory=SumReducer,
             partitioner=BrokenPartitioner(),
         )
-        with pytest.raises(ValueError, match="partitioner"):
+        with pytest.raises(TaskFailedError) as info:
             runtime.run(job, _text_splits(), JobConf(num_reducers=2))
+        assert isinstance(info.value.cause, ValueError)
+        assert "partitioner" in str(info.value.cause)
 
 
 class TestMultiprocess:
