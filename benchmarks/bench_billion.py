@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
+import json
+
 from repro.experiments import billion
+from repro.obs import validate_run_report
+
+from conftest import OUTPUT_DIR
 
 
 def test_billion_point_projection(benchmark, save_exhibit):
@@ -12,6 +17,16 @@ def test_billion_point_projection(benchmark, save_exhibit):
         iterations=1,
     )
     save_exhibit("billion", billion.render(outcome, scaled_n=4_000))
+
+    # Standard run report of the measured MR-Light run, alongside the
+    # rendered exhibit, so the perf trajectory has stable fields.
+    assert outcome.run_report is not None
+    assert validate_run_report(outcome.run_report) == []
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    report_path = OUTPUT_DIR / "billion.run.json"
+    report_path.write_text(
+        json.dumps(outcome.run_report, indent=2, default=repr) + "\n"
+    )
 
     # Headline ordering: MR-Light beats BoW-Light at 10^9 points.
     assert outcome.projected_mr_light_s < outcome.projected_bow_light_s

@@ -5,6 +5,11 @@ Times the two dominant P3C+-MR job shapes — the histogram job
 every executor backend, asserts bit-identical outputs, and emits a JSON
 record (``benchmarks/output/runtime_scaling.json``) for the bench
 trajectory: per-executor wall times and speedups vs serial.
+
+Alongside it, a standard observability run report
+(``runtime_scaling.run.json``, schema ``repro.obs/run-report/v1``)
+carries the per-job task percentiles, skew ratios and the per-executor
+timing gauges in the same stable fields every driver emits.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from repro.mapreduce import JobChain, MapReduceRuntime
 from repro.mapreduce.types import split_records
 from repro.mr.histogram import run_histogram_job
 from repro.mr.support import run_support_job
+from repro.obs import Observability, build_run_report, validate_run_report
 
 from conftest import OUTPUT_DIR
 
@@ -59,10 +65,13 @@ def test_runtime_scaling(save_exhibit):
     timings: dict[str, dict[str, float]] = {"histogram": {}, "support": {}}
     outputs: dict[str, tuple] = {}
     candidates: list[Signature] | None = None
+    obs_by_executor: dict[str, Observability] = {}
+    chains: dict[str, JobChain] = {}
 
     for name in EXECUTORS:
-        runtime = MapReduceRuntime(executor=name, max_workers=WORKERS)
-        chain = JobChain(runtime)
+        obs = obs_by_executor[name] = Observability()
+        runtime = MapReduceRuntime(executor=name, max_workers=WORKERS, obs=obs)
+        chain = chains[name] = JobChain(runtime)
         splits = split_records(data, NUM_SPLITS)
 
         started = time.perf_counter()
@@ -103,6 +112,23 @@ def test_runtime_scaling(save_exhibit):
     path = OUTPUT_DIR / "runtime_scaling.json"
     path.write_text(json.dumps(record, indent=2) + "\n")
 
+    # Standard run report (serial chain as the comparable baseline, the
+    # per-executor timings as metrics gauges) for the perf trajectory.
+    obs = obs_by_executor["serial"]
+    for job, times in timings.items():
+        for name, seconds in times.items():
+            obs.gauge(f"bench.{job}_seconds.{name}", seconds)
+    report = build_run_report(
+        "bench-runtime-scaling",
+        obs=obs,
+        chain=chains["serial"],
+        dataset={"n": int(len(data)), "d": int(data.shape[1])},
+        extra={"bench": {"workers": WORKERS, "num_splits": NUM_SPLITS}},
+    )
+    assert validate_run_report(report) == []
+    report_path = OUTPUT_DIR / "runtime_scaling.run.json"
+    report_path.write_text(json.dumps(report, indent=2, default=repr) + "\n")
+
     lines = [
         "Runtime scaling — executor wall times (s), "
         f"{len(data)} x {data.shape[1]}, {NUM_SPLITS} splits, "
@@ -112,4 +138,5 @@ def test_runtime_scaling(save_exhibit):
         row = "  ".join(f"{name}={times[name]:.3f}" for name in EXECUTORS)
         lines.append(f"{job:<12} {row}")
     lines.append(f"[json saved to {path}]")
+    lines.append(f"[run report saved to {report_path}]")
     save_exhibit("runtime_scaling", "\n".join(lines))

@@ -6,13 +6,15 @@ generate    write a synthetic data set (Section 7.1 recipe) to CSV
 cluster     run an algorithm on a CSV data set, write a JSON result
 evaluate    score a JSON result against a labelled data set
 experiment  run one paper-exhibit harness and print its table
+report      render a run-report JSON (see ``cluster --metrics``)
 
 Examples
 --------
 python -m repro generate --n 5000 --dims 20 --clusters 3 --noise 0.1 \\
     --out data.csv
 python -m repro cluster --algorithm mr-light --data data.csv \\
-    --out result.json
+    --out result.json --metrics run.json --trace-format chrome
+python -m repro report run.json
 python -m repro evaluate --data data.csv --result result.json
 python -m repro experiment figure1
 """
@@ -20,6 +22,7 @@ python -m repro experiment figure1
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -37,17 +40,29 @@ from repro.data.io import (
     save_result_json,
 )
 from repro.eval import e4sc_score, label_accuracy
-from repro.mapreduce.events import format_trace
+from repro.mapreduce.events import events_to_jsonl, format_trace
 from repro.mapreduce.executors import EXECUTORS
 from repro.mr import P3CPlusMR, P3CPlusMRConfig, P3CPlusMRLight
+from repro.obs import (
+    Observability,
+    build_run_report,
+    load_run_report,
+    render_run_report,
+    save_run_report,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+    validate_run_report,
+)
 
 
 @dataclass(frozen=True)
 class ExecOptions:
-    """Runtime executor selection forwarded to the MR/BoW drivers."""
+    """Runtime executor selection (and observability context) forwarded
+    to the MR/BoW drivers."""
 
     executor: str | None = None
     max_workers: int | None = None
+    obs: Observability | None = None
 
 
 ALGORITHMS: dict[str, Callable[[P3CPlusConfig, ExecOptions], Any]] = {
@@ -67,12 +82,14 @@ ALGORITHMS: dict[str, Callable[[P3CPlusConfig, ExecOptions], Any]] = {
         P3CPlusMRConfig(
             executor=opts.executor, max_workers=opts.max_workers
         ),
+        obs=opts.obs,
     ),
     "mr-light": lambda config, opts: P3CPlusMRLight(
         config,
         P3CPlusMRConfig(
             executor=opts.executor, max_workers=opts.max_workers
         ),
+        obs=opts.obs,
     ),
     "bow-light": lambda config, opts: BoW(
         config,
@@ -151,7 +168,35 @@ def _build_parser() -> argparse.ArgumentParser:
         "--trace",
         action="store_true",
         help="print the per-task runtime event trace and job ledger "
-        "after clustering (mr/bow algorithms only)",
+        "after clustering (mr/bow algorithms only); shorthand for "
+        "--trace-format text",
+    )
+    cluster.add_argument(
+        "--trace-format",
+        choices=("text", "jsonl", "chrome"),
+        default=None,
+        help="trace export: 'text' prints the event trace and ledger, "
+        "'jsonl' writes span records as JSON lines, 'chrome' writes "
+        "Chrome trace-event JSON (open in Perfetto / chrome://tracing)",
+    )
+    cluster.add_argument(
+        "--trace-out",
+        default=None,
+        help="output path for --trace-format jsonl/chrome "
+        "(default: <out>.trace.jsonl / <out>.trace.json)",
+    )
+    cluster.add_argument(
+        "--metrics",
+        metavar="RUN_JSON",
+        default=None,
+        help="write the run report (spans, algorithm metrics, per-job "
+        "task percentiles, memory samples) to this path",
+    )
+    cluster.add_argument(
+        "--trace-allocations",
+        action="store_true",
+        help="additionally sample tracemalloc allocation peaks per "
+        "phase (slower; requires --metrics or --trace-format)",
     )
 
     evaluate = commands.add_parser("evaluate", help="score a saved result")
@@ -162,6 +207,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "experiment", help="run one paper-exhibit harness"
     )
     experiment.add_argument("name", choices=EXPERIMENTS)
+
+    report = commands.add_parser(
+        "report", help="render a run-report JSON written by cluster --metrics"
+    )
+    report.add_argument("run_json", help="path to the run.json artifact")
     return parser
 
 
@@ -184,26 +234,88 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_trace_out(out: str, trace_format: str) -> str:
+    suffix = ".trace.jsonl" if trace_format == "jsonl" else ".trace.json"
+    stem = out[:-5] if out.endswith(".json") else out
+    return stem + suffix
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
+    import time
+
     data, _ = load_dataset_csv(args.data)
     if args.normalize:
         data = normalize_unit_range(data)
     config = P3CPlusConfig(
         theta_cc=args.theta_cc, poisson_alpha=args.poisson_alpha
     )
-    opts = ExecOptions(executor=args.executor, max_workers=args.workers)
+    trace_format = args.trace_format or ("text" if args.trace else None)
+    observing = bool(args.metrics) or trace_format in ("jsonl", "chrome")
+    obs = Observability(
+        enabled=observing, trace_allocations=args.trace_allocations
+    )
+    opts = ExecOptions(
+        executor=args.executor, max_workers=args.workers, obs=obs
+    )
     algorithm = ALGORITHMS[args.algorithm](config, opts)
+    started = time.perf_counter()
     result = algorithm.fit(data)
+    wall_time = time.perf_counter() - started
     save_result_json(args.out, result)
     print(result.summary())
-    if args.trace:
-        chain = getattr(algorithm, "chain", None)
+
+    chain = getattr(algorithm, "chain", None)
+    if trace_format == "text":
         if chain is None:
             print("(--trace: no MapReduce chain; serial algorithms emit no events)")
         else:
             print(format_trace(chain.runtime.events))
             print(chain.report())
+    elif trace_format in ("jsonl", "chrome"):
+        obs.tracer.close()
+        trace_out = args.trace_out or _default_trace_out(args.out, trace_format)
+        if trace_format == "jsonl":
+            payload = spans_to_jsonl(obs.tracer.spans) + "\n"
+            if chain is not None:
+                payload += events_to_jsonl(chain.runtime.events) + "\n"
+            with open(trace_out, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+        else:
+            with open(trace_out, "w", encoding="utf-8") as handle:
+                json.dump(spans_to_chrome_trace(obs.tracer.spans), handle)
+                handle.write("\n")
+        print(f"trace ({trace_format}) written to {trace_out}")
+
+    if args.metrics:
+        report = build_run_report(
+            args.algorithm,
+            obs=obs,
+            chain=chain,
+            dataset={"n": int(data.shape[0]), "d": int(data.shape[1]),
+                     "path": args.data},
+            result={
+                "num_clusters": len(result.clusters),
+                "num_outliers": int(len(result.outliers)),
+            },
+            wall_time_s=wall_time,
+        )
+        save_run_report(args.metrics, report)
+        print(f"run report written to {args.metrics}")
+
     print(f"result written to {args.out}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    report = load_run_report(args.run_json)
+    errors = validate_run_report(report)
+    print(render_run_report(report))
+    if errors:
+        print(
+            "\nschema problems:\n" + "\n".join(f"  - {e}" for e in errors),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -263,6 +375,7 @@ def main(argv: list[str] | None = None) -> int:
         "cluster": _cmd_cluster,
         "evaluate": _cmd_evaluate,
         "experiment": _cmd_experiment,
+        "report": _cmd_report,
     }
     try:
         return handlers[args.command](args)

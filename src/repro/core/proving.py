@@ -35,6 +35,42 @@ class ProvenSignature:
         return len(self.signature)
 
 
+@dataclass
+class ProveStats:
+    """Where one proving batch's candidates went.
+
+    The paper's pruning pipeline has three distinct kill sites before
+    the redundancy filter; attributing candidates to the *first* test
+    they failed is what lets the observability layer answer "what did
+    the statistical tests actually prune?".
+    """
+
+    candidates: int = 0
+    proven: int = 0
+    #: First failing check was the Poisson deviation test (Eq. 1).
+    rejected_poisson: int = 0
+    #: Passed Poisson but failed the effect-size threshold (P3C+ only).
+    rejected_effect_size: int = 0
+    #: Skipped because a (p-1)-parent was never proven (Definition 5).
+    rejected_unproven_parent: int = 0
+
+    def merge(self, other: "ProveStats") -> None:
+        self.candidates += other.candidates
+        self.proven += other.proven
+        self.rejected_poisson += other.rejected_poisson
+        self.rejected_effect_size += other.rejected_effect_size
+        self.rejected_unproven_parent += other.rejected_unproven_parent
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "candidates": self.candidates,
+            "proven": self.proven,
+            "rejected_poisson": self.rejected_poisson,
+            "rejected_effect_size": self.rejected_effect_size,
+            "rejected_unproven_parent": self.rejected_unproven_parent,
+        }
+
+
 def count_supports(
     data: np.ndarray,
     signatures: Sequence[Signature],
@@ -94,6 +130,25 @@ class SupportTester:
                 )
         return parents
 
+    def evaluate(
+        self,
+        signature: Signature,
+        support: int,
+        known: Mapping[Signature, int],
+    ) -> str | None:
+        """Eq. 1 verdict: ``None`` when proven, otherwise the name of
+        the first failing test (``"poisson"`` / ``"effect_size"``)."""
+        for interval in signature:
+            parent = signature.without(interval)
+            parent_supp = self.n if len(parent) == 0 else known[parent]
+            expected = parent_supp * interval.width
+            if not poisson_deviation_significant(support, expected, self.alpha):
+                return "poisson"
+            if self.theta_cc is not None:
+                if cohens_d_cc(support, expected) < self.theta_cc:
+                    return "effect_size"
+        return None
+
     def passes(
         self,
         signature: Signature,
@@ -102,16 +157,7 @@ class SupportTester:
     ) -> bool:
         """Eq. 1: every leave-one-out expectation must be significantly
         (and, for P3C+, relevantly) exceeded."""
-        for interval in signature:
-            parent = signature.without(interval)
-            parent_supp = self.n if len(parent) == 0 else known[parent]
-            expected = parent_supp * interval.width
-            if not poisson_deviation_significant(support, expected, self.alpha):
-                return False
-            if self.theta_cc is not None:
-                if cohens_d_cc(support, expected) < self.theta_cc:
-                    return False
-        return True
+        return self.evaluate(signature, support, known) is None
 
     def prove(
         self,
@@ -119,6 +165,7 @@ class SupportTester:
         supports: Mapping[Signature, int],
         known: Mapping[Signature, int] | None = None,
         proven_set: Iterable[Signature] | None = None,
+        stats: ProveStats | None = None,
     ) -> list[ProvenSignature]:
         """Prove a batch of candidates whose supports were counted.
 
@@ -133,6 +180,9 @@ class SupportTester:
         batches, and candidates proven inside this batch extend it.
         Candidates are processed in increasing signature size so parents
         are always resolved before children.
+
+        ``stats``, when given, accumulates where each candidate went
+        (proven, or the first test it failed).
         """
         merged: dict[Signature, int] = dict(known or {})
         merged.update(supports)
@@ -140,17 +190,28 @@ class SupportTester:
         proven: list[ProvenSignature] = []
         for sig in sorted(candidates, key=len):
             support = supports[sig]
+            if stats is not None:
+                stats.candidates += 1
             parents_proven = all(
                 len(parent := sig.without(interval)) == 0 or parent in accepted
                 for interval in sig
             )
             if not parents_proven:
+                if stats is not None:
+                    stats.rejected_unproven_parent += 1
                 continue
             try:
-                ok = self.passes(sig, support, merged)
+                verdict = self.evaluate(sig, support, merged)
             except KeyError:
-                ok = False
-            if ok:
+                verdict = "poisson"
+            if verdict is None:
                 proven.append(ProvenSignature(signature=sig, support=support))
                 accepted.add(sig)
+                if stats is not None:
+                    stats.proven += 1
+            elif stats is not None:
+                if verdict == "poisson":
+                    stats.rejected_poisson += 1
+                else:
+                    stats.rejected_effect_size += 1
         return proven

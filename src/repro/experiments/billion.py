@@ -21,6 +21,7 @@ from repro.experiments.figure7 import project_runtime
 from repro.experiments.runner import make_dataset
 from repro.mapreduce.costmodel import ClusterCostModel
 from repro.mr import P3CPlusMRConfig, P3CPlusMRLight
+from repro.obs import Observability, build_run_report
 
 PAPER_N = 1_000_000_000
 PAPER_DIMS = 100
@@ -35,6 +36,9 @@ class BillionResult:
     measured_mr_jobs: int
     projected_mr_light_s: float
     projected_bow_light_s: float
+    #: Standard run report of the measured MR-Light run (schema
+    #: ``repro.obs/run-report/v1``), for the bench trajectory.
+    run_report: dict | None = None
 
     @property
     def projected_ratio(self) -> float:
@@ -54,10 +58,10 @@ def run(
 ) -> BillionResult:
     dataset = make_dataset(scaled_n, dims, num_clusters, noise, seed)
 
+    obs = Observability()
+    mr_light = P3CPlusMRLight(mr_config=P3CPlusMRConfig(num_splits=8), obs=obs)
     started = time.perf_counter()
-    mr_result = P3CPlusMRLight(mr_config=P3CPlusMRConfig(num_splits=8)).fit(
-        dataset.data
-    )
+    mr_result = mr_light.fit(dataset.data)
     mr_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
@@ -68,12 +72,25 @@ def run(
 
     model = ClusterCostModel()
     mr_jobs = int(mr_result.metadata["mr_jobs"])
+    report = build_run_report(
+        "mr-light",
+        obs=obs,
+        chain=mr_light.chain,
+        dataset={"n": scaled_n, "d": dims},
+        result={
+            "num_clusters": len(mr_result.clusters),
+            "num_outliers": int(len(mr_result.outliers)),
+        },
+        wall_time_s=mr_seconds,
+        extra={"experiment": "billion"},
+    )
     return BillionResult(
         measured_mr_light_s=mr_seconds,
         measured_bow_light_s=bow_seconds,
         measured_mr_jobs=mr_jobs,
         projected_mr_light_s=project_runtime("MR (Light)", PAPER_N, mr_jobs, model),
         projected_bow_light_s=project_runtime("BoW (Light)", PAPER_N, 1, model),
+        run_report=report,
     )
 
 

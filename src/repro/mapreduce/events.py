@@ -19,9 +19,12 @@ so traces are reproducible to read (no absolute wall-clock noise).
 from __future__ import annotations
 
 import json
+import logging
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Mapping
+
+logger = logging.getLogger(__name__)
 
 
 class EventKind:
@@ -107,13 +110,39 @@ class EventLog:
             error=error,
         )
         self.events.append(event)
-        for subscriber in self._subscribers:
-            subscriber(event)
+        for subscriber in list(self._subscribers):
+            try:
+                subscriber(event)
+            except Exception:  # noqa: BLE001 - sinks must not abort the job
+                logger.exception(
+                    "event subscriber %r raised on %s; continuing",
+                    subscriber,
+                    event.kind,
+                )
         return event
 
+    @property
+    def origin(self) -> float:
+        """``time.perf_counter()`` value event ``time_s`` fields are
+        relative to (lets external tracers align their clocks)."""
+        return self._origin
+
     def subscribe(self, callback: Callable[[Event], None]) -> None:
-        """Register a live sink (e.g. a streaming trace printer)."""
+        """Register a live sink (e.g. a streaming trace printer).
+
+        A raising subscriber is isolated: its exception is logged and
+        the job continues — sinks observe the runtime, they must never
+        abort it.
+        """
         self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[Event], None]) -> None:
+        """Remove a previously registered sink (no-op when absent), so
+        short-lived sinks do not leak across chained jobs."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
 
     def __len__(self) -> int:
         return len(self.events)
@@ -149,9 +178,58 @@ class EventLog:
         return len(self.select(EventKind.TASK_START, job, phase))
 
 
+#: Compact labels for the well-known framework counters in traces.
+_COUNTER_LABELS = {
+    "map_input_records": "map_in",
+    "map_output_records": "map_out",
+    "combine_output_records": "combine_out",
+    "shuffle_records": "shuffle",
+    "reduce_input_groups": "reduce_groups",
+    "reduce_output_records": "reduce_out",
+    "task_retries": "retries",
+}
+
+
+def _flatten_counters(
+    counters: Mapping[str, Mapping[str, int]] | None,
+) -> dict[tuple[str, str], int]:
+    if not counters:
+        return {}
+    return {
+        (group, name): int(value)
+        for group, values in counters.items()
+        for name, value in values.items()
+    }
+
+
+def _format_counter_deltas(
+    current: dict[tuple[str, str], int],
+    baseline: dict[tuple[str, str], int],
+) -> list[str]:
+    """Render non-zero counter deltas vs ``baseline`` as ``name=delta``."""
+    parts = []
+    for (group, name), value in sorted(current.items()):
+        delta = value - baseline.get((group, name), 0)
+        if delta == 0:
+            continue
+        label = _COUNTER_LABELS.get(name, name)
+        if group != "framework":
+            label = f"{group}.{label}"
+        parts.append(f"{label}={delta}")
+    return parts
+
+
 def format_trace(events: Iterable[Event]) -> str:
-    """Render an event stream as an aligned, human-readable trace."""
+    """Render an event stream as an aligned, human-readable trace.
+
+    Counter snapshots are rendered as per-event *deltas* (e.g.
+    ``shuffle=1234``): task events carry per-attempt counters already,
+    while the cumulative ``phase_finish``/``job_finish`` snapshots are
+    differenced against the previous cumulative snapshot of the same
+    job — matching the paper's per-job accounting.
+    """
     lines = []
+    cumulative: dict[str, dict[tuple[str, str], int]] = {}
     for e in events:
         where = e.phase or "-"
         detail = []
@@ -163,6 +241,16 @@ def format_trace(events: Iterable[Event]) -> str:
             detail.append(f"{e.duration_s * 1e3:.1f}ms")
         if e.error is not None:
             detail.append(f"error={e.error}")
+        if e.counters:
+            flat = _flatten_counters(e.counters)
+            if e.kind in (EventKind.PHASE_FINISH, EventKind.JOB_FINISH):
+                baseline = cumulative.get(e.job, {})
+                detail.extend(_format_counter_deltas(flat, baseline))
+                cumulative[e.job] = flat
+            else:
+                detail.extend(_format_counter_deltas(flat, {}))
+        if e.kind == EventKind.JOB_START:
+            cumulative.pop(e.job, None)
         lines.append(
             f"[{e.time_s:9.4f}s] {e.kind:<12} {e.job:<30} {where:<7} "
             + " ".join(detail)

@@ -237,12 +237,18 @@ class MapReduceRuntime:
         an :class:`~repro.mapreduce.executors.Executor` instance, or
         ``None`` for the auto rule.  A job may override the runtime
         default via ``JobConf.executor``.
+    obs:
+        Optional :class:`repro.obs.Observability` context.  When given
+        (and enabled) its event bridge subscribes to this runtime's
+        event log, deriving job/phase/task spans, memory samples and
+        task-duration histograms from the lifecycle stream.
     """
 
     def __init__(
         self,
         max_workers: int | None = None,
         executor: str | Executor | None = None,
+        obs: Any = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
@@ -250,6 +256,9 @@ class MapReduceRuntime:
         self.default_executor = resolve_executor(executor, max_workers)
         self.events = EventLog()
         self.history: list[JobResult] = []
+        self.obs = obs
+        if obs is not None:
+            obs.observe_events(self.events)
 
     # -- public API ---------------------------------------------------
 

@@ -27,13 +27,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.apriori import maximal_signatures, singleton_signatures
-from repro.core.proving import SupportTester
+from repro.core.proving import ProveStats, SupportTester
 from repro.core.redundancy import filter_redundant
 from repro.core.types import ClusterCore, Interval, Signature
 from repro.mapreduce.chain import JobChain
 from repro.mapreduce.types import InputSplit
 from repro.mr.candidates import DEFAULT_T_GEN, run_candidate_generation
 from repro.mr.support import run_support_job
+from repro.obs import NULL_OBS, Observability
 
 #: Default multi-level collection threshold, scaled down from the
 #: paper's cluster-calibrated 3e4 to laptop proportions (collecting too
@@ -52,6 +53,12 @@ class CoreGenerationStats:
     candidates_proven_total: int = 0
     cores_before_redundancy: int = 0
     cores_after_redundancy: int = 0
+    #: Per-kill-site attribution across every proving batch.
+    prove_stats: ProveStats = field(default_factory=ProveStats)
+
+    @property
+    def redundancy_killed(self) -> int:
+        return self.cores_before_redundancy - self.cores_after_redundancy
 
 
 def generate_cluster_cores_mr(
@@ -65,6 +72,7 @@ def generate_cluster_cores_mr(
     t_gen: int = DEFAULT_T_GEN,
     t_c: int = DEFAULT_T_C,
     multi_level: bool = True,
+    obs: Observability | None = None,
 ) -> tuple[list[ClusterCore], CoreGenerationStats]:
     """Run Algorithm 1 against the MapReduce runtime.
 
@@ -72,6 +80,7 @@ def generate_cluster_cores_mr(
     (one support job per level), which is the ablation baseline for the
     T_c heuristic.
     """
+    obs = obs or NULL_OBS
     stats = CoreGenerationStats()
     if not intervals:
         return [], stats
@@ -86,9 +95,15 @@ def generate_cluster_cores_mr(
         stats.candidates_proven_total += len(batch)
         supports = run_support_job(chain, splits, batch)
         all_supports.update(supports)
+        batch_stats = ProveStats()
         proven = tester.prove(
-            batch, supports, known=all_supports, proven_set=proven_all
+            batch,
+            supports,
+            known=all_supports,
+            proven_set=proven_all,
+            stats=batch_stats,
         )
+        stats.prove_stats.merge(batch_stats)
         proven_sigs = [p.signature for p in proven]
         proven_all.extend(proven_sigs)
         return proven_sigs
@@ -141,6 +156,19 @@ def generate_cluster_cores_mr(
     if redundancy_filter:
         maximal = filter_redundant({sig: all_supports[sig] for sig in maximal}, n)
     stats.cores_after_redundancy = len(maximal)
+
+    for level, count in enumerate(stats.candidates_per_level, start=1):
+        obs.record("apriori.candidates_per_level", count)
+        obs.gauge(f"apriori.level_{level}_candidates", count)
+    obs.gauge("apriori.levels", len(stats.candidates_per_level))
+    obs.gauge("apriori.proving_jobs", stats.proving_jobs)
+    obs.count("kills.poisson", stats.prove_stats.rejected_poisson)
+    obs.count("kills.effect_size", stats.prove_stats.rejected_effect_size)
+    obs.count("kills.unproven_parent", stats.prove_stats.rejected_unproven_parent)
+    obs.count("kills.redundancy", stats.redundancy_killed)
+    obs.gauge("cores.proven_signatures", stats.prove_stats.proven)
+    obs.gauge("cores.maximal", stats.cores_before_redundancy)
+    obs.gauge("cores.final", stats.cores_after_redundancy)
 
     cores = [
         ClusterCore(

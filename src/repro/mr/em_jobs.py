@@ -306,12 +306,20 @@ def run_em_mr(
     max_iter: int = 15,
     tol: float = 1e-5,
     reg: float = 1e-6,
+    obs: Any = None,
 ) -> GaussianMixture:
     """Full MR-side EM: two-pass initialisation from cluster cores, then
     two MR jobs per EM iteration (Section 5.4), mirroring
     :func:`repro.core.em.initialize_from_cores` + :func:`repro.core.em.fit_em`.
+
+    ``obs`` (an :class:`repro.obs.Observability`) records the iteration
+    count and the log-likelihood trajectory — the paper attributes
+    P3C+-MR's runtime largely to EM iterations (Section 7.5.2).
     """
     from repro.core.em import relevant_attributes
+    from repro.obs import NULL_OBS
+
+    obs = obs or NULL_OBS
 
     attributes = relevant_attributes(cores)
     signatures = [core.signature for core in cores]
@@ -340,6 +348,7 @@ def run_em_mr(
         )
         if log_likelihood is not None:
             history.append(log_likelihood)
+            obs.record("em.log_likelihood", log_likelihood)
         weights = np.clip(totals / n, 1e-12, None)
         weights /= weights.sum()
         mixture = GaussianMixture(
@@ -350,4 +359,6 @@ def run_em_mr(
             if abs(current - previous) <= tol * (abs(previous) + 1.0):
                 break
     mixture.log_likelihood_history = history
+    obs.gauge("em.iterations", len(history))
+    obs.gauge("em.components", mixture.num_components)
     return mixture

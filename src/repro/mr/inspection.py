@@ -19,6 +19,7 @@ from repro.mr.attribute_jobs import (
     run_ai_proving_job,
     run_cluster_histogram_job,
 )
+from repro.obs import NULL_OBS, Observability
 
 
 def mr_attribute_inspection(
@@ -32,13 +33,16 @@ def mr_attribute_inspection(
     poisson_alpha: float = 0.01,
     theta_cc: float | None = 0.35,
     max_bins: int | None = 200,
+    obs: Observability | None = None,
 ) -> dict[int, frozenset[int]]:
     """Per-cluster relevant attributes after MR attribute inspection.
 
     Mirrors :func:`repro.core.attribute_inspection.inspect_attributes`
     for every cluster at once: one histogram job, driver-side interval
-    detection, one optional AI-proving job.
+    detection, one optional AI-proving job.  ``obs`` records the AI
+    candidate count and the proving accept/reject attribution.
     """
+    obs = obs or NULL_OBS
     bins_by_cluster = {}
     for cid, size in sizes.items():
         if size <= 0:
@@ -68,6 +72,7 @@ def mr_attribute_inspection(
     accepted: dict[int, set[int]] = {
         cid: set(attrs) for cid, attrs in known_attributes.items()
     }
+    obs.gauge("ai.candidate_intervals", len(candidates))
     if not candidates:
         return {cid: frozenset(attrs) for cid, attrs in accepted.items()}
 
@@ -76,12 +81,16 @@ def mr_attribute_inspection(
         for (cid, interval), observed in supports.items():
             expected = sizes[cid] * interval.width
             if not poisson_deviation_significant(observed, expected, poisson_alpha):
+                obs.count("ai.rejected_poisson")
                 continue
             if theta_cc is not None and cohens_d_cc(observed, expected) < theta_cc:
+                obs.count("ai.rejected_effect_size")
                 continue
+            obs.count("ai.accepted")
             accepted.setdefault(cid, set()).add(interval.attribute)
     else:
         for cid, interval in candidates:
+            obs.count("ai.accepted")
             accepted.setdefault(cid, set()).add(interval.attribute)
 
     return {cid: frozenset(attrs) for cid, attrs in accepted.items()}

@@ -35,6 +35,7 @@ from repro.mr.histogram import run_histogram_job
 from repro.mr.inspection import mr_attribute_inspection
 from repro.mr.outlier_jobs import run_mvb_jobs, run_od_job
 from repro.mr.tightening_job import run_tightening_job
+from repro.obs import NULL_OBS, Observability
 
 
 @dataclass(frozen=True)
@@ -58,37 +59,59 @@ class P3CPlusMR:
         self,
         config: P3CPlusConfig | None = None,
         mr_config: P3CPlusMRConfig | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.config = config or P3CPlusConfig()
         self.mr_config = mr_config or P3CPlusMRConfig()
+        self.obs = obs or NULL_OBS
         self.chain: JobChain | None = None
 
     # -- shared front half (also used by the Light driver) -------------
 
+    def _make_chain(self) -> JobChain:
+        """Runtime + chain wired to this driver's observability context."""
+        runtime = MapReduceRuntime(
+            max_workers=self.mr_config.max_workers,
+            executor=self.mr_config.executor,
+            obs=self.obs if self.obs.enabled else None,
+        )
+        chain = JobChain(runtime)
+        self.chain = chain
+        return chain
+
     def _run_core_phase(self, splits: list[InputSplit], n: int, chain: JobChain):
         """Histogram job + interval detection + cluster-core generation."""
-        num_bins = self.config.num_bins(n)
-        histograms = run_histogram_job(chain, splits, num_bins)
-        intervals = find_relevant_intervals(
-            histograms, alpha=self.config.chi2_alpha
-        )
-        cores, stats = generate_cluster_cores_mr(
-            chain,
-            splits,
-            intervals,
-            n,
-            poisson_alpha=self.config.poisson_alpha,
-            theta_cc=self.config.theta_cc,
-            redundancy_filter=self.config.redundancy_filter,
-            t_gen=self.mr_config.t_gen,
-            t_c=self.mr_config.t_c,
-            multi_level=self.mr_config.multi_level,
-        )
+        obs = self.obs
+        with obs.stage("histograms"):
+            num_bins = self.config.num_bins(n)
+            obs.gauge("binning.bins_per_attribute", num_bins)
+            histograms = run_histogram_job(chain, splits, num_bins)
+        with obs.stage("interval_detection"):
+            intervals = find_relevant_intervals(
+                histograms, alpha=self.config.chi2_alpha
+            )
+            obs.gauge("intervals.attributes", len(histograms))
+            obs.gauge("intervals.relevant", len(intervals))
+        with obs.stage("core_generation"):
+            cores, stats = generate_cluster_cores_mr(
+                chain,
+                splits,
+                intervals,
+                n,
+                poisson_alpha=self.config.poisson_alpha,
+                theta_cc=self.config.theta_cc,
+                redundancy_filter=self.config.redundancy_filter,
+                t_gen=self.mr_config.t_gen,
+                t_c=self.mr_config.t_c,
+                multi_level=self.mr_config.multi_level,
+                obs=obs,
+            )
         diagnostics = {
             "num_bins": num_bins,
             "num_relevant_intervals": len(intervals),
             "candidates_per_level": stats.candidates_per_level,
             "proving_jobs": stats.proving_jobs,
+            "prove_stats": stats.prove_stats.as_dict(),
             "cores_before_redundancy": stats.cores_before_redundancy,
             "cores_after_redundancy": stats.cores_after_redundancy,
         }
@@ -121,43 +144,52 @@ class P3CPlusMR:
         """Cluster from pre-built input splits (in-memory or
         file-backed, see :func:`repro.mapreduce.fs.make_csv_splits`);
         the driver never materialises the data matrix."""
-        runtime = MapReduceRuntime(
-            max_workers=self.mr_config.max_workers,
-            executor=self.mr_config.executor,
-        )
-        chain = JobChain(runtime)
-        self.chain = chain
+        obs = self.obs
+        with obs.run("p3c_plus_mr", n=n, d=d):
+            chain = self._make_chain()
 
-        cores, diagnostics = self._run_core_phase(splits, n, chain)
-        if not cores:
-            return self._empty_result(n, d, diagnostics, chain)
+            cores, diagnostics = self._run_core_phase(splits, n, chain)
+            if not cores:
+                return self._empty_result(n, d, diagnostics, chain)
 
-        mixture = run_em_mr(
-            chain, splits, cores, n, max_iter=self.config.em_max_iter
-        )
-        diagnostics["em_iterations"] = len(mixture.log_likelihood_history)
+            with obs.stage("em"):
+                mixture = run_em_mr(
+                    chain,
+                    splits,
+                    cores,
+                    n,
+                    max_iter=self.config.em_max_iter,
+                    obs=obs,
+                )
+            diagnostics["em_iterations"] = len(mixture.log_likelihood_history)
 
-        if self.config.outlier_method == "mvb":
-            od_means, od_covs, moment_counts = run_mvb_jobs(
-                chain, splits, mixture
+            with obs.stage("outlier_detection", method=self.config.outlier_method):
+                if self.config.outlier_method == "mvb":
+                    od_means, od_covs, moment_counts = run_mvb_jobs(
+                        chain, splits, mixture
+                    )
+                else:
+                    od_means, od_covs = mixture.means, mixture.covariances
+                    moment_counts = mixture.weights * n
+                membership_map = run_od_job(
+                    chain,
+                    splits,
+                    mixture,
+                    od_means,
+                    od_covs,
+                    moment_counts,
+                    alpha=self.config.outlier_alpha,
+                )
+                membership = np.full(n, -1, dtype=np.int64)
+                for index, label in membership_map.items():
+                    membership[index] = label
+                obs.gauge(
+                    "outliers.removed", int((membership == -1).sum())
+                )
+
+            return self._finish(
+                splits, n, d, chain, cores, membership, diagnostics
             )
-        else:
-            od_means, od_covs = mixture.means, mixture.covariances
-            moment_counts = mixture.weights * n
-        membership_map = run_od_job(
-            chain,
-            splits,
-            mixture,
-            od_means,
-            od_covs,
-            moment_counts,
-            alpha=self.config.outlier_alpha,
-        )
-        membership = np.full(n, -1, dtype=np.int64)
-        for index, label in membership_map.items():
-            membership[index] = label
-
-        return self._finish(splits, n, d, chain, cores, membership, diagnostics)
 
     def _finish(
         self,
@@ -171,32 +203,36 @@ class P3CPlusMR:
     ) -> ClusteringResult:
         """Attribute inspection + tightening + result assembly, shared
         between the full and Light drivers."""
+        obs = self.obs
         model = ArrayMembership(membership)
         sizes = {
             j: int((membership == j).sum()) for j in range(len(cores))
         }
         known = {j: core.attributes for j, core in enumerate(cores)}
-        attributes = mr_attribute_inspection(
-            chain,
-            splits,
-            model,
-            known,
-            sizes,
-            chi2_alpha=self.config.chi2_alpha,
-            prove=self.config.ai_proving,
-            poisson_alpha=self.config.poisson_alpha,
-            theta_cc=self.config.theta_cc,
-            max_bins=self.config.max_bins,
-        )
+        with obs.stage("attribute_inspection", prove=self.config.ai_proving):
+            attributes = mr_attribute_inspection(
+                chain,
+                splits,
+                model,
+                known,
+                sizes,
+                chi2_alpha=self.config.chi2_alpha,
+                prove=self.config.ai_proving,
+                poisson_alpha=self.config.poisson_alpha,
+                theta_cc=self.config.theta_cc,
+                max_bins=self.config.max_bins,
+                obs=obs,
+            )
 
         cluster_attributes = {
             j: tuple(sorted(attributes[j]))
             for j in range(len(cores))
             if sizes.get(j, 0) > 0 and attributes.get(j)
         }
-        signatures = run_tightening_job(
-            chain, splits, model, cluster_attributes
-        )
+        with obs.stage("tightening"):
+            signatures = run_tightening_job(
+                chain, splits, model, cluster_attributes
+            )
 
         clusters: list[ProjectedCluster] = []
         for j, core in enumerate(cores):
@@ -216,6 +252,8 @@ class P3CPlusMR:
             assigned[cluster.members] = True
         diagnostics["mr_jobs"] = chain.num_jobs
         diagnostics["shuffle_records"] = chain.total_shuffle_records
+        obs.gauge("clusters.found", len(clusters))
+        obs.gauge("outliers.final", int((~assigned).sum()))
         return ClusteringResult(
             clusters=clusters,
             outliers=np.where(~assigned)[0],

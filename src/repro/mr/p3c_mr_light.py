@@ -15,10 +15,10 @@ import numpy as np
 
 from repro.core.p3c_plus import P3CPlusConfig, _validate_data
 from repro.core.types import ClusteringResult
-from repro.mapreduce import JobChain, MapReduceRuntime
 from repro.mapreduce.types import InputSplit, split_records
 from repro.mr.light_jobs import run_light_membership_job
 from repro.mr.p3c_mr import P3CPlusMR, P3CPlusMRConfig
+from repro.obs import Observability
 
 
 class P3CPlusMRLight(P3CPlusMR):
@@ -28,8 +28,9 @@ class P3CPlusMRLight(P3CPlusMR):
         self,
         config: P3CPlusConfig | None = None,
         mr_config: P3CPlusMRConfig | None = None,
+        obs: Observability | None = None,
     ) -> None:
-        super().__init__(config, mr_config)
+        super().__init__(config, mr_config, obs=obs)
 
     def fit(self, data: np.ndarray) -> ClusteringResult:
         """Cluster an in-memory data matrix."""
@@ -42,48 +43,55 @@ class P3CPlusMRLight(P3CPlusMR):
         self, splits: list[InputSplit], n: int, d: int
     ) -> ClusteringResult:
         """Cluster from pre-built (possibly file-backed) input splits."""
-        runtime = MapReduceRuntime(
-            max_workers=self.mr_config.max_workers,
-            executor=self.mr_config.executor,
-        )
-        chain = JobChain(runtime)
-        self.chain = chain
+        obs = self.obs
+        with obs.run("p3c_plus_mr_light", n=n, d=d):
+            chain = self._make_chain()
 
-        cores, diagnostics = self._run_core_phase(splits, n, chain)
-        if not cores:
-            return self._empty_result(n, d, diagnostics, chain)
+            cores, diagnostics = self._run_core_phase(splits, n, chain)
+            if not cores:
+                return self._empty_result(n, d, diagnostics, chain)
 
-        signatures = [core.signature for core in cores]
+            signatures = [core.signature for core in cores]
 
-        # Exclusive membership (m') and the unique output assignment come
-        # from one map-only job (Section 6).
-        exclusive, assignment = run_light_membership_job(
-            chain, splits, signatures, n
-        )
+            # Exclusive membership (m') and the unique output assignment
+            # come from one map-only job (Section 6).
+            with obs.stage("light_membership"):
+                exclusive, assignment = run_light_membership_job(
+                    chain, splits, signatures, n
+                )
+                obs.gauge(
+                    "light.exclusive_points", int((exclusive >= 0).sum())
+                )
+                obs.gauge(
+                    "light.shared_points",
+                    int(((exclusive < 0) & (assignment >= 0)).sum()),
+                )
 
-        # Clusters whose every supporting point is shared fall back to
-        # the full support set for inspection, as the serial Light does.
-        inspect_membership = exclusive.copy()
-        for j in range(len(cores)):
-            if not (exclusive == j).any():
-                inspect_membership[assignment == j] = j
+            # Clusters whose every supporting point is shared fall back
+            # to the full support set for inspection, as the serial
+            # Light does.
+            inspect_membership = exclusive.copy()
+            for j in range(len(cores)):
+                if not (exclusive == j).any():
+                    inspect_membership[assignment == j] = j
 
-        result = self._finish(
-            splits,
-            n,
-            d,
-            chain,
-            cores,
-            inspect_membership,
-            diagnostics,
-        )
-        # _finish derived memberships from the inspection mapping; output
-        # clusters must carry the *full* (uniquely assigned) memberships.
-        for cluster in result.clusters:
-            j = cores.index(cluster.core)
-            cluster.members = np.where(assignment == j)[0]
-        assigned = np.zeros(n, dtype=bool)
-        for cluster in result.clusters:
-            assigned[cluster.members] = True
-        result.outliers = np.where(~assigned)[0]
-        return result
+            result = self._finish(
+                splits,
+                n,
+                d,
+                chain,
+                cores,
+                inspect_membership,
+                diagnostics,
+            )
+            # _finish derived memberships from the inspection mapping;
+            # output clusters must carry the *full* (uniquely assigned)
+            # memberships.
+            for cluster in result.clusters:
+                j = cores.index(cluster.core)
+                cluster.members = np.where(assignment == j)[0]
+            assigned = np.zeros(n, dtype=bool)
+            for cluster in result.clusters:
+                assigned[cluster.members] = True
+            result.outliers = np.where(~assigned)[0]
+            return result

@@ -1,0 +1,67 @@
+"""``repro.obs``: the end-to-end observability subsystem.
+
+One import surface for the four layers ISSUE'd from the paper's
+evaluation methodology (Sections 7.4–7.5):
+
+- **spans** — hierarchical run → stage → job → phase → task tracing
+  with Chrome trace-event export (:mod:`repro.obs.spans`);
+- **metrics** — the algorithm-side ledger: counters, gauges, series
+  and bucketed histograms (:mod:`repro.obs.metrics`);
+- **resources** — memory high-water marks and task-skew statistics
+  (:mod:`repro.obs.resources`);
+- **report** — the ``run.json`` artifact tying it all together
+  (:mod:`repro.obs.report`).
+
+:class:`Observability` (:mod:`repro.obs.context`) is the context object
+drivers thread through the stack; ``NULL_OBS`` is the shared disabled
+instance used when no one is watching.
+"""
+
+from repro.obs.context import NULL_OBS, Observability
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from repro.obs.report import (
+    SCHEMA_VERSION,
+    build_run_report,
+    job_summary,
+    load_run_report,
+    render_run_report,
+    save_run_report,
+    validate_run_report,
+)
+from repro.obs.resources import (
+    ResourceSample,
+    ResourceSampler,
+    duration_stats,
+    peak_rss_kb,
+)
+from repro.obs.spans import (
+    SPAN_KINDS,
+    Span,
+    SpanTracer,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+)
+
+__all__ = [
+    "build_run_report",
+    "DEFAULT_BUCKETS",
+    "duration_stats",
+    "Histogram",
+    "job_summary",
+    "load_run_report",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "Observability",
+    "peak_rss_kb",
+    "render_run_report",
+    "ResourceSample",
+    "ResourceSampler",
+    "save_run_report",
+    "SCHEMA_VERSION",
+    "Span",
+    "SPAN_KINDS",
+    "SpanTracer",
+    "spans_to_chrome_trace",
+    "spans_to_jsonl",
+    "validate_run_report",
+]

@@ -1,0 +1,155 @@
+"""Algorithm metrics: counters, gauges, series and bucketed histograms.
+
+The MapReduce layer already accounts for *framework* activity (records,
+shuffle volume, retries) via :mod:`repro.mapreduce.counters`.  This
+registry is the *algorithm* side of the ledger: what the statistical
+machinery of P3C+ actually did — candidates generated per Apriori
+level, signatures killed by the Poisson test vs. the effect-size test
+vs. the redundancy filter, EM iterations and the log-likelihood
+trajectory, attribute-inspection accept/reject counts.  Sections
+7.4–7.5 of the paper reason entirely in these terms.
+
+Four instrument kinds:
+
+``counter``
+    Monotone accumulator (``kills.poisson``).
+``gauge``
+    Last-write-wins scalar (``em.iterations``).
+``series``
+    Ordered samples preserving order (``em.log_likelihood`` per
+    iteration, ``apriori.candidates_per_level``).
+``histogram``
+    Fixed-bucket distribution summary (task durations); buckets are
+    cumulative ``le``-bound counts plus count/sum/min/max.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+#: Default histogram buckets: exponential, in seconds — covers
+#: sub-millisecond tasks up to minutes-scale phases.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+
+@dataclass
+class Histogram:
+    """Fixed-bucket histogram with a running count/sum/min/max."""
+
+    buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def __post_init__(self) -> None:
+        self.buckets = tuple(sorted(self.buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        if not self.counts:
+            # One count per bound plus the +Inf overflow bucket.
+            self.counts = [0] * (len(self.buckets) + 1)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready summary with cumulative ``le`` bucket counts."""
+        cumulative = 0
+        buckets: dict[str, int] = {}
+        for bound, n in zip(self.buckets, self.counts):
+            cumulative += n
+            buckets[f"le_{bound:g}"] = cumulative
+        buckets["le_inf"] = self.count
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Namespaced metric store shared by driver, stages and sinks."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._series: dict[str, list[float]] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instruments ----------------------------------------------------
+
+    def count(self, name: str, amount: float = 1) -> None:
+        """Increment the monotone counter ``name`` by ``amount``."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` (last write wins)."""
+        self._gauges[name] = float(value)
+
+    def record(self, name: str, value: float) -> None:
+        """Append one sample to the ordered series ``name``."""
+        self._series.setdefault(name, []).append(float(value))
+
+    def record_all(self, name: str, values: Iterable[float]) -> None:
+        for value in values:
+            self.record(name, value)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: Sequence[float] | None = None,
+    ) -> None:
+        """Feed one sample into the bucketed histogram ``name``."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(
+                tuple(buckets) if buckets else DEFAULT_BUCKETS
+            )
+        self._histograms[name].observe(value)
+
+    # -- queries --------------------------------------------------------
+
+    def counter_value(self, name: str) -> float:
+        return self._counters.get(name, 0)
+
+    def gauge_value(self, name: str, default: float = 0.0) -> float:
+        return self._gauges.get(name, default)
+
+    def series_values(self, name: str) -> list[float]:
+        return list(self._series.get(name, []))
+
+    def snapshot(self) -> dict[str, Any]:
+        """One JSON-ready view of every instrument."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "series": {k: list(v) for k, v in sorted(self._series.items())},
+            "histograms": {
+                k: h.snapshot() for k, h in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,142 @@
+"""Resource and skew sampling: memory high-water marks and task skew.
+
+Two concerns live here:
+
+- **Memory**: :func:`peak_rss_kb` reads the process high-water mark
+  (``ru_maxrss``; monotone, so per-phase "peak" is the value at phase
+  end), and :class:`ResourceSampler` collects labelled samples —
+  optionally with ``tracemalloc`` peaks, which cost real overhead and
+  are therefore opt-in.
+- **Skew**: :func:`duration_stats` condenses a task-duration list into
+  the percentiles and the straggler ratio the paper's reduce-skew
+  discussion needs (p50/p95/max and ``max/mean``: 1.0 means perfectly
+  balanced tasks, large values mean one straggler dominated the phase).
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None  # type: ignore[assignment]
+
+
+def peak_rss_kb() -> int:
+    """Process peak resident-set size in KiB (0 when unavailable).
+
+    ``ru_maxrss`` is KiB on Linux but bytes on macOS; normalise both.
+    """
+    if _resource is None:  # pragma: no cover
+        return 0
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover
+        peak //= 1024
+    return int(peak)
+
+
+@dataclass
+class ResourceSample:
+    """One labelled memory observation."""
+
+    label: str
+    time_s: float
+    rss_peak_kb: int
+    tracemalloc_peak_kb: int | None = None
+
+    def as_dict(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "label": self.label,
+            "time_s": round(self.time_s, 6),
+            "rss_peak_kb": self.rss_peak_kb,
+        }
+        if self.tracemalloc_peak_kb is not None:
+            record["tracemalloc_peak_kb"] = self.tracemalloc_peak_kb
+        return record
+
+
+@dataclass
+class ResourceSampler:
+    """Collects :class:`ResourceSample` records at phase/job boundaries.
+
+    With ``trace_allocations=True`` the sampler starts ``tracemalloc``
+    and records (and resets) the Python-allocation peak per sample, so
+    each sample's ``tracemalloc_peak_kb`` is the peak *since the
+    previous sample* — a per-phase allocation high-water mark.
+    """
+
+    trace_allocations: bool = False
+    samples: list[ResourceSample] = field(default_factory=list)
+    _started_tracing: bool = field(default=False, repr=False)
+
+    def start(self) -> None:
+        if self.trace_allocations and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracing = True
+
+    def stop(self) -> None:
+        if self._started_tracing and tracemalloc.is_tracing():
+            tracemalloc.stop()
+            self._started_tracing = False
+
+    def sample(self, label: str, time_s: float) -> ResourceSample:
+        alloc_peak = None
+        if self.trace_allocations and tracemalloc.is_tracing():
+            _, peak = tracemalloc.get_traced_memory()
+            alloc_peak = peak // 1024
+            tracemalloc.reset_peak()
+        record = ResourceSample(
+            label=label,
+            time_s=time_s,
+            rss_peak_kb=peak_rss_kb(),
+            tracemalloc_peak_kb=alloc_peak,
+        )
+        self.samples.append(record)
+        return record
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [sample.as_dict() for sample in self.samples]
+
+
+def _percentile(ordered: list[float], q: float) -> float:
+    """Linear-interpolated percentile of a pre-sorted sample."""
+    if not ordered:
+        return 0.0
+    if len(ordered) == 1:
+        return ordered[0]
+    position = (len(ordered) - 1) * q
+    low = int(position)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def duration_stats(durations: list[float]) -> dict[str, float]:
+    """Task-duration percentiles and the straggler/skew ratio.
+
+    ``skew_ratio`` is ``max / mean`` (1.0 = perfectly balanced); an
+    empty list yields all-zero stats so the report schema stays stable.
+    """
+    if not durations:
+        return {
+            "tasks": 0,
+            "p50_s": 0.0,
+            "p95_s": 0.0,
+            "max_s": 0.0,
+            "mean_s": 0.0,
+            "skew_ratio": 0.0,
+        }
+    ordered = sorted(durations)
+    mean = sum(ordered) / len(ordered)
+    return {
+        "tasks": len(ordered),
+        "p50_s": round(_percentile(ordered, 0.50), 6),
+        "p95_s": round(_percentile(ordered, 0.95), 6),
+        "max_s": round(ordered[-1], 6),
+        "mean_s": round(mean, 6),
+        "skew_ratio": round(ordered[-1] / mean, 3) if mean > 0 else 0.0,
+    }

@@ -1,0 +1,208 @@
+"""Hierarchical span tracing: run → stage → MR job → phase → task.
+
+A :class:`Span` is one timed region of a driver run.  The tracer keeps
+an explicit open-span stack so nesting is structural, not inferred from
+timestamps: drivers open ``run``/``stage`` spans via
+:meth:`SpanTracer.span`, and the runtime's job/phase/task spans are
+derived from its event stream by
+:class:`repro.obs.context.Observability` (the event bridge), parented
+under whatever span is open at the time.
+
+Exports:
+
+- :meth:`SpanTracer.to_dicts` / :func:`spans_to_jsonl` — flat records
+  for machine consumption (the run report embeds these);
+- :func:`spans_to_chrome_trace` — Chrome trace-event JSON (``ph: "X"``
+  complete events) loadable in Perfetto / ``chrome://tracing``; the
+  span hierarchy renders as nested slices, parallel tasks land on
+  per-task rows.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+#: Well-known span kinds, outermost first.
+SPAN_KINDS = ("run", "stage", "job", "phase", "task")
+
+
+@dataclass
+class Span:
+    """One timed region of a run, with structural parentage."""
+
+    name: str
+    kind: str
+    span_id: int
+    parent_id: int | None
+    start_s: float
+    end_s: float | None = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float | None:
+        if self.end_s is None:
+            return None
+        return self.end_s - self.start_s
+
+    def as_dict(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_s": round(self.start_s, 6),
+            "end_s": round(self.end_s, 6) if self.end_s is not None else None,
+            "duration_s": (
+                round(self.duration_s, 6) if self.duration_s is not None else None
+            ),
+        }
+        if self.attrs:
+            record["attrs"] = dict(self.attrs)
+        return record
+
+
+class SpanTracer:
+    """Collects spans with an explicit open-span (ancestry) stack.
+
+    All times are relative to the tracer's creation, on the same
+    ``time.perf_counter`` clock :class:`~repro.mapreduce.events.EventLog`
+    uses, so event times can be aligned via ``EventLog.origin``.
+    """
+
+    def __init__(self) -> None:
+        self._origin = time.perf_counter()
+        self.spans: list[Span] = []
+        self._stack: list[Span] = []
+
+    @property
+    def origin(self) -> float:
+        return self._origin
+
+    def now(self) -> float:
+        return time.perf_counter() - self._origin
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span (parent for new spans)."""
+        return self._stack[-1] if self._stack else None
+
+    # -- span lifecycle -------------------------------------------------
+
+    def begin(self, name: str, kind: str, **attrs: Any) -> Span:
+        """Open a span under the current one and push it on the stack."""
+        span = Span(
+            name=name,
+            kind=kind,
+            span_id=len(self.spans),
+            parent_id=self.current.span_id if self.current else None,
+            start_s=self.now(),
+            attrs=dict(attrs),
+        )
+        self.spans.append(span)
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span, **attrs: Any) -> Span:
+        """Close ``span`` (and any deeper spans left open under it)."""
+        while self._stack:
+            top = self._stack.pop()
+            if top.end_s is None:
+                top.end_s = self.now()
+            if top is span:
+                break
+        else:
+            if span.end_s is None:
+                span.end_s = self.now()
+        span.attrs.update(attrs)
+        return span
+
+    @contextmanager
+    def span(self, name: str, kind: str, **attrs: Any) -> Iterator[Span]:
+        opened = self.begin(name, kind, **attrs)
+        try:
+            yield opened
+        finally:
+            self.end(opened)
+
+    def add_complete(
+        self,
+        name: str,
+        kind: str,
+        start_s: float,
+        duration_s: float,
+        parent: Span | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Record an already-finished span (e.g. a task whose timing
+        arrives with its ``task_finish`` event) without touching the
+        open-span stack."""
+        if parent is None:
+            parent = self.current
+        span = Span(
+            name=name,
+            kind=kind,
+            span_id=len(self.spans),
+            parent_id=parent.span_id if parent else None,
+            start_s=start_s,
+            end_s=start_s + duration_s,
+            attrs=dict(attrs),
+        )
+        self.spans.append(span)
+        return span
+
+    def close(self) -> None:
+        """End every span still open (crash-safe export)."""
+        while self._stack:
+            self.end(self._stack[-1])
+
+    # -- export ---------------------------------------------------------
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [span.as_dict() for span in self.spans]
+
+
+def spans_to_jsonl(spans: Sequence[Span]) -> str:
+    """One JSON object per line, in span-id order."""
+    return "\n".join(json.dumps(span.as_dict()) for span in spans)
+
+
+def spans_to_chrome_trace(spans: Sequence[Span]) -> dict[str, Any]:
+    """Chrome trace-event JSON (the ``traceEvents`` envelope).
+
+    Every span becomes a ``ph: "X"`` complete event.  Driver hierarchy
+    spans (run/stage/job/phase) share one track so they nest visually;
+    task spans go to a per-task track (``tid = 2 + task_id``) because
+    parallel tasks overlap in time and overlapping slices on one track
+    render incorrectly.
+    """
+    events = []
+    for span in spans:
+        end = span.end_s if span.end_s is not None else span.start_s
+        tid = 1
+        if span.kind == "task":
+            tid = 2 + int(span.attrs.get("task_id", 0))
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": round(span.start_s * 1e6, 1),
+                "dur": round((end - span.start_s) * 1e6, 1),
+                "pid": 1,
+                "tid": tid,
+                "args": {
+                    "span_id": span.span_id,
+                    "parent_id": span.parent_id,
+                    **span.attrs,
+                },
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"exporter": "repro.obs"},
+    }

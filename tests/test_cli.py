@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.cli import ALGORITHMS, main
 from repro.data.io import load_dataset_csv, load_result_json
+from repro.obs import validate_run_report
 
 
 class TestGenerate:
@@ -122,6 +125,87 @@ class TestCluster:
         )
         assert code == 0
         assert "no MapReduce chain" in capsys.readouterr().out
+
+    def test_metrics_and_jsonl_trace(self, tmp_path, data_file, capsys):
+        result_file = tmp_path / "result.json"
+        run_file = tmp_path / "run.json"
+        trace_file = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "cluster",
+                "--algorithm", "mr-light",
+                "--data", str(data_file),
+                "--out", str(result_file),
+                "--metrics", str(run_file),
+                "--trace-format", "jsonl",
+                "--trace-out", str(trace_file),
+            ]
+        )
+        assert code == 0
+        report = json.loads(run_file.read_text())
+        assert validate_run_report(report) == []
+        assert report["algorithm"] == "mr-light"
+        assert report["dataset"]["n"] == 600
+        assert report["totals"]["mr_jobs"] == len(report["jobs"]) > 0
+        kinds = {s["kind"] for s in report["spans"]}
+        assert kinds == {"run", "stage", "job", "phase", "task"}
+        # The jsonl trace mixes span records and runtime events.
+        records = [
+            json.loads(line)
+            for line in trace_file.read_text().splitlines()
+            if line
+        ]
+        assert any("span_id" in r for r in records)
+        assert any(r.get("kind") == "job_start" for r in records)
+
+    def test_chrome_trace_default_path(self, tmp_path, data_file, capsys):
+        result_file = tmp_path / "result.json"
+        code = main(
+            [
+                "cluster",
+                "--algorithm", "mr-light",
+                "--data", str(data_file),
+                "--out", str(result_file),
+                "--trace-format", "chrome",
+            ]
+        )
+        assert code == 0
+        trace_file = tmp_path / "result.trace.json"
+        assert trace_file.exists()
+        trace = json.loads(trace_file.read_text())
+        events = trace["traceEvents"]
+        assert events and all(e["ph"] == "X" for e in events)
+        assert {"run", "stage", "job", "phase", "task"} <= {
+            e["cat"] for e in events
+        }
+
+    def test_report_subcommand_renders_run_json(
+        self, tmp_path, data_file, capsys
+    ):
+        result_file = tmp_path / "result.json"
+        run_file = tmp_path / "run.json"
+        main(
+            [
+                "cluster",
+                "--algorithm", "mr-light",
+                "--data", str(data_file),
+                "--out", str(result_file),
+                "--metrics", str(run_file),
+            ]
+        )
+        capsys.readouterr()
+        code = main(["report", str(run_file)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "run report — mr-light" in out
+        assert "MR jobs" in out and "p50(ms)" in out
+
+    def test_report_subcommand_rejects_invalid(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "nope"}))
+        code = main(["report", str(bad)])
+        assert code == 1
+        assert "schema problems" in capsys.readouterr().err
 
     def test_all_algorithms_registered(self):
         assert set(ALGORITHMS) == {

@@ -1,0 +1,463 @@
+"""Tests for the observability subsystem (`repro.obs`) and the
+EventLog subscriber/serialisation hardening it relies on."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import pytest
+
+from repro.mapreduce import (
+    Context,
+    Job,
+    Mapper,
+    MapReduceRuntime,
+    Reducer,
+)
+from repro.mapreduce.chain import JobChain
+from repro.mapreduce.events import (
+    Event,
+    EventKind,
+    EventLog,
+    events_to_jsonl,
+    format_trace,
+)
+from repro.mapreduce.types import split_records
+from repro.obs import (
+    NULL_OBS,
+    Histogram,
+    MetricsRegistry,
+    Observability,
+    SpanTracer,
+    build_run_report,
+    duration_stats,
+    peak_rss_kb,
+    render_run_report,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+    validate_run_report,
+)
+
+
+class WordCountMapper(Mapper):
+    def map(self, key: Any, value: str, context: Context) -> None:
+        for word in value.split():
+            context.emit(word, 1)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key: Any, values: list[int], context: Context) -> None:
+        context.emit(key, sum(values))
+
+
+def _text_splits():
+    lines = [
+        (0, "the quick brown fox"),
+        (1, "the lazy dog"),
+        (2, "the quick dog"),
+    ]
+    return split_records(lines, 2)
+
+
+def _run_wordcount(obs: Observability | None = None) -> JobChain:
+    runtime = MapReduceRuntime(obs=obs)
+    chain = JobChain(runtime)
+    job = Job(mapper_factory=WordCountMapper, reducer_factory=SumReducer)
+    chain.run("wordcount", job, _text_splits(), num_reducers=1)
+    return chain
+
+
+# -- EventLog hardening (subscriber isolation, unsubscribe) -------------
+
+
+class TestEventLogSubscribers:
+    def test_raising_subscriber_does_not_abort_the_job(self, caplog):
+        log = EventLog()
+
+        def bad(event: Event) -> None:
+            raise RuntimeError("sink exploded")
+
+        seen: list[str] = []
+        log.subscribe(bad)
+        log.subscribe(lambda e: seen.append(e.kind))
+        event = log.emit(EventKind.JOB_START, "job")
+        # The event is recorded and later subscribers still ran.
+        assert log.events == [event]
+        assert seen == [EventKind.JOB_START]
+        assert "continuing" in caplog.text
+
+    def test_unsubscribe_stops_delivery(self):
+        log = EventLog()
+        seen: list[str] = []
+
+        def sink(event: Event) -> None:
+            seen.append(event.kind)
+
+        log.subscribe(sink)
+        log.emit(EventKind.JOB_START, "job")
+        log.unsubscribe(sink)
+        log.emit(EventKind.JOB_FINISH, "job")
+        assert seen == [EventKind.JOB_START]
+
+    def test_unsubscribe_unknown_callback_is_noop(self):
+        log = EventLog()
+        log.unsubscribe(lambda e: None)  # must not raise
+
+
+class TestEventSerialisation:
+    def test_jsonl_round_trip_preserves_fields(self):
+        log = EventLog()
+        log.emit(EventKind.JOB_START, "histogram_building")
+        log.emit(
+            EventKind.TASK_FINISH,
+            "histogram_building",
+            phase="map",
+            task_id=3,
+            attempt=1,
+            duration_s=0.01,
+            counters={"framework": {"map_input_records": 7}},
+        )
+        lines = events_to_jsonl(log).splitlines()
+        decoded = [json.loads(line) for line in lines]
+        assert [d["kind"] for d in decoded] == [
+            EventKind.JOB_START,
+            EventKind.TASK_FINISH,
+        ]
+        assert [d["seq"] for d in decoded] == [0, 1]
+        task = decoded[1]
+        assert task["task_id"] == 3 and task["attempt"] == 1
+        assert task["counters"]["framework"]["map_input_records"] == 7
+        # None fields are dropped from the serialised form.
+        assert "error" not in task and "phase" not in decoded[0]
+
+    def test_select_and_phase_seconds_edge_cases(self):
+        log = EventLog()
+        assert log.select() == []
+        assert log.phase_seconds("nope", "map") == 0.0
+        log.emit(EventKind.PHASE_FINISH, "job", phase="map", duration_s=0.5)
+        log.emit(EventKind.PHASE_FINISH, "job", phase="map", duration_s=0.25)
+        log.emit(EventKind.PHASE_FINISH, "other", phase="map", duration_s=9.0)
+        assert log.phase_seconds("job", "map") == pytest.approx(0.75)
+        assert log.phase_seconds("job", "reduce") == 0.0
+        assert len(log.select(job="job")) == 2
+        assert log.select(kind=EventKind.JOB_START) == []
+
+
+class TestFormatTraceCounterDeltas:
+    def test_job_finish_renders_deltas_not_cumulative(self):
+        log = EventLog()
+        log.emit(EventKind.JOB_START, "j")
+        log.emit(
+            EventKind.PHASE_FINISH,
+            "j",
+            phase="map",
+            duration_s=0.1,
+            counters={"framework": {"shuffle_records": 8}},
+        )
+        log.emit(
+            EventKind.JOB_FINISH,
+            "j",
+            duration_s=0.2,
+            counters={"framework": {"shuffle_records": 8,
+                                    "reduce_output_records": 2}},
+        )
+        trace = format_trace(log)
+        phase_line, job_line = trace.splitlines()[1:3]
+        assert "shuffle=8" in phase_line
+        # Job finish is differenced against the phase snapshot: only the
+        # reduce output is new.
+        assert "reduce_out=2" in job_line
+        assert "shuffle" not in job_line
+
+    def test_task_counters_render_per_attempt(self):
+        log = EventLog()
+        log.emit(
+            EventKind.TASK_FINISH,
+            "j",
+            phase="map",
+            task_id=0,
+            attempt=1,
+            duration_s=0.01,
+            counters={"framework": {"map_input_records": 5},
+                      "custom": {"hits": 2}},
+        )
+        line = format_trace(log)
+        assert "map_in=5" in line
+        assert "custom.hits=2" in line
+
+
+# -- spans --------------------------------------------------------------
+
+
+class TestSpanTracer:
+    def test_nesting_and_parentage(self):
+        tracer = SpanTracer()
+        with tracer.span("run", "run") as run:
+            with tracer.span("stage", "stage") as stage:
+                assert tracer.current is stage
+            assert tracer.current is run
+        assert tracer.current is None
+        run_span, stage_span = tracer.spans
+        assert run_span.parent_id is None
+        assert stage_span.parent_id == run_span.span_id
+        assert stage_span.end_s is not None
+        assert run_span.duration_s >= stage_span.duration_s
+
+    def test_close_ends_dangling_spans(self):
+        tracer = SpanTracer()
+        tracer.begin("run", "run")
+        tracer.begin("stage", "stage")
+        tracer.close()
+        assert all(s.end_s is not None for s in tracer.spans)
+        assert tracer.current is None
+
+    def test_add_complete_does_not_touch_stack(self):
+        tracer = SpanTracer()
+        parent = tracer.begin("phase", "phase")
+        span = tracer.add_complete(
+            "task0", "task", start_s=0.5, duration_s=0.25, task_id=0
+        )
+        assert tracer.current is parent
+        assert span.parent_id == parent.span_id
+        assert span.end_s == pytest.approx(0.75)
+
+    def test_jsonl_export_round_trips(self):
+        tracer = SpanTracer()
+        with tracer.span("run", "run", n=10):
+            pass
+        record = json.loads(spans_to_jsonl(tracer.spans))
+        assert record["name"] == "run" and record["kind"] == "run"
+        assert record["attrs"] == {"n": 10}
+        assert record["duration_s"] == pytest.approx(
+            record["end_s"] - record["start_s"], abs=1e-5
+        )
+
+    def test_chrome_trace_structure(self):
+        tracer = SpanTracer()
+        with tracer.span("run", "run"):
+            with tracer.span("job", "job"):
+                tracer.add_complete(
+                    "t7", "task", start_s=0.0, duration_s=0.001, task_id=7
+                )
+        trace = spans_to_chrome_trace(tracer.spans)
+        events = trace["traceEvents"]
+        assert {e["ph"] for e in events} == {"X"}
+        assert all(e["pid"] == 1 for e in events)
+        by_name = {e["name"]: e for e in events}
+        # Hierarchy spans share tid=1; tasks get their own lane.
+        assert by_name["run"]["tid"] == 1 and by_name["job"]["tid"] == 1
+        assert by_name["t7"]["tid"] == 2 + 7
+        assert by_name["t7"]["dur"] == pytest.approx(1000.0)  # µs
+        assert by_name["job"]["args"]["parent_id"] == by_name["run"]["args"][
+            "span_id"
+        ]
+
+
+# -- metrics ------------------------------------------------------------
+
+
+class TestMetricsRegistry:
+    def test_snapshot_golden(self):
+        metrics = MetricsRegistry()
+        metrics.count("kills.poisson", 3)
+        metrics.count("kills.poisson")
+        metrics.gauge("em.iterations", 4)
+        metrics.gauge("em.iterations", 7)  # last write wins
+        metrics.record_all("em.log_likelihood", [-10.0, -8.5, -8.4])
+        metrics.observe("durations", 0.002, buckets=(0.001, 0.01, 0.1))
+        metrics.observe("durations", 0.05, buckets=(0.001, 0.01, 0.1))
+        metrics.observe("durations", 99.0)
+
+        snap = metrics.snapshot()
+        assert snap["counters"] == {"kills.poisson": 4}
+        assert snap["gauges"] == {"em.iterations": 7.0}
+        assert snap["series"] == {"em.log_likelihood": [-10.0, -8.5, -8.4]}
+        hist = snap["histograms"]["durations"]
+        assert hist["count"] == 3
+        assert hist["min"] == pytest.approx(0.002)
+        assert hist["max"] == pytest.approx(99.0)
+        # Cumulative le-buckets (first observe fixed the bucket bounds).
+        assert hist["buckets"] == {
+            "le_0.001": 0,
+            "le_0.01": 1,
+            "le_0.1": 2,
+            "le_inf": 3,
+        }
+
+    def test_counter_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().count("x", -1)
+
+    def test_queries_on_missing_names(self):
+        metrics = MetricsRegistry()
+        assert metrics.counter_value("nope") == 0
+        assert metrics.gauge_value("nope", default=1.5) == 1.5
+        assert metrics.series_values("nope") == []
+
+    def test_empty_histogram_snapshot_is_stable(self):
+        hist = Histogram(buckets=(1.0,))
+        snap = hist.snapshot()
+        assert snap["count"] == 0 and snap["min"] == 0.0 and snap["max"] == 0.0
+
+    def test_histogram_rejects_empty_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=())
+
+
+# -- resources ----------------------------------------------------------
+
+
+class TestResources:
+    def test_peak_rss_positive_on_posix(self):
+        assert peak_rss_kb() > 0
+
+    def test_duration_stats_empty(self):
+        stats = duration_stats([])
+        assert stats == {
+            "tasks": 0, "p50_s": 0.0, "p95_s": 0.0,
+            "max_s": 0.0, "mean_s": 0.0, "skew_ratio": 0.0,
+        }
+
+    def test_duration_stats_percentiles_and_skew(self):
+        stats = duration_stats([1.0, 1.0, 1.0, 5.0])
+        assert stats["tasks"] == 4
+        assert stats["p50_s"] == pytest.approx(1.0)
+        assert stats["max_s"] == pytest.approx(5.0)
+        assert stats["mean_s"] == pytest.approx(2.0)
+        assert stats["skew_ratio"] == pytest.approx(2.5)
+
+    def test_single_task_is_balanced(self):
+        assert duration_stats([0.3])["skew_ratio"] == pytest.approx(1.0)
+
+
+# -- the Observability context on a real MR run -------------------------
+
+
+class TestObservabilityBridge:
+    def test_event_bridge_builds_full_hierarchy(self):
+        obs = Observability()
+        with obs.run("test_run", n=9):
+            with obs.stage("counting"):
+                _run_wordcount(obs)
+
+        kinds = [s.kind for s in obs.tracer.spans]
+        assert kinds.count("run") == 1
+        assert kinds.count("stage") == 1
+        assert kinds.count("job") == 1
+        assert kinds.count("phase") == 2  # map + reduce
+        assert kinds.count("task") == 3  # 2 map + 1 reduce
+        assert all(s.end_s is not None for s in obs.tracer.spans)
+
+        by_kind = {s.kind: s for s in obs.tracer.spans}
+        assert by_kind["stage"].parent_id == by_kind["run"].span_id
+        assert by_kind["job"].parent_id == by_kind["stage"].span_id
+        task_parents = {
+            s.parent_id for s in obs.tracer.spans if s.kind == "task"
+        }
+        phase_ids = {
+            s.span_id for s in obs.tracer.spans if s.kind == "phase"
+        }
+        assert task_parents <= phase_ids
+
+        assert obs.metrics.counter_value("mr.jobs") == 1
+        hist = obs.metrics.snapshot()["histograms"]["mr.task_duration_s"]
+        assert hist["count"] == 3
+        # Job + two phase boundaries + run end produced memory samples.
+        assert len(obs.resources.samples) >= 4
+
+    def test_run_context_detaches_bridge(self):
+        obs = Observability()
+        with obs.run("r"):
+            chain = _run_wordcount(obs)
+        spans_after = len(obs.tracer.spans)
+        # Further jobs on the same runtime are no longer observed.
+        job = Job(mapper_factory=WordCountMapper, reducer_factory=SumReducer)
+        chain.run("again", job, _text_splits(), num_reducers=1)
+        assert len(obs.tracer.spans) == spans_after
+
+    def test_disabled_context_records_nothing(self):
+        obs = Observability(enabled=False)
+        with obs.run("r") as span:
+            assert span is None
+            with obs.stage("s") as stage:
+                assert stage is None
+            obs.count("c")
+            obs.gauge("g", 1)
+            obs.record("s", 1)
+            obs.observe_events(EventLog())
+        assert obs.tracer.spans == []
+        assert obs.metrics.snapshot() == {
+            "counters": {}, "gauges": {}, "series": {}, "histograms": {},
+        }
+
+    def test_null_obs_is_disabled(self):
+        assert NULL_OBS.enabled is False
+
+
+# -- the run report -----------------------------------------------------
+
+
+class TestRunReport:
+    def _report(self):
+        obs = Observability()
+        with obs.run("test_run"):
+            obs.gauge("em.iterations", 3)
+            chain = _run_wordcount(obs)
+        return build_run_report(
+            "wordcount",
+            obs=obs,
+            chain=chain,
+            dataset={"n": 3, "d": 1},
+            result={"num_clusters": 0},
+            wall_time_s=0.5,
+        )
+
+    def test_build_and_validate(self):
+        report = self._report()
+        assert validate_run_report(report) == []
+        assert report["schema"] == "repro.obs/run-report/v1"
+        assert report["totals"]["mr_jobs"] == 1
+        job = report["jobs"][0]
+        assert job["name"] == "wordcount"
+        assert job["map_tasks"] == 2 and job["reduce_tasks"] == 1
+        assert job["task_durations"]["tasks"] == 3
+        assert report["metrics"]["gauges"]["em.iterations"] == 3.0
+        assert report["resources"]["peak_rss_kb"] > 0
+        assert {s["kind"] for s in report["spans"]} == {
+            "run", "job", "phase", "task",
+        }
+
+    def test_report_survives_json_round_trip(self, tmp_path):
+        from repro.obs import load_run_report, save_run_report
+
+        report = self._report()
+        path = tmp_path / "run.json"
+        save_run_report(str(path), report)
+        assert validate_run_report(load_run_report(str(path))) == []
+
+    def test_degrades_without_chain_and_obs(self):
+        report = build_run_report("serial", dataset={"n": 5, "d": 2})
+        assert validate_run_report(report) == []
+        assert report["jobs"] == [] and report["spans"] == []
+        assert report["metrics"] == {}
+
+    def test_validate_flags_problems(self):
+        report = self._report()
+        report["schema"] = "bogus/v9"
+        del report["totals"]
+        report["jobs"][0].pop("executor")
+        report["jobs"][0]["task_durations"].pop("skew_ratio")
+        errors = validate_run_report(report)
+        assert any("schema" in e for e in errors)
+        assert any("totals" in e for e in errors)
+        assert any("executor" in e for e in errors)
+        assert any("skew_ratio" in e for e in errors)
+        assert validate_run_report("not a mapping") != []
+
+    def test_render_mentions_jobs_and_metrics(self):
+        text = render_run_report(self._report())
+        assert "wordcount" in text
+        assert "1 MR jobs" in text
+        assert "em.iterations" in text
+        assert "peak RSS" in text
