@@ -42,6 +42,7 @@ from repro.data.io import (
 from repro.eval import e4sc_score, label_accuracy
 from repro.mapreduce.events import events_to_jsonl, format_trace
 from repro.mapreduce.executors import EXECUTORS
+from repro.mapreduce.faults import FaultPlan
 from repro.mr import P3CPlusMR, P3CPlusMRConfig, P3CPlusMRLight
 from repro.obs import (
     Observability,
@@ -57,12 +58,17 @@ from repro.obs import (
 
 @dataclass(frozen=True)
 class ExecOptions:
-    """Runtime executor selection (and observability context) forwarded
-    to the MR/BoW drivers."""
+    """Runtime executor selection (and observability / fault-tolerance
+    context) forwarded to the MR/BoW drivers."""
 
     executor: str | None = None
     max_workers: int | None = None
     obs: Observability | None = None
+    fault_plan: FaultPlan | None = None
+    task_timeout_s: float | None = None
+    speculative: bool = False
+    checkpoint_dir: str | None = None
+    resume: bool = False
 
 
 ALGORITHMS: dict[str, Callable[[P3CPlusConfig, ExecOptions], Any]] = {
@@ -80,14 +86,26 @@ ALGORITHMS: dict[str, Callable[[P3CPlusConfig, ExecOptions], Any]] = {
     "mr": lambda config, opts: P3CPlusMR(
         config,
         P3CPlusMRConfig(
-            executor=opts.executor, max_workers=opts.max_workers
+            executor=opts.executor,
+            max_workers=opts.max_workers,
+            fault_plan=opts.fault_plan,
+            task_timeout_s=opts.task_timeout_s,
+            speculative=opts.speculative,
+            checkpoint_dir=opts.checkpoint_dir,
+            resume=opts.resume,
         ),
         obs=opts.obs,
     ),
     "mr-light": lambda config, opts: P3CPlusMRLight(
         config,
         P3CPlusMRConfig(
-            executor=opts.executor, max_workers=opts.max_workers
+            executor=opts.executor,
+            max_workers=opts.max_workers,
+            fault_plan=opts.fault_plan,
+            task_timeout_s=opts.task_timeout_s,
+            speculative=opts.speculative,
+            checkpoint_dir=opts.checkpoint_dir,
+            resume=opts.resume,
         ),
         obs=opts.obs,
     ),
@@ -198,6 +216,48 @@ def _build_parser() -> argparse.ArgumentParser:
         help="additionally sample tracemalloc allocation peaks per "
         "phase (slower; requires --metrics or --trace-format)",
     )
+    cluster.add_argument(
+        "--chaos",
+        metavar="SPEC",
+        default=None,
+        help="inject deterministic faults into the MapReduce runtime "
+        "(mr/mr-light only); SPEC is ';'-separated clauses like "
+        "'map:error:p=0.2;reduce:delay:p=0.5:ms=50' — see "
+        "docs/fault_tolerance.md for the grammar",
+    )
+    cluster.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=0,
+        help="seed for the fault-injection schedule (default 0); the "
+        "same spec + seed reproduces the exact same faults",
+    )
+    cluster.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-attempt task wall-clock budget; attempts exceeding "
+        "it fail and retry (mr/mr-light only)",
+    )
+    cluster.add_argument(
+        "--speculative",
+        action="store_true",
+        help="speculatively re-execute straggler tasks, first result "
+        "wins (mr/mr-light only)",
+    )
+    cluster.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="persist each completed MR job's output under this "
+        "directory (mr/mr-light only)",
+    )
+    cluster.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore completed jobs from --checkpoint-dir instead of "
+        "re-running them (skips every job whose inputs are unchanged)",
+    )
 
     evaluate = commands.add_parser("evaluate", help="score a saved result")
     evaluate.add_argument("--data", required=True)
@@ -254,8 +314,25 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     obs = Observability(
         enabled=observing, trace_allocations=args.trace_allocations
     )
+    if args.resume and not args.checkpoint_dir:
+        print("error: --resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    fault_plan = None
+    if args.chaos:
+        try:
+            fault_plan = FaultPlan.parse(args.chaos, seed=args.chaos_seed)
+        except ValueError as exc:
+            print(f"error: bad --chaos spec: {exc}", file=sys.stderr)
+            return 2
     opts = ExecOptions(
-        executor=args.executor, max_workers=args.workers, obs=obs
+        executor=args.executor,
+        max_workers=args.workers,
+        obs=obs,
+        fault_plan=fault_plan,
+        task_timeout_s=args.task_timeout,
+        speculative=args.speculative,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
     algorithm = ALGORITHMS[args.algorithm](config, opts)
     started = time.perf_counter()

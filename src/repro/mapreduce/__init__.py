@@ -40,10 +40,23 @@ from repro.mapreduce.executors import (
     SerialExecutor,
     TaskFailedError,
     TaskRunner,
+    TaskTimeoutError,
     ThreadExecutor,
     resolve_executor,
 )
-from repro.mapreduce.fs import make_csv_splits
+from repro.mapreduce.faults import (
+    ChaosError,
+    ChaosExecutor,
+    FaultClause,
+    FaultPlan,
+    parse_fault_spec,
+)
+from repro.mapreduce.fs import (
+    CheckpointStore,
+    chain_fingerprint,
+    fingerprint_splits,
+    make_csv_splits,
+)
 from repro.mapreduce.job import (
     Combiner,
     Context,
@@ -53,11 +66,20 @@ from repro.mapreduce.job import (
     Partitioner,
     Reducer,
 )
-from repro.mapreduce.runtime import JobResult, MapReduceRuntime, Shuffle
+from repro.mapreduce.runtime import (
+    JobResult,
+    MapReduceRuntime,
+    Shuffle,
+    ShuffleIntegrityError,
+)
 from repro.mapreduce.types import InputSplit, JobConf, split_records
 
 __all__ = [
     "calibrate_from_events",
+    "chain_fingerprint",
+    "ChaosError",
+    "ChaosExecutor",
+    "CheckpointStore",
     "ClusterCostModel",
     "Combiner",
     "Context",
@@ -70,6 +92,9 @@ __all__ = [
     "EventLog",
     "events_to_jsonl",
     "Executor",
+    "FaultClause",
+    "FaultPlan",
+    "fingerprint_splits",
     "format_trace",
     "HashPartitioner",
     "InputSplit",
@@ -80,14 +105,17 @@ __all__ = [
     "MapReduceRuntime",
     "Mapper",
     "make_csv_splits",
+    "parse_fault_spec",
     "Partitioner",
     "ProcessExecutor",
     "Reducer",
     "resolve_executor",
     "SerialExecutor",
     "Shuffle",
+    "ShuffleIntegrityError",
     "TaskFailedError",
     "TaskRunner",
+    "TaskTimeoutError",
     "ThreadExecutor",
     "split_records",
 ]

@@ -5,14 +5,27 @@ paper attributes P3C+-MR's higher runtime to its larger job count and
 EM iterations, Section 7.5.2).  ``JobChain`` runs jobs against one
 runtime and keeps a per-step ledger so drivers and the cost model can
 report "number of MR jobs" and shuffle volumes faithfully.
+
+Chains are also the recovery unit: with a
+:class:`~repro.mapreduce.fs.CheckpointStore` attached, every completed
+job's output is persisted under the run directory, keyed by chain
+position/name and an input fingerprint chained over the upstream
+history.  A failed multi-job run resumed with ``resume=True`` replays
+the driver, restores every job whose fingerprint still matches
+(emitting a ``job_skipped`` event instead of executing), and re-runs
+only the suffix from the first stale or missing entry — on huge data
+sets that turns "lost an hour to one bad task" into "replay one job".
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Sequence
 
 from repro.mapreduce.counters import Counters
+from repro.mapreduce.events import EventKind
+from repro.mapreduce.fs import CheckpointStore, chain_fingerprint
 from repro.mapreduce.job import Job
 from repro.mapreduce.runtime import JobResult, MapReduceRuntime
 from repro.mapreduce.types import InputSplit, JobConf
@@ -24,6 +37,8 @@ class ChainStep:
 
     name: str
     result: JobResult
+    #: True when the step was restored from a checkpoint, not executed.
+    restored: bool = False
 
     @property
     def shuffle_records(self) -> int:
@@ -31,11 +46,34 @@ class ChainStep:
 
 
 class JobChain:
-    """Runs a sequence of jobs and records per-step accounting."""
+    """Runs a sequence of jobs and records per-step accounting.
 
-    def __init__(self, runtime: MapReduceRuntime) -> None:
+    Parameters
+    ----------
+    checkpoint:
+        A :class:`~repro.mapreduce.fs.CheckpointStore` (or a directory
+        path for one), enabling per-job output persistence.  ``None``
+        disables checkpointing entirely.
+    resume:
+        When true, a job whose key + input fingerprint matches the
+        store is *restored* — its persisted output becomes the step
+        result, a ``job_skipped`` event is emitted, and no tasks run.
+        When false the store is still written, but never read.
+    """
+
+    def __init__(
+        self,
+        runtime: MapReduceRuntime,
+        checkpoint: CheckpointStore | str | Path | None = None,
+        resume: bool = False,
+    ) -> None:
         self.runtime = runtime
         self.steps: list[ChainStep] = []
+        if checkpoint is not None and not isinstance(checkpoint, CheckpointStore):
+            checkpoint = CheckpointStore(checkpoint)
+        self.checkpoint = checkpoint
+        self.resume = resume
+        self._fingerprint = ""
 
     def run(
         self,
@@ -53,13 +91,68 @@ class JobChain:
             num_reducers=num_reducers,
             extra=extra,
         )
+        if self.checkpoint is not None:
+            return self._run_checkpointed(name, job, splits, conf)
         result = self.runtime.run(job, splits, conf)
         self.steps.append(ChainStep(name=name, result=result))
+        return result
+
+    def _run_checkpointed(
+        self,
+        name: str,
+        job: Job,
+        splits: Sequence[InputSplit],
+        conf: JobConf,
+    ) -> JobResult:
+        assert self.checkpoint is not None
+        key = CheckpointStore.job_key(len(self.steps), name)
+        fingerprint = chain_fingerprint(self._fingerprint, name, conf, splits)
+        if self.resume:
+            stored = self.checkpoint.load(key, fingerprint)
+            if stored is not None:
+                output, meta = stored
+                result = JobResult(
+                    output=output,
+                    counters=Counters.from_snapshot(meta.get("counters", {})),
+                    conf=conf,
+                    wall_time=float(meta.get("wall_time", 0.0)),
+                    executor="checkpoint",
+                    map_task_times=list(meta.get("map_task_times", [])),
+                    reduce_task_times=list(meta.get("reduce_task_times", [])),
+                )
+                self.runtime.events.emit(
+                    EventKind.JOB_SKIPPED, name, duration_s=result.wall_time
+                )
+                self.steps.append(
+                    ChainStep(name=name, result=result, restored=True)
+                )
+                self._fingerprint = fingerprint
+                return result
+        result = self.runtime.run(job, splits, conf)
+        self.checkpoint.save(
+            key,
+            fingerprint,
+            result.output,
+            meta={
+                "counters": result.counters.snapshot(),
+                "wall_time": result.wall_time,
+                "executor": result.executor,
+                "map_task_times": list(result.map_task_times),
+                "reduce_task_times": list(result.reduce_task_times),
+            },
+        )
+        self.steps.append(ChainStep(name=name, result=result))
+        self._fingerprint = fingerprint
         return result
 
     @property
     def num_jobs(self) -> int:
         return len(self.steps)
+
+    @property
+    def num_restored_jobs(self) -> int:
+        """Steps restored from the checkpoint store instead of executed."""
+        return sum(1 for step in self.steps if step.restored)
 
     @property
     def total_wall_time(self) -> float:
@@ -87,8 +180,9 @@ class JobChain:
         """Human-readable per-step ledger.
 
         One row per executed job with its map/reduce task counts, the
-        executor backend it ran on, shuffle volume and the phase wall
-        times measured by the runtime's event stream.
+        executor backend it ran on (``checkpoint`` for restored steps),
+        shuffle volume and the phase wall times measured by the
+        runtime's event stream.
         """
         header = (
             f"{'step':<34} {'maps':>5} {'reds':>5} {'executor':>8} "

@@ -85,5 +85,14 @@ class Counters:
             group.name: dict(group.items()) for group in self._groups.values()
         }
 
+    @classmethod
+    def from_snapshot(cls, snapshot: dict[str, dict[str, int]]) -> "Counters":
+        """Rebuild counters from a :meth:`snapshot` (checkpoint restore)."""
+        counters = cls()
+        for group, values in (snapshot or {}).items():
+            for name, value in values.items():
+                counters.increment(group, name, int(value))
+        return counters
+
     def __repr__(self) -> str:
         return f"Counters({list(self._groups)})"

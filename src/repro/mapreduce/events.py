@@ -32,12 +32,20 @@ class EventKind:
 
     JOB_START = "job_start"
     JOB_FINISH = "job_finish"
+    #: A chained job restored from a checkpoint instead of re-executed.
+    JOB_SKIPPED = "job_skipped"
     PHASE_START = "phase_start"
     PHASE_FINISH = "phase_finish"
     TASK_START = "task_start"
     TASK_FINISH = "task_finish"
     TASK_RETRY = "task_retry"
     TASK_FAILED = "task_failed"
+    #: An attempt exceeded ``task_timeout_s`` and was abandoned.
+    TASK_TIMEOUT = "task_timeout"
+    #: A speculative duplicate of a straggler attempt was dispatched.
+    TASK_SPECULATED = "task_speculated"
+    #: The chaos layer scheduled a fault for a task attempt.
+    FAULT_INJECTED = "fault_injected"
 
 
 @dataclass(frozen=True)

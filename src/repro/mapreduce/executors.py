@@ -14,18 +14,32 @@ The runtime delegates *how* a batch of tasks runs to an
     their arguments and their outputs must be picklable.
 
 *What* a task's lifecycle is — first attempt, Hadoop-style retry with
-optional exponential backoff, retry counting, lifecycle events —
-lives in exactly one place, :class:`TaskRunner`, shared by the map and
-reduce phases.  First attempts of a phase are dispatched through the
-executor as one batch; retries re-run in-process (tasks are pure
-functions of their arguments, so the backend cannot change the output).
+optional exponential backoff, retry counting, per-attempt timeouts,
+speculative re-execution of stragglers, lifecycle events — lives in
+exactly one place, :class:`TaskRunner`, shared by the map and reduce
+phases.  First attempts of a phase are dispatched through the executor
+as one batch; retries re-run in-process (tasks are pure functions of
+their arguments, so the backend cannot change the output).
+
+Executors also expose two *wrapping hooks* (``wrap_calls`` for a
+phase's first-attempt batch, ``wrap_call`` for individual re-dispatched
+attempts).  The base implementations are the identity, costing nothing;
+:class:`~repro.mapreduce.faults.ChaosExecutor` overrides them to
+inject deterministic faults without the runner knowing chaos exists.
 """
 
 from __future__ import annotations
 
 import os
+import statistics
 import time
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
@@ -61,6 +75,24 @@ class TaskFailedError(RuntimeError):
         self.counters = counters
 
 
+class TaskTimeoutError(RuntimeError):
+    """One task attempt exceeded ``task_timeout_s`` and was abandoned.
+
+    Mirrors Hadoop's ``mapreduce.task.timeout`` kill: the attempt is
+    treated exactly like a failed attempt — retried while the budget
+    lasts, fatal (as the ``cause`` of :class:`TaskFailedError`) once
+    exhausted.
+    """
+
+    def __init__(self, phase: str, task_id: int, timeout_s: float):
+        super().__init__(
+            f"{phase} task {task_id} exceeded the {timeout_s:g}s task timeout"
+        )
+        self.phase = phase
+        self.task_id = task_id
+        self.timeout_s = timeout_s
+
+
 @dataclass(frozen=True)
 class TaskOutcome:
     """Result of one task attempt: a value or a captured exception."""
@@ -91,6 +123,43 @@ class Executor:
     ) -> list[TaskOutcome]:
         raise NotImplementedError
 
+    # -- chaos hooks (identity by default; see faults.ChaosExecutor) ----
+
+    def wrap_calls(
+        self,
+        fn: Callable[..., Any],
+        calls: Sequence[tuple],
+        *,
+        job: str,
+        phase: str,
+        task_ids: Sequence[int],
+    ) -> tuple[Callable[..., Any], Sequence[tuple]]:
+        """Rewrite a phase's first-attempt batch (fault injection hook)."""
+        return fn, calls
+
+    def wrap_call(
+        self,
+        fn: Callable[..., Any],
+        args: tuple,
+        *,
+        job: str,
+        phase: str,
+        task_id: int,
+        attempt: int,
+        clean: bool = False,
+    ) -> tuple[Callable[..., Any], tuple]:
+        """Rewrite one re-dispatched attempt (retry / speculative copy)."""
+        return fn, args
+
+    # -- concurrency hook ----------------------------------------------
+
+    def make_pool(self):
+        """A ``concurrent.futures`` pool for task-level scheduling, or
+        ``None`` when the backend cannot overlap tasks (serial).  Used
+        by the runner's timeout/speculation path; the caller owns the
+        pool and must shut it down."""
+        return None
+
 
 class SerialExecutor(Executor):
     """In-order, in-process execution — deterministic, zero overhead."""
@@ -113,6 +182,9 @@ class _PoolExecutor(Executor):
 
     def _make_pool(self):
         raise NotImplementedError
+
+    def make_pool(self):
+        return self._make_pool()
 
     def run_batch(
         self, fn: Callable[..., Any], calls: Sequence[tuple]
@@ -192,7 +264,25 @@ class TaskRunner:
     backoff), merges per-task counters into the job counters, counts
     every retry — including those of tasks that go on to exhaust their
     attempts — and emits the full lifecycle event stream.
+
+    Two optional policies extend the lifecycle:
+
+    - ``task_timeout_s``: an attempt running longer than this is
+      treated as failed (:class:`TaskTimeoutError`) and retried.  On a
+      pool-backed executor the runner monitors wall clock and abandons
+      the in-flight attempt; on the serial executor (which cannot
+      preempt) the limit is enforced post-hoc from the attempt's
+      reported elapsed time.
+    - ``speculative``: once at least half the phase's tasks finished,
+      a task still running past ``speculation_factor`` × the median
+      completed duration gets a *speculative* duplicate attempt on a
+      fresh worker; the first successful result wins and the loser is
+      discarded, so output invariants are untouched.  Requires a
+      pool-backed executor; a no-op on serial.
     """
+
+    #: Polling granularity of the concurrent monitor loop (seconds).
+    _TICK_S = 0.005
 
     def __init__(
         self,
@@ -201,14 +291,26 @@ class TaskRunner:
         job_name: str,
         max_attempts: int,
         backoff_s: float = 0.0,
+        task_timeout_s: float | None = None,
+        speculative: bool = False,
+        speculation_factor: float = 2.0,
+        speculation_floor_s: float = 0.02,
     ) -> None:
         if max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if task_timeout_s is not None and task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be > 0")
+        if speculation_factor <= 1.0:
+            raise ValueError("speculation_factor must be > 1")
         self.executor = executor
         self.events = events
         self.job_name = job_name
         self.max_attempts = max_attempts
         self.backoff_s = backoff_s
+        self.task_timeout_s = task_timeout_s
+        self.speculative = speculative
+        self.speculation_factor = speculation_factor
+        self.speculation_floor_s = speculation_floor_s
 
     def run_phase(
         self,
@@ -217,27 +319,44 @@ class TaskRunner:
         calls: Sequence[tuple],
         task_ids: Sequence[int],
         counters: Counters,
+        validate: Callable[[Any, Counters], None] | None = None,
     ) -> list[tuple[Any, float]]:
         """Run one phase's tasks; returns ``(payload, seconds)`` per task.
 
         ``fn`` is the task function: it must return a
         ``(payload, task_counters, elapsed_seconds)`` triple.
+        ``validate`` (optional) inspects a successful attempt's payload
+        against its counters; raising marks the attempt failed (the
+        shuffle-integrity analogue of Hadoop's fetch checksums).
         """
         started = time.perf_counter()
         self.events.emit(EventKind.PHASE_START, self.job_name, phase=phase)
-        for task_id in task_ids:
-            self.events.emit(
-                EventKind.TASK_START,
-                self.job_name,
-                phase=phase,
-                task_id=task_id,
-                attempt=1,
+        pool = None
+        if len(calls) > 1 and (
+            self.task_timeout_s is not None or self.speculative
+        ):
+            pool = self.executor.make_pool()
+        if pool is not None:
+            results = self._run_phase_concurrent(
+                pool, phase, fn, calls, task_ids, counters, validate
             )
-        outcomes = self.executor.run_batch(fn, calls)
-        results = [
-            self._settle(phase, task_id, fn, args, outcome, counters)
-            for task_id, args, outcome in zip(task_ids, calls, outcomes)
-        ]
+        else:
+            for task_id in task_ids:
+                self.events.emit(
+                    EventKind.TASK_START,
+                    self.job_name,
+                    phase=phase,
+                    task_id=task_id,
+                    attempt=1,
+                )
+            batch_fn, batch_calls = self.executor.wrap_calls(
+                fn, calls, job=self.job_name, phase=phase, task_ids=task_ids
+            )
+            outcomes = self.executor.run_batch(batch_fn, batch_calls)
+            results = [
+                self._settle(phase, task_id, fn, args, outcome, counters, validate)
+                for task_id, args, outcome in zip(task_ids, calls, outcomes)
+            ]
         self.events.emit(
             EventKind.PHASE_FINISH,
             self.job_name,
@@ -247,6 +366,46 @@ class TaskRunner:
         )
         return results
 
+    # -- shared attempt post-checks -------------------------------------
+
+    def _post_check(
+        self,
+        phase: str,
+        task_id: int,
+        outcome: TaskOutcome,
+        validate: Callable[[Any, Counters], None] | None,
+        enforce_timeout: bool = True,
+    ) -> TaskOutcome:
+        """Convert a "successful" attempt into a failure when it broke a
+        policy: ran past the task timeout or produced a payload that
+        fails shuffle-integrity validation."""
+        if outcome.error is not None:
+            return outcome
+        payload, task_counters, elapsed = outcome.value
+        if (
+            enforce_timeout
+            and self.task_timeout_s is not None
+            and elapsed > self.task_timeout_s
+        ):
+            self.events.emit(
+                EventKind.TASK_TIMEOUT,
+                self.job_name,
+                phase=phase,
+                task_id=task_id,
+                error=f"exceeded {self.task_timeout_s:g}s",
+            )
+            return TaskOutcome(
+                error=TaskTimeoutError(phase, task_id, self.task_timeout_s)
+            )
+        if validate is not None:
+            try:
+                validate(payload, task_counters)
+            except Exception as error:  # noqa: BLE001 - any defect retries
+                return TaskOutcome(error=error)
+        return outcome
+
+    # -- batch (serial / no-policy) path --------------------------------
+
     def _settle(
         self,
         phase: str,
@@ -255,9 +414,11 @@ class TaskRunner:
         args: tuple,
         outcome: TaskOutcome,
         counters: Counters,
+        validate: Callable[[Any, Counters], None] | None = None,
     ) -> tuple[Any, float]:
         attempt = 1
         while True:
+            outcome = self._post_check(phase, task_id, outcome, validate)
             if outcome.error is None:
                 payload, task_counters, elapsed = outcome.value
                 counters.merge(task_counters)
@@ -305,4 +466,187 @@ class TaskRunner:
             )
             # Retries re-run in-process: tasks are pure functions of
             # their arguments, so the backend cannot change the output.
-            outcome = TaskOutcome.capture(fn, args)
+            retry_fn, retry_args = self.executor.wrap_call(
+                fn,
+                args,
+                job=self.job_name,
+                phase=phase,
+                task_id=task_id,
+                attempt=attempt,
+            )
+            outcome = TaskOutcome.capture(retry_fn, retry_args)
+
+    # -- concurrent (timeout / speculation) path -------------------------
+
+    def _run_phase_concurrent(
+        self,
+        pool,
+        phase: str,
+        fn: Callable[..., Any],
+        calls: Sequence[tuple],
+        task_ids: Sequence[int],
+        counters: Counters,
+        validate: Callable[[Any, Counters], None] | None,
+    ) -> list[tuple[Any, float]]:
+        """Task-level scheduling with wall-clock timeouts and
+        first-result-wins speculative duplicates.
+
+        Abandoned attempts (timeouts, speculation losers) may keep
+        running on their worker — tasks are pure, so their ignored
+        results are harmless — but their outcome can never settle a
+        task twice: settlement is guarded per task id.
+        """
+        index = {tid: i for i, tid in enumerate(task_ids)}
+        results: dict[int, tuple[Any, float]] = {}
+        attempt_no = {tid: 1 for tid in task_ids}
+        dispatched_at = {tid: 0.0 for tid in task_ids}
+        speculated: set[int] = set()
+        durations: list[float] = []
+        # future -> (task_id, attempt, is_speculative)
+        pending: dict[Future, tuple[int, int, bool]] = {}
+        abandoned: set[Future] = set()
+
+        def dispatch(tid: int, attempt: int, speculative: bool) -> None:
+            call_fn, call_args = self.executor.wrap_call(
+                fn,
+                calls[index[tid]],
+                job=self.job_name,
+                phase=phase,
+                task_id=tid,
+                attempt=attempt,
+                clean=speculative,
+            )
+            kind = (
+                EventKind.TASK_SPECULATED if speculative else EventKind.TASK_START
+            )
+            self.events.emit(
+                kind,
+                self.job_name,
+                phase=phase,
+                task_id=tid,
+                attempt=attempt,
+            )
+            if not speculative:
+                dispatched_at[tid] = time.perf_counter()
+            future = pool.submit(call_fn, *call_args)
+            pending[future] = (tid, attempt, speculative)
+
+        def fail_attempt(tid: int, attempt: int, error: Exception) -> None:
+            """Retry (counted) or exhaust the task's attempt budget."""
+            if attempt >= self.max_attempts:
+                self.events.emit(
+                    EventKind.TASK_FAILED,
+                    self.job_name,
+                    phase=phase,
+                    task_id=tid,
+                    attempt=attempt,
+                    error=repr(error),
+                    counters=counters.snapshot(),
+                )
+                raise TaskFailedError(
+                    phase, tid, attempt, error, counters=counters
+                )
+            counters.increment(Counters.FRAMEWORK, Counters.TASK_RETRIES)
+            self.events.emit(
+                EventKind.TASK_RETRY,
+                self.job_name,
+                phase=phase,
+                task_id=tid,
+                attempt=attempt,
+                error=repr(error),
+            )
+            attempt_no[tid] = attempt + 1
+            dispatch(tid, attempt + 1, speculative=False)
+
+        def settle_success(tid: int, attempt: int, value: Any) -> None:
+            payload, task_counters, elapsed = value
+            counters.merge(task_counters)
+            durations.append(elapsed)
+            results[tid] = (payload, elapsed)
+            self.events.emit(
+                EventKind.TASK_FINISH,
+                self.job_name,
+                phase=phase,
+                task_id=tid,
+                attempt=attempt,
+                duration_s=elapsed,
+                counters=task_counters.snapshot(),
+            )
+
+        try:
+            for tid in task_ids:
+                dispatch(tid, 1, speculative=False)
+            while len(results) < len(task_ids):
+                done, _ = wait(
+                    list(pending),
+                    timeout=self._TICK_S,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    tid, attempt, is_spec = pending.pop(future)
+                    stale = tid in results or future in abandoned
+                    abandoned.discard(future)
+                    if stale:
+                        continue  # task already settled / attempt timed out
+                    error = future.exception()
+                    if error is None:
+                        # Wall-clock timeouts are enforced by the
+                        # monitor below; a completed attempt counts.
+                        outcome = self._post_check(
+                            phase,
+                            tid,
+                            TaskOutcome(value=future.result()),
+                            validate,
+                            enforce_timeout=False,
+                        )
+                        error = outcome.error
+                        if error is None:
+                            settle_success(tid, attempt, outcome.value)
+                            continue
+                    if is_spec:
+                        continue  # losing speculative copy: discard
+                    fail_attempt(tid, attempt, error)
+                now = time.perf_counter()
+                if self.task_timeout_s is not None:
+                    for future, (tid, attempt, is_spec) in list(pending.items()):
+                        if (
+                            is_spec
+                            or tid in results
+                            or future in abandoned
+                            or now - dispatched_at[tid] <= self.task_timeout_s
+                        ):
+                            continue
+                        abandoned.add(future)
+                        future.cancel()
+                        self.events.emit(
+                            EventKind.TASK_TIMEOUT,
+                            self.job_name,
+                            phase=phase,
+                            task_id=tid,
+                            attempt=attempt,
+                            error=f"exceeded {self.task_timeout_s:g}s",
+                        )
+                        fail_attempt(
+                            tid,
+                            attempt,
+                            TaskTimeoutError(phase, tid, self.task_timeout_s),
+                        )
+                if self.speculative and len(results) >= max(
+                    1, len(task_ids) // 2
+                ):
+                    threshold = max(
+                        self.speculation_factor * statistics.median(durations),
+                        self.speculation_floor_s,
+                    )
+                    for tid in task_ids:
+                        if (
+                            tid in results
+                            or tid in speculated
+                            or now - dispatched_at[tid] <= threshold
+                        ):
+                            continue
+                        speculated.add(tid)
+                        dispatch(tid, attempt_no[tid], speculative=True)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return [results[tid] for tid in task_ids]

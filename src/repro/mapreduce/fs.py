@@ -1,4 +1,4 @@
-"""File-backed input splits: stream records from CSV byte ranges.
+"""File-backed runtime storage: streaming CSV splits and chain checkpoints.
 
 Hadoop's TextInputFormat assigns each mapper a byte range of the input
 file; a task seeks to its range, skips to the next record boundary and
@@ -12,17 +12,33 @@ drivers can cluster data sets larger than memory:
 Each record is ``(row_index, numpy row)`` — identical to the in-memory
 splits of :func:`repro.mapreduce.types.split_records`, so jobs cannot
 tell the difference (a test asserts equal clustering output).
+
+The second half of the module is :class:`CheckpointStore` — the
+persistence layer behind ``JobChain`` checkpoint/resume.  Each
+completed job's output pairs are pickled under a run directory and
+recorded in a ``manifest.json`` keyed by the job's position/name and an
+*input fingerprint* (a chained hash over the upstream fingerprint, the
+job configuration and a cheap sample of the input splits).  A resumed
+chain replays the driver; jobs whose fingerprint matches the manifest
+are restored instead of re-executed, while any mismatch — different
+data, different configuration, different upstream history — forces
+recomputation of that job and everything after it.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import os
+import pickle
+import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Sequence
+from typing import Any, Iterator, Sequence
 
 import numpy as np
 
-from repro.mapreduce.types import InputSplit
+from repro.mapreduce.types import InputSplit, JobConf
 
 
 @dataclass(frozen=True)
@@ -129,3 +145,148 @@ def make_csv_splits(
         )
         splits.append(InputSplit(split_id=sid, records=CSVRecordStream(chunk)))
     return splits, n_rows, n_columns
+
+
+# -- chain checkpointing ------------------------------------------------
+
+
+def _hash_record(hasher, record: Any) -> None:
+    key, value = record
+    hasher.update(repr(key).encode("utf-8"))
+    if isinstance(value, np.ndarray):
+        hasher.update(np.ascontiguousarray(value).tobytes())
+    else:
+        hasher.update(repr(value).encode("utf-8"))
+
+
+def fingerprint_splits(splits: Sequence[InputSplit]) -> str:
+    """A cheap, content-sensitive fingerprint of a split list.
+
+    Hashes each split's id, length and first record — O(#splits) work
+    regardless of data size (file-backed splits read one record, not
+    the range), yet sensitive to the dataset swaps and re-splits that
+    would make a checkpoint stale.
+    """
+    hasher = hashlib.sha256()
+    for split in splits:
+        hasher.update(f"{split.split_id}:{len(split)}".encode("utf-8"))
+        if len(split) > 0:
+            _hash_record(hasher, split.records[0])
+    return hasher.hexdigest()[:24]
+
+
+def chain_fingerprint(
+    previous: str, name: str, conf: JobConf, splits: Sequence[InputSplit]
+) -> str:
+    """Fingerprint of one chain step, chained over its upstream history.
+
+    Folds in the previous step's fingerprint, so a checkpoint entry is
+    only reusable when every job before it matched too.  Distributed
+    cache contents are deliberately *not* hashed: the P3C+ pipelines
+    derive them deterministically from the input, which the chained
+    history already covers.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(previous.encode("utf-8"))
+    hasher.update(name.encode("utf-8"))
+    simple_extra = {
+        key: value
+        for key, value in sorted(conf.extra.items())
+        if isinstance(value, (str, int, float, bool, type(None)))
+    }
+    conf_token = (
+        f"{conf.num_splits}:{conf.num_reducers}:{conf.sort_keys}:"
+        f"{json.dumps(simple_extra, sort_keys=True)}"
+    )
+    hasher.update(conf_token.encode("utf-8"))
+    hasher.update(fingerprint_splits(splits).encode("utf-8"))
+    return hasher.hexdigest()[:24]
+
+
+class CheckpointStore:
+    """Durable per-job outputs of one chain run, under one directory.
+
+    Layout::
+
+        <root>/manifest.json          job key -> {fingerprint, file, meta}
+        <root>/jobs/<key>.pkl         pickled output pairs of one job
+
+    Writes are crash-safe in the sense that matters for resume: the
+    pickle lands fully before the manifest references it, and manifest
+    updates are atomic (write-to-temp + rename), so an interrupted run
+    leaves at worst an orphaned pickle, never a manifest entry pointing
+    at a truncated payload.
+    """
+
+    SCHEMA = "repro.mapreduce/checkpoint/v1"
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self._manifest_path = self.root / "manifest.json"
+        self._manifest = self._load_manifest()
+
+    def _load_manifest(self) -> dict[str, Any]:
+        if not self._manifest_path.exists():
+            return {"schema": self.SCHEMA, "jobs": {}}
+        try:
+            with open(self._manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return {"schema": self.SCHEMA, "jobs": {}}
+        if manifest.get("schema") != self.SCHEMA:
+            return {"schema": self.SCHEMA, "jobs": {}}
+        manifest.setdefault("jobs", {})
+        return manifest
+
+    def _write_manifest(self) -> None:
+        tmp = self._manifest_path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self._manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, self._manifest_path)
+
+    @staticmethod
+    def job_key(ordinal: int, name: str) -> str:
+        safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", name)
+        return f"{ordinal:03d}_{safe}"
+
+    def load(
+        self, key: str, fingerprint: str
+    ) -> tuple[list[tuple[Any, Any]], dict[str, Any]] | None:
+        """The stored output + metadata for ``key``, or ``None`` when the
+        entry is missing, stale (fingerprint mismatch) or unreadable."""
+        entry = self._manifest["jobs"].get(key)
+        if entry is None or entry.get("fingerprint") != fingerprint:
+            return None
+        path = self.root / entry["file"]
+        try:
+            with open(path, "rb") as handle:
+                output = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            return None
+        return output, dict(entry.get("meta", {}))
+
+    def save(
+        self,
+        key: str,
+        fingerprint: str,
+        output: list[tuple[Any, Any]],
+        meta: dict[str, Any],
+    ) -> None:
+        """Persist one completed job's output and manifest entry."""
+        filename = f"jobs/{key}.pkl"
+        tmp = self.root / (filename + ".tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(output, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, self.root / filename)
+        self._manifest["jobs"][key] = {
+            "fingerprint": fingerprint,
+            "file": filename,
+            "meta": meta,
+        }
+        self._write_manifest()
+
+    def __len__(self) -> int:
+        return len(self._manifest["jobs"])

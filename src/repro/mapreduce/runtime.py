@@ -38,8 +38,10 @@ from repro.mapreduce.executors import (
     Executor,
     TaskFailedError,
     TaskRunner,
+    TaskTimeoutError,
     resolve_executor,
 )
+from repro.mapreduce.faults import ChaosExecutor, FaultPlan
 from repro.mapreduce.job import Context, Job, Partitioner, group_sorted_pairs
 from repro.mapreduce.types import InputSplit, JobConf
 
@@ -50,9 +52,22 @@ __all__ = [
     "JobResult",
     "MapReduceRuntime",
     "Shuffle",
+    "ShuffleIntegrityError",
     "TaskFailedError",
+    "TaskTimeoutError",
     "TASK_RETRIES",
 ]
+
+
+class ShuffleIntegrityError(RuntimeError):
+    """A map task's payload disagrees with its own counters.
+
+    The in-process analogue of Hadoop's shuffle checksum verification:
+    every map task accounts for the records it emitted, so a corrupted
+    or truncated partition list is detectable without trusting the
+    transport.  Raised inside the task-settlement path, it is treated
+    exactly like a task failure — the attempt is retried from scratch.
+    """
 
 
 class Shuffle:
@@ -197,6 +212,44 @@ def _run_map_task(
     return payload, counters, time.perf_counter() - started
 
 
+def _map_payload_validator(job: Job, conf: JobConf):
+    """Shuffle-integrity check for one job's map payloads.
+
+    Compares the records present in a map task's payload against the
+    record counts the task itself accumulated; a mismatch means the
+    payload was corrupted or truncated after emission and fails the
+    attempt (see :class:`ShuffleIntegrityError`).
+    """
+    reduce_job = conf.num_reducers > 0 and job.reducer_factory is not None
+    has_combiner = job.combiner_factory is not None
+
+    def validate(payload: Any, task_counters: Counters) -> None:
+        if reduce_job:
+            if len(payload) != conf.num_reducers:
+                raise ShuffleIntegrityError(
+                    f"map task produced {len(payload)} shuffle partitions, "
+                    f"expected {conf.num_reducers}"
+                )
+            found = sum(len(bucket) for bucket in payload)
+            expected = task_counters.framework_value(Counters.SHUFFLE_RECORDS)
+        else:
+            found = len(payload)
+            emitted = task_counters.framework_value(Counters.MAP_OUTPUT_RECORDS)
+            if has_combiner and emitted > 0:
+                expected = task_counters.framework_value(
+                    Counters.COMBINE_OUTPUT_RECORDS
+                )
+            else:
+                expected = emitted
+        if found != expected:
+            raise ShuffleIntegrityError(
+                f"map task payload carries {found} records but its counters "
+                f"claim {expected} (corrupted shuffle partition?)"
+            )
+
+    return validate
+
+
 def _run_reduce_task(
     job: Job,
     partition_id: int,
@@ -242,6 +295,17 @@ class MapReduceRuntime:
         (and enabled) its event bridge subscribes to this runtime's
         event log, deriving job/phase/task spans, memory samples and
         task-duration histograms from the lifecycle stream.
+    fault_plan:
+        Optional :class:`~repro.mapreduce.faults.FaultPlan`.  When set,
+        every executor this runtime resolves (the default and per-job
+        overrides) is wrapped in a
+        :class:`~repro.mapreduce.faults.ChaosExecutor` announcing its
+        injections on this runtime's event log.  ``None`` (default) is
+        fully inert.
+    task_timeout_s / speculative / speculation_factor:
+        Runtime-wide defaults for the task-lifecycle policies of
+        :class:`~repro.mapreduce.executors.TaskRunner`; a job may
+        override the first two via ``JobConf``.
     """
 
     def __init__(
@@ -249,16 +313,31 @@ class MapReduceRuntime:
         max_workers: int | None = None,
         executor: str | Executor | None = None,
         obs: Any = None,
+        fault_plan: FaultPlan | None = None,
+        task_timeout_s: float | None = None,
+        speculative: bool = False,
+        speculation_factor: float = 2.0,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
         self.max_workers = max_workers
-        self.default_executor = resolve_executor(executor, max_workers)
         self.events = EventLog()
+        self.fault_plan = fault_plan
+        self.task_timeout_s = task_timeout_s
+        self.speculative = speculative
+        self.speculation_factor = speculation_factor
+        self.default_executor = self._wrap_chaos(
+            resolve_executor(executor, max_workers)
+        )
         self.history: list[JobResult] = []
         self.obs = obs
         if obs is not None:
             obs.observe_events(self.events)
+
+    def _wrap_chaos(self, executor: Executor) -> Executor:
+        if self.fault_plan is None:
+            return executor
+        return ChaosExecutor(executor, self.fault_plan, events=self.events)
 
     # -- public API ---------------------------------------------------
 
@@ -267,7 +346,7 @@ class MapReduceRuntime:
         started = time.perf_counter()
         counters = Counters()
         executor = (
-            resolve_executor(conf.executor, self.max_workers)
+            self._wrap_chaos(resolve_executor(conf.executor, self.max_workers))
             if conf.executor is not None
             else self.default_executor
         )
@@ -277,6 +356,17 @@ class MapReduceRuntime:
             conf.name,
             conf.max_task_attempts,
             conf.retry_backoff_s,
+            task_timeout_s=(
+                conf.task_timeout_s
+                if conf.task_timeout_s is not None
+                else self.task_timeout_s
+            ),
+            speculative=(
+                conf.speculative
+                if conf.speculative is not None
+                else self.speculative
+            ),
+            speculation_factor=self.speculation_factor,
         )
         first_event = len(self.events)
         self.events.emit(EventKind.JOB_START, conf.name)
@@ -287,6 +377,7 @@ class MapReduceRuntime:
             [(job, split, conf) for split in splits],
             [split.split_id for split in splits],
             counters,
+            validate=_map_payload_validator(job, conf),
         )
         map_outputs = [payload for payload, _ in map_results]
         map_times = [elapsed for _, elapsed in map_results]

@@ -101,6 +101,13 @@ class JobConf:
     max_task_attempts: int = 2
     #: Base delay before a retry; doubles per attempt (0 = immediate).
     retry_backoff_s: float = 0.0
+    #: Per-attempt wall-clock budget (Hadoop's ``mapreduce.task.timeout``);
+    #: an attempt exceeding it fails and retries.  ``None`` defers to the
+    #: runtime default (itself ``None`` = no limit).
+    task_timeout_s: float | None = None
+    #: Speculatively re-execute straggler tasks (first result wins);
+    #: ``None`` defers to the runtime default.
+    speculative: bool | None = None
     #: Per-job executor override (``"serial"``/``"thread"``/``"process"``);
     #: ``None`` defers to the runtime's configured default.
     executor: str | None = None
@@ -115,6 +122,8 @@ class JobConf:
             raise ValueError("max_task_attempts must be >= 1")
         if self.retry_backoff_s < 0:
             raise ValueError("retry_backoff_s must be >= 0")
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ValueError("task_timeout_s must be > 0")
 
 
 def iter_grouped(

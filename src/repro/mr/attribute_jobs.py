@@ -25,6 +25,7 @@ from repro.core.types import Interval, Signature
 from repro.mapreduce import Context, DistributedCache, Job, Mapper, Reducer
 from repro.mapreduce.chain import JobChain
 from repro.mapreduce.types import InputSplit
+from repro.mr.aggregate import sum_partials
 
 
 class MembershipModel:
@@ -113,10 +114,7 @@ class ClusterHistogramMapper(_BufferedMapper):
 
 class MatrixSumReducer(Reducer):
     def reduce(self, key: Any, values: list[np.ndarray], context: Context) -> None:
-        total = values[0].copy()
-        for partial in values[1:]:
-            total += partial
-        context.emit(key, total)
+        context.emit(key, sum_partials(values))
 
 
 def run_cluster_histogram_job(

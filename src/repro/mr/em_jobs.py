@@ -33,6 +33,7 @@ from repro.core.types import Signature
 from repro.mapreduce import Context, DistributedCache, Job, Mapper, Reducer
 from repro.mapreduce.chain import JobChain
 from repro.mapreduce.types import InputSplit
+from repro.mr.aggregate import sum_partials
 
 
 class WeightModel:
@@ -216,10 +217,7 @@ class CovarianceSumsMapper(Mapper):
 
 class CovarianceSumsReducer(Reducer):
     def reduce(self, key: str, values: list[np.ndarray], context: Context) -> None:
-        total = values[0].copy()
-        for partial in values[1:]:
-            total += partial
-        context.emit(key, total)
+        context.emit(key, sum_partials(values))
 
 
 def finalize_moments(

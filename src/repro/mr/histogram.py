@@ -15,6 +15,7 @@ from repro.core.binning import Histogram, bin_index
 from repro.mapreduce import Context, DistributedCache, Job, Mapper, Reducer
 from repro.mapreduce.chain import JobChain
 from repro.mapreduce.types import InputSplit
+from repro.mr.aggregate import sum_partials
 
 _KEY = "histogram"
 
@@ -41,10 +42,7 @@ class HistogramSumReducer(Reducer):
     """Adds the per-split partial matrices."""
 
     def reduce(self, key: str, values: list[np.ndarray], context: Context) -> None:
-        total = values[0].copy()
-        for partial in values[1:]:
-            total += partial
-        context.emit(key, total)
+        context.emit(key, sum_partials(values))
 
 
 def run_histogram_job(

@@ -25,7 +25,7 @@ import numpy as np
 from repro.core.intervals import find_relevant_intervals
 from repro.core.p3c_plus import P3CPlusConfig, _validate_data
 from repro.core.types import ClusteringResult, ProjectedCluster
-from repro.mapreduce import JobChain, MapReduceRuntime
+from repro.mapreduce import FaultPlan, JobChain, MapReduceRuntime
 from repro.mapreduce.types import InputSplit, split_records
 from repro.mr.attribute_jobs import ArrayMembership
 from repro.mr.candidates import DEFAULT_T_GEN
@@ -50,6 +50,18 @@ class P3CPlusMRConfig:
     t_gen: int = DEFAULT_T_GEN
     t_c: int = DEFAULT_T_C
     multi_level: bool = True
+    #: Deterministic fault-injection schedule (chaos testing); ``None``
+    #: leaves the runtime entirely unwrapped.
+    fault_plan: FaultPlan | None = None
+    #: Per-attempt task wall-clock budget in seconds (``None`` = none).
+    task_timeout_s: float | None = None
+    #: Speculatively re-execute straggler tasks (first result wins).
+    speculative: bool = False
+    #: Directory for chain checkpoints (``None`` disables them).
+    checkpoint_dir: str | None = None
+    #: Restore completed jobs from ``checkpoint_dir`` instead of
+    #: re-running them (requires ``checkpoint_dir``).
+    resume: bool = False
 
 
 class P3CPlusMR:
@@ -70,12 +82,20 @@ class P3CPlusMR:
 
     def _make_chain(self) -> JobChain:
         """Runtime + chain wired to this driver's observability context."""
+        mr_config = self.mr_config
         runtime = MapReduceRuntime(
-            max_workers=self.mr_config.max_workers,
-            executor=self.mr_config.executor,
+            max_workers=mr_config.max_workers,
+            executor=mr_config.executor,
             obs=self.obs if self.obs.enabled else None,
+            fault_plan=mr_config.fault_plan,
+            task_timeout_s=mr_config.task_timeout_s,
+            speculative=mr_config.speculative,
         )
-        chain = JobChain(runtime)
+        chain = JobChain(
+            runtime,
+            checkpoint=mr_config.checkpoint_dir,
+            resume=mr_config.resume,
+        )
         self.chain = chain
         return chain
 

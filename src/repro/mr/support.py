@@ -19,6 +19,7 @@ from repro.mapreduce import Context, DistributedCache, Job, Mapper, Reducer
 from repro.mapreduce.chain import JobChain
 from repro.mapreduce.types import InputSplit
 from repro.mr.rssc import RSSC
+from repro.mr.aggregate import sum_partials
 
 _KEY = "supports"
 
@@ -39,10 +40,7 @@ class SupportCountMapper(Mapper):
 
 class SupportSumReducer(Reducer):
     def reduce(self, key: str, values: list[np.ndarray], context: Context) -> None:
-        total = values[0].copy()
-        for partial in values[1:]:
-            total += partial
-        context.emit(key, total)
+        context.emit(key, sum_partials(values))
 
 
 def run_support_job(

@@ -16,7 +16,12 @@ of the hierarchy from the lifecycle stream:
   (plus a memory sample at phase end),
 - ``task_finish``/``task_failed`` → complete ``task`` spans under the
   phase (timed from the event's own duration),
-- ``task_retry``                 → the ``mr.task_retries`` counter.
+- ``task_retry``                 → the ``mr.task_retries`` counter,
+- ``job_skipped``                → a zero-cost ``job`` span marked
+  ``skipped`` plus the ``mr.jobs_skipped`` counter (checkpoint resume),
+- ``task_timeout`` / ``task_speculated`` / ``fault_injected`` → the
+  ``mr.task_timeouts`` / ``mr.tasks_speculated`` / ``mr.faults_injected``
+  counters (fault-tolerance machinery at work).
 
 The bridge registers via ``EventLog.subscribe`` and must be released
 with :meth:`detach` (or the ``finally`` of :meth:`run`) so sinks do not
@@ -84,6 +89,22 @@ class _EventBridge:
             obs.metrics.observe("mr.task_duration_s", duration)
         elif kind == EventKind.TASK_RETRY:
             obs.metrics.count("mr.task_retries")
+        elif kind == EventKind.JOB_SKIPPED:
+            tracer.add_complete(
+                event.job,
+                "job",
+                start_s=event.time_s + self.offset,
+                duration_s=0.0,
+                skipped=True,
+                saved_wall_s=event.duration_s,
+            )
+            obs.metrics.count("mr.jobs_skipped")
+        elif kind == EventKind.TASK_TIMEOUT:
+            obs.metrics.count("mr.task_timeouts")
+        elif kind == EventKind.TASK_SPECULATED:
+            obs.metrics.count("mr.tasks_speculated")
+        elif kind == EventKind.FAULT_INJECTED:
+            obs.metrics.count("mr.faults_injected")
         elif kind == EventKind.TASK_FAILED:
             tracer.add_complete(
                 f"{event.job}/{event.phase}/task{event.task_id}",

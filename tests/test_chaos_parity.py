@@ -1,0 +1,152 @@
+"""Executor parity under chaos: the acid test of the fault machinery.
+
+For a multi-job chain under injected map errors, reduce errors,
+stragglers and corrupted shuffle partitions, every executor backend
+must produce *byte-identical* results to a clean serial run — fault
+recovery (retries + shuffle-integrity validation) must be invisible in
+the output.  The fault schedule is a pure function of the seed, so the
+sweep is reproducible.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.mapreduce import (
+    FaultPlan,
+    JobChain,
+    MapReduceRuntime,
+    split_records,
+)
+from repro.mapreduce.events import EventKind
+from repro.mapreduce.job import Job, Mapper, Reducer
+
+# One spec exercising every fault kind across both phases.
+CHAOS_SPEC = (
+    "map:error:p=0.3;reduce:error:p=0.25;map:delay:p=0.2:ms=3;map:corrupt:p=0.2"
+)
+
+N_RECORDS = 120
+NUM_SPLITS = 6
+
+
+class TokenizeMapper(Mapper):
+    """records -> (word_bucket, 1) pairs with a combiner-friendly shape."""
+
+    def map(self, key, value, context):
+        context.emit(value % 7, 1)
+
+
+class CountReducer(Reducer):
+    def reduce(self, key, values, context):
+        context.emit(key, sum(values))
+
+
+class RescaleMapper(Mapper):
+    """Consumes job 1's output: (bucket, count) -> (bucket % 2, count)."""
+
+    def map(self, key, value, context):
+        context.emit(key % 2, value * 10)
+
+
+class MaxReducer(Reducer):
+    def reduce(self, key, values, context):
+        context.emit(key, max(values))
+
+
+class SpreadMapper(Mapper):
+    """Map-only job over job 2's output (exercises map-only corruption)."""
+
+    def map(self, key, value, context):
+        context.emit(key, value + 1)
+        context.emit(key + 100, value)
+
+
+def run_chain(
+    executor: str | None,
+    fault_spec: str | None,
+    seed: int = 0,
+    max_workers: int | None = None,
+):
+    """Run the 3-job chain; returns (pickled outputs, runtime)."""
+    plan = FaultPlan.parse(fault_spec, seed=seed) if fault_spec else None
+    runtime = MapReduceRuntime(
+        executor=executor, max_workers=max_workers, fault_plan=plan
+    )
+    chain = JobChain(runtime)
+    splits = split_records([(i, i) for i in range(N_RECORDS)], NUM_SPLITS)
+
+    r1 = chain.run(
+        "count",
+        Job(mapper_factory=TokenizeMapper, reducer_factory=CountReducer),
+        splits,
+        num_reducers=3,
+    )
+    r2 = chain.run(
+        "rescale",
+        Job(mapper_factory=RescaleMapper, reducer_factory=MaxReducer),
+        split_records(r1.output, 4),
+        num_reducers=2,
+    )
+    r3 = chain.run(
+        "spread",
+        Job(mapper_factory=SpreadMapper),
+        split_records(r2.output, 2),
+        num_reducers=0,
+    )
+    outputs = pickle.dumps([r1.output, r2.output, sorted(r3.output)])
+    return outputs, runtime
+
+
+@pytest.fixture(scope="module")
+def clean_baseline():
+    outputs, _ = run_chain("serial", None)
+    return outputs
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_serial_chaos_matches_clean_run(clean_baseline, seed):
+    outputs, runtime = run_chain("serial", CHAOS_SPEC, seed=seed)
+    assert outputs == clean_baseline
+    kinds = {e.kind for e in runtime.events.events}
+    assert EventKind.TASK_FAILED not in kinds
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_thread_chaos_matches_clean_run(clean_baseline, seed):
+    outputs, _ = run_chain("thread", CHAOS_SPEC, seed=seed, max_workers=4)
+    assert outputs == clean_baseline
+
+
+@pytest.mark.parametrize("seed", [0, 7, 13])
+def test_process_chaos_matches_clean_run(clean_baseline, seed):
+    # Fewer seeds: each process-pool chain pays worker spawn cost.
+    outputs, _ = run_chain("process", CHAOS_SPEC, seed=seed, max_workers=2)
+    assert outputs == clean_baseline
+
+
+@pytest.mark.parametrize("executor", ["serial", "thread"])
+def test_fault_schedule_identical_across_executors(executor):
+    """The injected schedule (not just the output) matches serial."""
+
+    def schedule(runtime):
+        return sorted(
+            (e.job, e.phase, e.task_id, e.attempt, e.error)
+            for e in runtime.events.events
+            if e.kind == EventKind.FAULT_INJECTED
+        )
+
+    _, baseline_rt = run_chain("serial", CHAOS_SPEC, seed=5)
+    _, runtime = run_chain(executor, CHAOS_SPEC, seed=5, max_workers=4)
+    assert schedule(runtime) == schedule(baseline_rt)
+
+
+def test_chaos_runs_actually_injected_faults():
+    """Guard against a silently inert sweep."""
+    _, runtime = run_chain("serial", CHAOS_SPEC, seed=0)
+    injected = sum(
+        1 for e in runtime.events.events if e.kind == EventKind.FAULT_INJECTED
+    )
+    assert injected >= 3

@@ -1,0 +1,109 @@
+"""Golden end-to-end regression: exact clustering output snapshot.
+
+``tests/golden/mr_light_tiny.json`` pins the full P3C+-MR-Light result
+(cluster memberships, relevant attributes, outlier set, job count) for
+the fixed-seed tiny dataset.  Any change to this output — from the
+runtime, the fault-tolerance machinery or the algorithm itself — fails
+the comparison *exactly*, not approximately.
+
+Chaos runs must reproduce the same snapshot: injected faults are
+recovered by retries and shuffle-integrity validation, so they may
+never leak into results.
+
+Regenerating after an intentional algorithm change::
+
+    PYTHONPATH=src python tests/test_golden_e2e.py regen
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.data import GeneratorConfig, generate_synthetic
+from repro.mapreduce import FaultPlan
+from repro.mr import P3CPlusMRConfig, P3CPlusMRLight
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "mr_light_tiny.json"
+
+CHAOS_SPEC = "map:error:p=0.25;reduce:error:p=0.2;map:corrupt:p=0.15"
+
+
+def _dataset():
+    return generate_synthetic(
+        GeneratorConfig(
+            n=600,
+            d=8,
+            num_clusters=2,
+            noise_fraction=0.10,
+            max_cluster_dims=4,
+            seed=5,
+        )
+    )
+
+
+def _snapshot(mr_config: P3CPlusMRConfig) -> dict:
+    algo = P3CPlusMRLight(mr_config=mr_config)
+    result = algo.fit(_dataset().data)
+    return {
+        "schema": "repro.tests/golden-mr-light/v1",
+        "dataset": {
+            "n": 600,
+            "d": 8,
+            "num_clusters": 2,
+            "noise_fraction": 0.10,
+            "max_cluster_dims": 4,
+            "seed": 5,
+        },
+        "config": {"num_splits": 4},
+        "clusters": sorted(
+            (
+                {
+                    "members": sorted(int(m) for m in c.members),
+                    "relevant_attributes": sorted(
+                        int(a) for a in c.relevant_attributes
+                    ),
+                }
+                for c in result.clusters
+            ),
+            key=lambda c: (c["members"], c["relevant_attributes"]),
+        ),
+        "outliers": sorted(int(i) for i in result.outliers),
+        "num_mr_jobs": algo.chain.num_jobs,
+    }
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_clean_run_matches_golden_exactly(golden):
+    assert _snapshot(P3CPlusMRConfig(num_splits=4)) == golden
+
+
+@pytest.mark.parametrize("seed", [0, 3])
+def test_chaos_run_matches_golden_exactly(golden, seed):
+    plan = FaultPlan.parse(CHAOS_SPEC, seed=seed)
+    assert _snapshot(P3CPlusMRConfig(num_splits=4, fault_plan=plan)) == golden
+
+
+def test_golden_snapshot_is_well_formed(golden):
+    assert golden["schema"] == "repro.tests/golden-mr-light/v1"
+    members = [m for c in golden["clusters"] for m in c["members"]]
+    overlap = set(members) & set(golden["outliers"])
+    assert not overlap  # members and outliers partition disjointly
+    assert len(golden["clusters"]) >= 1
+    assert golden["num_mr_jobs"] >= 5
+
+
+if __name__ == "__main__" and "regen" in sys.argv:
+    snapshot = _snapshot(P3CPlusMRConfig(num_splits=4))
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"regenerated {GOLDEN_PATH}")
