@@ -35,6 +35,7 @@ from repro.mapreduce.events import (
     format_trace,
 )
 from repro.mapreduce.executors import (
+    CacheHandle,
     Executor,
     ProcessExecutor,
     SerialExecutor,
@@ -58,6 +59,7 @@ from repro.mapreduce.fs import (
     make_csv_splits,
 )
 from repro.mapreduce.job import (
+    BatchMapper,
     Combiner,
     Context,
     HashPartitioner,
@@ -72,9 +74,11 @@ from repro.mapreduce.runtime import (
     Shuffle,
     ShuffleIntegrityError,
 )
-from repro.mapreduce.types import InputSplit, JobConf, split_records
+from repro.mapreduce.types import InputSplit, JobConf, split_block, split_records
 
 __all__ = [
+    "BatchMapper",
+    "CacheHandle",
     "calibrate_from_events",
     "chain_fingerprint",
     "ChaosError",
@@ -117,5 +121,6 @@ __all__ = [
     "TaskRunner",
     "TaskTimeoutError",
     "ThreadExecutor",
+    "split_block",
     "split_records",
 ]

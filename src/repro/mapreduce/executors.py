@@ -31,6 +31,7 @@ inject deterministic faults without the runner knowing chaos exists.
 from __future__ import annotations
 
 import os
+import pickle
 import statistics
 import time
 from concurrent.futures import (
@@ -43,6 +44,7 @@ from concurrent.futures import (
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+from repro.mapreduce.cache import DistributedCache
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.events import EventKind, EventLog
 
@@ -212,13 +214,150 @@ class ThreadExecutor(_PoolExecutor):
         return ThreadPoolExecutor(max_workers=self.max_workers)
 
 
+# -- process-executor data plane ----------------------------------------
+#
+# Two costs dominate process-pool dispatch on cache-heavy jobs:
+#
+# 1. the distributed cache (RSSC tables, candidate sets, GMM params)
+#    used to be re-pickled into *every* task's arguments;
+# 2. ndarray split payloads were serialised inline into the pickle
+#    stream.
+#
+# The broadcast below ships each cache once per worker (pool
+# initializer, keyed by the cache's content fingerprint) while tasks
+# carry only a :class:`CacheHandle`; argument packing uses pickle
+# protocol 5 so ndarray buffers travel out-of-band instead of being
+# copied through the pickle stream.
+
+#: Per-process registry of broadcast caches, keyed by content
+#: fingerprint.  Workers are seeded by the pool initializer; the parent
+#: process registers at broadcast time so in-process attempts (the
+#: single-task shortcut, retries) resolve handles too.
+_WORKER_CACHES: dict[str, DistributedCache] = {}
+
+#: Jobs run sequentially and carry one cache each, so a handful of live
+#: broadcasts is ample; the cap only bounds parent-side memory.
+_MAX_BROADCASTS = 8
+
+
+def _install_broadcasts(payload: dict[str, DistributedCache]) -> None:
+    """Pool-worker initializer: install broadcast caches once per worker."""
+    _WORKER_CACHES.update(payload)
+
+
+class CacheHandle(DistributedCache):
+    """A fingerprint-keyed reference to a broadcast distributed cache.
+
+    Pickles to just the fingerprint, so a task's arguments carry O(1)
+    bytes of cache no matter how large the RSSC tables are; lookups
+    resolve lazily against the registry the worker's pool initializer
+    populated.
+    """
+
+    def __init__(self, fingerprint: str) -> None:
+        self.cache_fingerprint = fingerprint
+
+    @property
+    def _entries(self):  # type: ignore[override]
+        try:
+            resolved = _WORKER_CACHES[self.cache_fingerprint]
+        except KeyError:
+            raise RuntimeError(
+                f"broadcast cache {self.cache_fingerprint!r} is not "
+                "installed in this process; tasks carrying a CacheHandle "
+                "must run on the pool of the executor that broadcast it"
+            ) from None
+        return resolved._entries
+
+    def fingerprint(self) -> str:
+        return self.cache_fingerprint
+
+    def __reduce__(self):
+        return (CacheHandle, (self.cache_fingerprint,))
+
+    def __repr__(self) -> str:
+        return f"CacheHandle({self.cache_fingerprint!r})"
+
+
+def _pack_args(args: tuple) -> tuple[bytes, list[bytes]]:
+    """Pickle-5 out-of-band packing of one task's arguments.
+
+    Contiguous ndarray buffers (the split payloads) leave the pickle
+    stream via ``buffer_callback`` instead of being copied into it.
+    """
+    buffers: list[pickle.PickleBuffer] = []
+    data = pickle.dumps(args, protocol=5, buffer_callback=buffers.append)
+    return data, [buffer.raw().tobytes() for buffer in buffers]
+
+
+def _run_packed(fn: Callable[..., Any], data: bytes, buffers: list[bytes]):
+    """Worker-side companion of :func:`_pack_args`."""
+    return fn(*pickle.loads(data, buffers=buffers))
+
+
+class _PackingPool:
+    """Wraps a process pool so submitted arguments go through
+    :func:`_pack_args`; futures and shutdown delegate unchanged."""
+
+    def __init__(self, pool: ProcessPoolExecutor) -> None:
+        self._pool = pool
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> Future:
+        data, buffers = _pack_args(args)
+        return self._pool.submit(_run_packed, fn, data, buffers)
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        self._pool.shutdown(wait=wait, cancel_futures=cancel_futures)
+
+    def __enter__(self) -> "_PackingPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        self.shutdown(wait=True)
+        return False
+
+
 class ProcessExecutor(_PoolExecutor):
-    """Process-pool backend; tasks and their data must be picklable."""
+    """Process-pool backend; tasks and their data must be picklable.
+
+    Job caches registered via :meth:`broadcast` are shipped once per
+    worker through the pool initializer (keyed by content fingerprint)
+    rather than once per task, and task arguments are packed with
+    pickle protocol 5 so ndarray split payloads travel out-of-band.
+    """
 
     name = "process"
 
+    def __init__(self, max_workers: int | None = None) -> None:
+        super().__init__(max_workers)
+        self._broadcasts: dict[str, DistributedCache] = {}
+
+    def broadcast(self, cache: DistributedCache) -> CacheHandle:
+        """Register ``cache`` for per-worker shipment.
+
+        Returns the :class:`CacheHandle` tasks should carry in its
+        place.  Idempotent per content fingerprint: re-broadcasting an
+        equal cache reuses the existing registration.
+        """
+        fingerprint = cache.fingerprint()
+        self._broadcasts[fingerprint] = cache
+        _WORKER_CACHES[fingerprint] = cache
+        while len(self._broadcasts) > _MAX_BROADCASTS:
+            stale = next(iter(self._broadcasts))
+            del self._broadcasts[stale]
+            _WORKER_CACHES.pop(stale, None)
+        return CacheHandle(fingerprint)
+
     def _make_pool(self):
-        return ProcessPoolExecutor(max_workers=self.max_workers)
+        if self._broadcasts:
+            pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                initializer=_install_broadcasts,
+                initargs=(dict(self._broadcasts),),
+            )
+        else:
+            pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return _PackingPool(pool)
 
 
 EXECUTORS: dict[str, type[Executor]] = {

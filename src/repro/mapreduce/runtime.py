@@ -29,12 +29,13 @@ included) and every attempt is visible in the runtime's event stream.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Sequence
 
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.events import Event, EventKind, EventLog
 from repro.mapreduce.executors import (
+    CacheHandle,
     Executor,
     TaskFailedError,
     TaskRunner,
@@ -42,8 +43,14 @@ from repro.mapreduce.executors import (
     resolve_executor,
 )
 from repro.mapreduce.faults import ChaosExecutor, FaultPlan
-from repro.mapreduce.job import Context, Job, Partitioner, group_sorted_pairs
-from repro.mapreduce.types import InputSplit, JobConf
+from repro.mapreduce.job import (
+    BatchMapper,
+    Context,
+    Job,
+    Partitioner,
+    group_sorted_pairs,
+)
+from repro.mapreduce.types import InputSplit, JobConf, split_block
 
 #: Backwards-compatible alias; the canonical name lives on ``Counters``.
 TASK_RETRIES = Counters.TASK_RETRIES
@@ -179,9 +186,15 @@ def _run_map_task(
     mapper = job.mapper_factory()
     mapper.setup(ctx)
     n_records = 0
-    for key, value in split:
-        mapper.map(key, value, ctx)
-        n_records += 1
+    batch = split_block(split) if isinstance(mapper, BatchMapper) else None
+    if batch is not None:
+        keys, block = batch
+        mapper.map_batch(keys, block, ctx)
+        n_records = len(keys)
+    else:
+        for key, value in split:
+            mapper.map(key, value, ctx)
+            n_records += 1
     mapper.cleanup(ctx)
     pairs = ctx.drain()
     counters.increment(Counters.FRAMEWORK, Counters.MAP_INPUT_RECORDS, n_records)
@@ -276,6 +289,29 @@ def _run_reduce_task(
     return output, counters, time.perf_counter() - started
 
 
+def _resolve_broadcast(job: Job, executor: Executor) -> Job:
+    """Ship the job's distributed cache once per worker, not per task.
+
+    When the (possibly chaos-wrapped) executor supports cache broadcast
+    (the process backend), the job dispatched to tasks is swapped for a
+    copy whose cache is a fingerprint-keyed
+    :class:`~repro.mapreduce.executors.CacheHandle` — task pickles stay
+    O(split), and each pool worker receives the real cache exactly once
+    via its initializer.  Identity for every other backend.
+    """
+    base = executor
+    while isinstance(base, ChaosExecutor):
+        base = base.inner
+    broadcast = getattr(base, "broadcast", None)
+    if (
+        broadcast is None
+        or len(job.cache) == 0
+        or isinstance(job.cache, CacheHandle)
+    ):
+        return job
+    return replace(job, cache=broadcast(job.cache))
+
+
 class MapReduceRuntime:
     """Executes :class:`~repro.mapreduce.job.Job` specifications.
 
@@ -350,6 +386,7 @@ class MapReduceRuntime:
             if conf.executor is not None
             else self.default_executor
         )
+        job = _resolve_broadcast(job, executor)
         runner = TaskRunner(
             executor,
             self.events,

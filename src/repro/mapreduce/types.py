@@ -55,6 +55,44 @@ class _ArrayRecords(Sequence):
         for idx in range(self._start, self._stop):
             yield idx, self._data[idx]
 
+    def as_block(self) -> tuple[np.ndarray, np.ndarray]:
+        """The slice as ``(keys, block)`` with zero per-row overhead."""
+        return (
+            np.arange(self._start, self._stop),
+            self._data[self._start : self._stop],
+        )
+
+
+def split_block(split: "InputSplit") -> tuple[Sequence[Any], np.ndarray] | None:
+    """Extract a whole split as one ``(keys, block)`` batch, if possible.
+
+    Record containers that know their block shape (array slices, CSV
+    byte ranges) expose ``as_block()`` and pay no per-row cost at all;
+    any other record sequence is stacked when every value is a 1-D
+    array of the same length.  Returns ``None`` when the records cannot
+    form one 2-D block (the runtime then falls back to per-record
+    ``map()`` calls).
+    """
+    records = split.records
+    as_block = getattr(records, "as_block", None)
+    if as_block is not None:
+        return as_block()
+    keys: list[Any] = []
+    values: list[Any] = []
+    for key, value in records:
+        keys.append(key)
+        values.append(value)
+    if not values:
+        return None
+    first = values[0]
+    if not isinstance(first, np.ndarray) or first.ndim != 1:
+        return None
+    if any(
+        not isinstance(v, np.ndarray) or v.shape != first.shape for v in values
+    ):
+        return None
+    return keys, np.stack(values)
+
 
 def split_records(
     data: np.ndarray | Sequence[tuple[Any, Any]],

@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.binning import Histogram, bin_index
 from repro.core.types import Interval, Signature
-from repro.mapreduce import Context, DistributedCache, Job, Mapper, Reducer
+from repro.mapreduce import BatchMapper, Context, DistributedCache, Job, Reducer
 from repro.mapreduce.chain import JobChain
 from repro.mapreduce.types import InputSplit
 from repro.mr.aggregate import sum_partials
@@ -62,23 +62,27 @@ class ExclusiveSupportMembership(MembershipModel):
         return labels.astype(np.int64)
 
 
-class _BufferedMapper(Mapper):
+class _BufferedMapper(BatchMapper):
     """Shared buffering base: caches the split, exposes labels in cleanup."""
 
     def setup(self, context: Context) -> None:
         self._model: MembershipModel = context.cache["membership"]
         self._keys: list[Any] = []
-        self._rows: list[np.ndarray] = []
+        self._blocks: list[np.ndarray] = []
 
-    def map(self, key: Any, value: np.ndarray, context: Context) -> None:
-        self._keys.append(key)
-        self._rows.append(value)
+    def map_batch(self, keys: Any, block: np.ndarray, context: Context) -> None:
+        self._keys.extend(keys)
+        self._blocks.append(block)
 
     def _block(self) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
-        if not self._rows:
+        if not self._blocks:
             return None
         keys = np.asarray(self._keys, dtype=np.int64)
-        data = np.stack(self._rows)
+        data = (
+            self._blocks[0]
+            if len(self._blocks) == 1
+            else np.concatenate(self._blocks)
+        )
         return keys, data, self._model.labels(keys, data)
 
 

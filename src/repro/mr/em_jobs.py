@@ -17,8 +17,10 @@ in the cache; the same two jobs therefore serve the EM initialisation
 iterations (posterior responsibilities) and the MVB moment computation
 (hard inside-ball weights) — exactly the reuse the paper describes.
 
-Mappers buffer their split and compute vectorised in ``cleanup``, the
-same split-caching pattern Section 5.5 prescribes for the MVB mapper.
+Mappers receive their split as one ``(n, d)`` block (the
+:class:`~repro.mapreduce.job.BatchMapper` contract) and compute
+vectorised in ``cleanup`` — the split-caching pattern Section 5.5
+prescribes for the MVB mapper, without a per-record ``map()`` call.
 """
 
 from __future__ import annotations
@@ -30,7 +32,7 @@ import numpy as np
 from repro.core.em import GaussianMixture
 from repro.core.stats import mahalanobis_squared
 from repro.core.types import Signature
-from repro.mapreduce import Context, DistributedCache, Job, Mapper, Reducer
+from repro.mapreduce import BatchMapper, Context, DistributedCache, Job, Reducer
 from repro.mapreduce.chain import JobChain
 from repro.mapreduce.types import InputSplit
 from repro.mr.aggregate import sum_partials
@@ -152,21 +154,36 @@ _COV_KEY = "cov_sums"
 _LL_KEY = "log_likelihood"
 
 
-class MomentSumsMapper(Mapper):
+class _SplitBlockMapper(BatchMapper):
+    """Shared base: buffers the split as whole blocks, exposes it in
+    cleanup as one ``(n, d)`` array (``None`` for an empty split)."""
+
+    def setup(self, context: Context) -> None:
+        self._blocks: list[np.ndarray] = []
+
+    def map_batch(self, keys: Any, block: np.ndarray, context: Context) -> None:
+        self._blocks.append(block)
+
+    def _split_data(self) -> np.ndarray | None:
+        if not self._blocks:
+            return None
+        if len(self._blocks) == 1:
+            return self._blocks[0]
+        return np.concatenate(self._blocks)
+
+
+class MomentSumsMapper(_SplitBlockMapper):
     """Accumulates l_C, w_C and w_C2 for its split."""
 
     def setup(self, context: Context) -> None:
+        super().setup(context)
         self._model: WeightModel = context.cache["weight_model"]
         self._attributes: tuple[int, ...] = context.cache["attributes"]
-        self._rows: list[np.ndarray] = []
-
-    def map(self, key: Any, value: np.ndarray, context: Context) -> None:
-        self._rows.append(value)
 
     def cleanup(self, context: Context) -> None:
-        if not self._rows:
+        data = self._split_data()
+        if data is None:
             return
-        data = np.stack(self._rows)
         weights = self._model.weights(data)
         sub = data[:, list(self._attributes)]
         linear = weights.T @ sub
@@ -188,22 +205,19 @@ class MomentSumsReducer(Reducer):
         context.emit(key, (linear, weight_sum, weight_sq))
 
 
-class CovarianceSumsMapper(Mapper):
+class CovarianceSumsMapper(_SplitBlockMapper):
     """Accumulates sum_i w_Ci (x_i - mu_C)(x_i - mu_C)^T per cluster."""
 
     def setup(self, context: Context) -> None:
+        super().setup(context)
         self._model: WeightModel = context.cache["weight_model"]
         self._attributes: tuple[int, ...] = context.cache["attributes"]
         self._means: np.ndarray = context.cache["means"]
-        self._rows: list[np.ndarray] = []
-
-    def map(self, key: Any, value: np.ndarray, context: Context) -> None:
-        self._rows.append(value)
 
     def cleanup(self, context: Context) -> None:
-        if not self._rows:
+        data = self._split_data()
+        if data is None:
             return
-        data = np.stack(self._rows)
         weights = self._model.weights(data)
         sub = data[:, list(self._attributes)]
         k = weights.shape[1]

@@ -12,7 +12,7 @@ from typing import Any
 import numpy as np
 
 from repro.core.binning import Histogram, bin_index
-from repro.mapreduce import Context, DistributedCache, Job, Mapper, Reducer
+from repro.mapreduce import BatchMapper, Context, DistributedCache, Job, Reducer
 from repro.mapreduce.chain import JobChain
 from repro.mapreduce.types import InputSplit
 from repro.mr.aggregate import sum_partials
@@ -20,18 +20,27 @@ from repro.mr.aggregate import sum_partials
 _KEY = "histogram"
 
 
-class HistogramMapper(Mapper):
-    """Accumulates one (d x m) partial histogram per split."""
+class HistogramMapper(BatchMapper):
+    """Accumulates one (d x m) partial histogram per split.
+
+    Binning runs over the whole ``(n, d)`` block at once — one Eq. 8
+    evaluation and one per-attribute ``bincount``, instead of one
+    ``map()`` call per point.
+    """
 
     def setup(self, context: Context) -> None:
         self._num_bins = int(context.cache["num_bins"])
         self._counts: np.ndarray | None = None
 
-    def map(self, key: Any, value: np.ndarray, context: Context) -> None:
+    def map_batch(self, keys: Any, block: np.ndarray, context: Context) -> None:
+        d = block.shape[1]
         if self._counts is None:
-            self._counts = np.zeros((len(value), self._num_bins), dtype=np.int64)
-        bins = bin_index(value, self._num_bins)
-        self._counts[np.arange(len(value)), bins] += 1
+            self._counts = np.zeros((d, self._num_bins), dtype=np.int64)
+        bins = bin_index(block, self._num_bins)
+        for attribute in range(d):
+            self._counts[attribute] += np.bincount(
+                bins[:, attribute], minlength=self._num_bins
+            )
 
     def cleanup(self, context: Context) -> None:
         if self._counts is not None:

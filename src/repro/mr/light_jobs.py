@@ -16,25 +16,29 @@ from typing import Any
 import numpy as np
 
 from repro.core.types import Signature
-from repro.mapreduce import Context, DistributedCache, Job, Mapper
+from repro.mapreduce import BatchMapper, Context, DistributedCache, Job
 from repro.mapreduce.chain import JobChain
 from repro.mapreduce.types import InputSplit
 
 
-class LightMembershipMapper(Mapper):
+class LightMembershipMapper(BatchMapper):
     def setup(self, context: Context) -> None:
         self._signatures: list[Signature] = context.cache["signatures"]
         self._keys: list[Any] = []
-        self._rows: list[np.ndarray] = []
+        self._blocks: list[np.ndarray] = []
 
-    def map(self, key: Any, value: np.ndarray, context: Context) -> None:
-        self._keys.append(key)
-        self._rows.append(value)
+    def map_batch(self, keys: Any, block: np.ndarray, context: Context) -> None:
+        self._keys.extend(keys)
+        self._blocks.append(block)
 
     def cleanup(self, context: Context) -> None:
-        if not self._rows:
+        if not self._blocks:
             return
-        data = np.stack(self._rows)
+        data = (
+            self._blocks[0]
+            if len(self._blocks) == 1
+            else np.concatenate(self._blocks)
+        )
         masks = np.stack(
             [sig.support_mask(data) for sig in self._signatures], axis=1
         )

@@ -15,8 +15,23 @@ with one binary search and one bitwise AND per *relevant attribute*:
 Cells are alternating boundary singletons and open intervals, so that
 closed-interval containment (Definition 1) is reproduced *exactly*:
 a property test checks RSSC against brute-force counting bit-for-bit.
-Masks are arbitrary-precision Python ints, so any number of candidate
-signatures is supported.
+
+Two counting paths share the cell construction:
+
+- the scalar path (:meth:`RSSC.add_point`) walks one point at a time
+  with arbitrary-precision Python ``int`` masks — it is the oracle the
+  property tests compare against;
+- the batch path (:meth:`RSSC.add_points`) processes a whole split at
+  once: per relevant attribute one ``np.searchsorted`` over the column,
+  cell masks stored as packed ``uint64`` bit-planes of shape
+  ``(num_cells, ceil(|Ŝ|/64))``, masks ANDed column-wise across
+  attributes and popcounted into the count vector.  Both paths are
+  bit-for-bit identical (a property test asserts it); the batch path is
+  what the support job's mapper runs on its hot loop.
+
+Values marginally outside [0, 1] (float drift after normalization) are
+clamped to the boundary cell in both paths, so a ``1.0 + 1e-12`` never
+indexes past the last cell.
 """
 
 from __future__ import annotations
@@ -27,6 +42,21 @@ import numpy as np
 
 from repro.core.types import Signature
 
+_WORD_BITS = 64
+_WORD_MAX = (1 << _WORD_BITS) - 1
+#: Explicit little-endian words: the popcount path views them as uint8
+#: bytes, and byte order must match bit position regardless of platform.
+_WORD_DTYPE = np.dtype("<u8")
+
+
+def _pack_mask(mask: int, num_words: int) -> np.ndarray:
+    """Split an arbitrary-precision bitmask into little-endian uint64
+    words (bit ``j`` of the mask lands in word ``j // 64``)."""
+    words = np.empty(num_words, dtype=_WORD_DTYPE)
+    for w in range(num_words):
+        words[w] = (mask >> (_WORD_BITS * w)) & _WORD_MAX
+    return words
+
 
 @dataclass(frozen=True)
 class _AttributeBinning:
@@ -35,16 +65,27 @@ class _AttributeBinning:
     attribute: int
     boundaries: np.ndarray  # sorted unique bounds, starts 0.0 ends 1.0
     cell_masks: tuple[int, ...]  # length 2 * len(boundaries) - 1
+    packed_masks: np.ndarray  # (num_cells, num_words) uint64 bit-planes
 
     def cell_of(self, value: float) -> int:
         """Cell index of a value in [0, 1]: singleton cells sit at even
         indices ``2*i`` (value == boundaries[i]), open cells at odd
-        indices ``2*i - 1`` (boundaries[i-1] < value < boundaries[i])."""
+        indices ``2*i - 1`` (boundaries[i-1] < value < boundaries[i]).
+        Values drifting marginally outside [0, 1] clamp to the boundary
+        cells (searchsorted would otherwise index past the cell table)."""
+        value = min(max(float(value), 0.0), 1.0)
         left = int(np.searchsorted(self.boundaries, value, side="left"))
         right = int(np.searchsorted(self.boundaries, value, side="right"))
         if left != right:
             return 2 * left
         return 2 * left - 1
+
+    def cells_of(self, values: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`cell_of` over one attribute column."""
+        values = np.clip(values, 0.0, 1.0)
+        left = np.searchsorted(self.boundaries, values, side="left")
+        right = np.searchsorted(self.boundaries, values, side="right")
+        return np.where(left != right, 2 * left, 2 * left - 1)
 
     def mask_of(self, value: float) -> int:
         return self.cell_masks[self.cell_of(value)]
@@ -56,7 +97,9 @@ class RSSC:
     def __init__(self, signatures: list[Signature]) -> None:
         self.signatures = list(signatures)
         self._full_mask = (1 << len(self.signatures)) - 1
+        self._num_words = max(1, -(-len(self.signatures) // _WORD_BITS))
         self._binnings = self._build_binnings()
+        self._full_words = _pack_mask(self._full_mask, self._num_words)
 
     # -- construction ---------------------------------------------------
 
@@ -107,14 +150,18 @@ class RSSC:
             toggle_off[last + 1] |= bit
         masks: list[int] = []
         active = 0
+        packed = np.empty((num_cells, self._num_words), dtype=_WORD_DTYPE)
         for cell in range(num_cells):
             active |= toggle_on[cell]
             active &= ~toggle_off[cell]
-            masks.append(self._full_mask & ~(participating & ~active))
+            mask = self._full_mask & ~(participating & ~active)
+            masks.append(mask)
+            packed[cell] = _pack_mask(mask, self._num_words)
         return _AttributeBinning(
             attribute=attribute,
             boundaries=boundaries,
             cell_masks=tuple(masks),
+            packed_masks=packed,
         )
 
     # -- queries ---------------------------------------------------------
@@ -145,9 +192,47 @@ class RSSC:
             counts[low.bit_length() - 1] += 1
             bits ^= low
 
+    def membership_words(self, block: np.ndarray) -> np.ndarray:
+        """Per-point membership bit vectors of a block, packed as
+        ``(n, ceil(|Ŝ|/64))`` uint64 words — the batch form of
+        :meth:`membership_bits`."""
+        block = np.atleast_2d(np.asarray(block, dtype=float))
+        words = np.tile(self._full_words, (len(block), 1))
+        for binning in self._binnings:
+            cells = binning.cells_of(block[:, binning.attribute])
+            words &= binning.packed_masks[cells]
+            if not words.any():
+                break
+        return words
+
+    def add_points(
+        self,
+        block: np.ndarray,
+        counts: np.ndarray,
+        chunk_rows: int = 65536,
+    ) -> None:
+        """Batch :meth:`add_point` over a whole ``(n, d)`` block.
+
+        One ``searchsorted`` per relevant attribute over the whole
+        column, one packed AND per attribute, one popcount into the
+        count vector — bit-for-bit identical to the scalar path.
+        ``chunk_rows`` bounds the transient unpacked-bit matrix to
+        ``chunk_rows * num_signatures`` bytes.
+        """
+        block = np.atleast_2d(np.asarray(block, dtype=float))
+        if len(block) == 0 or self.num_signatures == 0:
+            return
+        for start in range(0, len(block), chunk_rows):
+            words = self.membership_words(block[start : start + chunk_rows])
+            # Little-endian uint64 -> uint8 view puts bit j of a point's
+            # mask at unpacked column j, i.e. columns map to signatures.
+            bits = np.unpackbits(
+                words.view(np.uint8), axis=1, bitorder="little"
+            )
+            counts += bits[:, : self.num_signatures].sum(axis=0, dtype=np.int64)
+
     def count_supports(self, data: np.ndarray) -> dict[Signature, int]:
         """Supports of all candidate signatures over a data block."""
         counts = np.zeros(self.num_signatures, dtype=np.int64)
-        for point in data:
-            self.add_point(point, counts)
+        self.add_points(np.atleast_2d(data), counts)
         return {sig: int(c) for sig, c in zip(self.signatures, counts)}

@@ -15,7 +15,7 @@ from typing import Any
 import numpy as np
 
 from repro.core.types import Signature
-from repro.mapreduce import Context, DistributedCache, Job, Mapper, Reducer
+from repro.mapreduce import BatchMapper, Context, DistributedCache, Job, Reducer
 from repro.mapreduce.chain import JobChain
 from repro.mapreduce.types import InputSplit
 from repro.mr.rssc import RSSC
@@ -24,15 +24,15 @@ from repro.mr.aggregate import sum_partials
 _KEY = "supports"
 
 
-class SupportCountMapper(Mapper):
-    """RSSC-based per-split support counting."""
+class SupportCountMapper(BatchMapper):
+    """RSSC-based per-split support counting (vectorised batch path)."""
 
     def setup(self, context: Context) -> None:
         self._rssc: RSSC = context.cache["rssc"]
         self._counts = np.zeros(self._rssc.num_signatures, dtype=np.int64)
 
-    def map(self, key: Any, value: np.ndarray, context: Context) -> None:
-        self._rssc.add_point(value, self._counts)
+    def map_batch(self, keys: Any, block: np.ndarray, context: Context) -> None:
+        self._rssc.add_points(block, self._counts)
 
     def cleanup(self, context: Context) -> None:
         context.emit(_KEY, self._counts)

@@ -1,0 +1,216 @@
+"""Tests for the process-executor data plane: stable cache
+fingerprints, per-worker broadcast via :class:`CacheHandle`, and
+pickle-5 out-of-band argument packing.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+import numpy as np
+import pytest
+
+from repro.core.types import Interval, Signature
+from repro.mapreduce import (
+    CacheHandle,
+    Context,
+    DistributedCache,
+    Job,
+    JobConf,
+    Mapper,
+    MapReduceRuntime,
+    ProcessExecutor,
+    Reducer,
+    SerialExecutor,
+)
+from repro.mapreduce.executors import (
+    _WORKER_CACHES,
+    _install_broadcasts,
+    _pack_args,
+    _run_packed,
+)
+from repro.mapreduce.types import split_records
+
+
+class TestFingerprintStability:
+    def test_equal_entries_equal_fingerprint(self):
+        a = DistributedCache({"x": 1, "y": [1, 2, 3]})
+        b = DistributedCache({"y": [1, 2, 3], "x": 1})  # other insertion order
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_entries_different_fingerprint(self):
+        a = DistributedCache({"x": 1})
+        assert a.fingerprint() != DistributedCache({"x": 2}).fingerprint()
+        assert a.fingerprint() != DistributedCache({"z": 1}).fingerprint()
+
+    def test_ndarray_entries(self):
+        data = np.arange(12.0).reshape(3, 4)
+        a = DistributedCache({"m": data})
+        assert a.fingerprint() == DistributedCache({"m": data.copy()}).fingerprint()
+        assert (
+            a.fingerprint()
+            != DistributedCache({"m": data + 1e-9}).fingerprint()
+        )
+        # Same bytes, different shape must not collide.
+        assert (
+            a.fingerprint()
+            != DistributedCache({"m": data.reshape(4, 3)}).fingerprint()
+        )
+
+    def test_set_entries_order_independent(self):
+        # Native set iteration order varies across processes under hash
+        # randomisation; the fingerprint must not.
+        a = DistributedCache({"s": {"alpha", "beta", "gamma"}})
+        b = DistributedCache({"s": {"gamma", "alpha", "beta"}})
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_nested_dict_entries(self):
+        a = DistributedCache({"cfg": {"lo": 0.1, "hi": 0.9}})
+        b = DistributedCache({"cfg": {"hi": 0.9, "lo": 0.1}})
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_value_dataclass_entries(self):
+        sigs = [Signature([Interval(0, 0.1, 0.4)])]
+        a = DistributedCache({"signatures": sigs})
+        assert (
+            a.fingerprint()
+            == DistributedCache({"signatures": list(sigs)}).fingerprint()
+        )
+
+    def test_pickle_roundtrip_preserves_fingerprint(self):
+        cache = DistributedCache(
+            {"b": np.ones(5), "a": {"k": (1, 2)}, "c": {3, 1, 2}}
+        )
+        clone = pickle.loads(pickle.dumps(cache))
+        assert clone.fingerprint() == cache.fingerprint()
+        assert sorted(clone) == sorted(cache)
+        np.testing.assert_array_equal(clone["b"], cache["b"])
+        assert clone["a"] == cache["a"] and clone["c"] == cache["c"]
+
+
+class TestCacheHandle:
+    def test_resolves_against_registry(self):
+        cache = DistributedCache({"k": 41})
+        _WORKER_CACHES[cache.fingerprint()] = cache
+        try:
+            handle = CacheHandle(cache.fingerprint())
+            assert handle["k"] == 41
+            assert len(handle) == 1
+            assert list(handle) == ["k"]
+            assert handle.fingerprint() == cache.fingerprint()
+        finally:
+            del _WORKER_CACHES[cache.fingerprint()]
+
+    def test_miss_raises_helpful_error(self):
+        handle = CacheHandle("deadbeefdeadbeef")
+        with pytest.raises(RuntimeError, match="not\\s+installed"):
+            handle["anything"]
+
+    def test_pickles_to_constant_size(self):
+        big = DistributedCache({"blob": np.zeros((500, 500))})
+        executor = ProcessExecutor(max_workers=1)
+        handle = executor.broadcast(big)
+        handle_bytes = pickle.dumps(handle, protocol=5)
+        cache_bytes = pickle.dumps(big, protocol=5)
+        assert len(handle_bytes) < 200
+        assert len(cache_bytes) > 1_000_000
+        clone = pickle.loads(handle_bytes)
+        assert isinstance(clone, CacheHandle)
+        assert clone.fingerprint() == big.fingerprint()
+
+    def test_broadcast_is_idempotent(self):
+        executor = ProcessExecutor(max_workers=1)
+        cache = DistributedCache({"x": np.arange(4)})
+        first = executor.broadcast(cache)
+        second = executor.broadcast(DistributedCache({"x": np.arange(4)}))
+        assert first.fingerprint() == second.fingerprint()
+        assert len(executor._broadcasts) == 1
+
+    def test_install_broadcasts_initializer(self):
+        cache = DistributedCache({"seed": 7})
+        try:
+            _install_broadcasts({cache.fingerprint(): cache})
+            assert CacheHandle(cache.fingerprint())["seed"] == 7
+        finally:
+            del _WORKER_CACHES[cache.fingerprint()]
+
+
+class TestArgumentPacking:
+    def test_roundtrip_plain_args(self):
+        data, buffers = _pack_args((1, "two", [3.0]))
+        assert _run_packed(lambda *a: a, data, buffers) == (1, "two", [3.0])
+
+    def test_ndarrays_travel_out_of_band(self):
+        block = np.arange(10_000, dtype=np.float64).reshape(100, 100)
+        data, buffers = _pack_args((block, "meta"))
+        # The array's 80kB payload left the pickle stream...
+        assert len(data) < 2_000
+        assert sum(len(b) for b in buffers) >= block.nbytes
+        # ...and reassembles bit-identically on the worker side.
+        restored, meta = _run_packed(lambda *a: a, data, buffers)
+        np.testing.assert_array_equal(restored, block)
+        assert meta == "meta"
+
+
+# -- end-to-end: broadcast through a real process-pool job ---------------
+
+
+class CacheProbeMapper(Mapper):
+    """Emits, per record, the value looked up in the distributed cache
+    and the concrete cache type the task saw."""
+
+    def setup(self, context: Context) -> None:
+        self._offsets: np.ndarray = context.cache["offsets"]
+        self._cache_type = type(context.cache).__name__
+
+    def map(self, key: Any, value: int, context: Context) -> None:
+        context.emit(key, int(self._offsets[value]))
+        context.emit(("cache_type", key), self._cache_type)
+
+
+class FirstReducer(Reducer):
+    def reduce(self, key: Any, values: list[Any], context: Context) -> None:
+        context.emit(key, values[0])
+
+
+def _probe_job() -> tuple[Job, list]:
+    job = Job(
+        mapper_factory=CacheProbeMapper,
+        reducer_factory=FirstReducer,
+        cache=DistributedCache({"offsets": np.arange(8) * 10}),
+    )
+    splits = split_records([(i, i) for i in range(8)], 4)
+    return job, splits
+
+
+class TestBroadcastEndToEnd:
+    def test_process_tasks_see_a_handle_and_correct_values(self):
+        job, splits = _probe_job()
+        runtime = MapReduceRuntime(executor=ProcessExecutor(2))
+        result = runtime.run(job, splits, JobConf(num_reducers=1))
+        output = dict(result.output)
+        for i in range(8):
+            assert output[i] == i * 10
+        # Every map task resolved the cache through the broadcast handle.
+        assert {
+            v for k, v in output.items()
+            if isinstance(k, tuple) and k[0] == "cache_type"
+        } == {"CacheHandle"}
+
+    def test_serial_matches_process_output(self):
+        job, splits = _probe_job()
+        serial = MapReduceRuntime(executor=SerialExecutor()).run(
+            job, splits, JobConf(num_reducers=1)
+        )
+        process = MapReduceRuntime(executor=ProcessExecutor(2)).run(
+            job, splits, JobConf(num_reducers=1)
+        )
+        # Payloads match except the probe rows naming the cache type.
+        def payload(result):
+            return [
+                (k, v) for k, v in result.output
+                if not (isinstance(k, tuple) and k[0] == "cache_type")
+            ]
+
+        assert payload(serial) == payload(process)

@@ -12,8 +12,10 @@ from __future__ import annotations
 
 import pickle
 
+import numpy as np
 import pytest
 
+from repro.core.types import Interval, Signature
 from repro.mapreduce import (
     FaultPlan,
     JobChain,
@@ -22,6 +24,7 @@ from repro.mapreduce import (
 )
 from repro.mapreduce.events import EventKind
 from repro.mapreduce.job import Job, Mapper, Reducer
+from repro.mr.support import run_support_job
 
 # One spec exercising every fault kind across both phases.
 CHAOS_SPEC = (
@@ -150,3 +153,99 @@ def test_chaos_runs_actually_injected_faults():
         1 for e in runtime.events.events if e.kind == EventKind.FAULT_INJECTED
     )
     assert injected >= 3
+
+
+# -- vectorized (BatchMapper) chain parity --------------------------------
+#
+# The support-counting job runs the whole vectorized data plane: the
+# runtime feeds ndarray split blocks to a BatchMapper, the RSSC counts
+# supports through the packed-uint64 batch path, and on the process
+# executor the cache ships via per-worker broadcast.  All of that must
+# stay byte-invisible: under chaos, every backend must reproduce the
+# clean serial output exactly.
+
+
+def _support_workload():
+    rng = np.random.default_rng(99)
+    data = rng.uniform(size=(150, 5))
+    signatures = []
+    for j in range(12):
+        attribute = j % 5
+        lo = float(rng.uniform(0, 0.7))
+        signatures.append(
+            Signature([Interval(attribute, lo, lo + float(rng.uniform(0.1, 0.3)))])
+        )
+    # Exact boundary hits keep the closed-interval edge cases in play.
+    data[0, 0] = signatures[0].intervals[0].lower
+    data[1, 0] = signatures[0].intervals[0].upper
+    return data, signatures
+
+
+def run_vectorized_chain(
+    executor: str | None,
+    fault_spec: str | None,
+    seed: int = 0,
+    max_workers: int | None = None,
+):
+    """Run the RSSC support job end to end; returns (pickled output, runtime)."""
+    plan = FaultPlan.parse(fault_spec, seed=seed) if fault_spec else None
+    runtime = MapReduceRuntime(
+        executor=executor, max_workers=max_workers, fault_plan=plan
+    )
+    chain = JobChain(runtime)
+    data, signatures = _support_workload()
+    supports = run_support_job(
+        chain, split_records(data, NUM_SPLITS), signatures
+    )
+    outputs = pickle.dumps([(repr(sig), count) for sig, count in supports.items()])
+    return outputs, runtime
+
+
+@pytest.fixture(scope="module")
+def clean_vectorized_baseline():
+    outputs, _ = run_vectorized_chain("serial", None)
+    return outputs
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11])
+def test_vectorized_serial_chaos_matches_clean_run(
+    clean_vectorized_baseline, seed
+):
+    outputs, runtime = run_vectorized_chain("serial", CHAOS_SPEC, seed=seed)
+    assert outputs == clean_vectorized_baseline
+    kinds = {e.kind for e in runtime.events.events}
+    assert EventKind.TASK_FAILED not in kinds
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11])
+def test_vectorized_thread_chaos_matches_clean_run(
+    clean_vectorized_baseline, seed
+):
+    outputs, _ = run_vectorized_chain(
+        "thread", CHAOS_SPEC, seed=seed, max_workers=4
+    )
+    assert outputs == clean_vectorized_baseline
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_vectorized_process_chaos_matches_clean_run(
+    clean_vectorized_baseline, seed
+):
+    # The process run also exercises the cache broadcast + pickle-5
+    # packing path; fewer seeds since each chain spawns a pool.
+    outputs, _ = run_vectorized_chain(
+        "process", CHAOS_SPEC, seed=seed, max_workers=2
+    )
+    assert outputs == clean_vectorized_baseline
+
+
+def test_vectorized_counts_match_bruteforce():
+    """Anchor the parity sweep to ground truth, not just to itself."""
+    from repro.core.proving import count_supports
+
+    data, signatures = _support_workload()
+    expected = count_supports(data, signatures)
+    outputs, _ = run_vectorized_chain("serial", None)
+    assert pickle.loads(outputs) == [
+        (repr(sig), expected[sig]) for sig in signatures
+    ]

@@ -5,9 +5,11 @@ from __future__ import annotations
 
 from typing import Any
 
+import numpy as np
 import pytest
 
 from repro.mapreduce import (
+    BatchMapper,
     Combiner,
     Context,
     Counters,
@@ -236,3 +238,84 @@ class TestCacheAndContext:
         result = runtime.run(job, _text_splits(), JobConf(num_reducers=0))
         with pytest.raises(ValueError, match="duplicate"):
             result.as_dict()
+
+
+class _ProbeBatchMapper(BatchMapper):
+    """Records how the runtime fed it: batch calls vs per-row map()."""
+
+    def setup(self, context: Context) -> None:
+        self.batch_sizes: list[int] = []
+        self._total = 0.0
+        self._n = 0
+
+    def map_batch(self, keys: Any, block: np.ndarray, context: Context) -> None:
+        self.batch_sizes.append(len(keys))
+        self._total += float(block.sum())
+        self._n += len(keys)
+
+    def cleanup(self, context: Context) -> None:
+        context.emit("sum", self._total)
+        context.emit("rows_per_call", tuple(self.batch_sizes))
+
+
+class TestBatchMapper:
+    def test_array_splits_feed_whole_blocks(self):
+        data = np.arange(24.0).reshape(8, 3)
+        runtime = MapReduceRuntime()
+        job = Job(mapper_factory=_ProbeBatchMapper)
+        result = runtime.run(
+            job, split_records(data, 2), JobConf(num_reducers=0)
+        )
+        output = dict(
+            (k, [v for kk, v in result.output if kk == k])
+            for k, _ in result.output
+        )
+        assert sum(output["sum"]) == data.sum()
+        # One map_batch call per split, each carrying the full slice.
+        assert output["rows_per_call"] == [(4,), (4,)]
+
+    def test_uniform_ndarray_records_batch_via_stacking(self):
+        records = [(i, np.array([float(i), 1.0])) for i in range(6)]
+        runtime = MapReduceRuntime()
+        job = Job(mapper_factory=_ProbeBatchMapper)
+        result = runtime.run(
+            job, split_records(records, 2), JobConf(num_reducers=0)
+        )
+        sizes = [v for k, v in result.output if k == "rows_per_call"]
+        assert sizes == [(3,), (3,)]
+
+    def test_scalar_records_fall_back_to_per_row_map(self):
+        # Scalar values cannot form a 2-D block: the runtime falls back
+        # to map(), whose BatchMapper default wraps each row as a
+        # one-row batch — same math, per-record granularity.
+        records = [(i, float(i)) for i in range(6)]
+        runtime = MapReduceRuntime()
+        job = Job(mapper_factory=_ProbeBatchMapper)
+        result = runtime.run(
+            job, split_records(records, 2), JobConf(num_reducers=0)
+        )
+        output = [(k, v) for k, v in result.output]
+        sizes = [v for k, v in output if k == "rows_per_call"]
+        assert sizes == [(1, 1, 1), (1, 1, 1)]
+        assert sum(v for k, v in output if k == "sum") == sum(range(6))
+
+    def test_map_fallback_wraps_single_rows(self):
+        # Calling the inherited map() directly must equal a 1-row batch.
+        ctx = Context(DistributedCache(), Counters(), task_id=0)
+        mapper = _ProbeBatchMapper()
+        mapper.setup(ctx)
+        mapper.map(3, np.array([1.0, 2.0]), ctx)
+        mapper.map(4, np.array([3.0, 4.0]), ctx)
+        mapper.cleanup(ctx)
+        assert mapper.batch_sizes == [1, 1]
+        assert dict(ctx.drain())["sum"] == 10.0
+
+    def test_counters_count_rows_not_batches(self):
+        data = np.ones((10, 2))
+        runtime = MapReduceRuntime()
+        job = Job(mapper_factory=_ProbeBatchMapper)
+        result = runtime.run(
+            job, split_records(data, 3), JobConf(num_reducers=0)
+        )
+        snapshot = result.counters.snapshot()
+        assert snapshot["framework"]["map_input_records"] == 10

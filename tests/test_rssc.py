@@ -122,3 +122,134 @@ class TestAddPoint:
     def test_num_signatures(self, rng):
         signatures = _random_signatures(rng, 7, 4)
         assert RSSC(signatures).num_signatures == 7
+
+
+class TestAddPoints:
+    """The batch path must be bit-for-bit identical to the scalar
+    oracle and to brute-force closed-interval counting."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_batch_equals_scalar_and_bruteforce(self, seed):
+        rng = np.random.default_rng(seed)
+        d = int(rng.integers(1, 5))
+        n = int(rng.integers(1, 120))
+        data = rng.uniform(size=(n, d))
+        signatures = _random_signatures(rng, int(rng.integers(1, 12)), d)
+        # Plant exact boundary values (the singleton cells at even
+        # indices of every attribute binning).
+        for sig in signatures[: min(3, len(signatures))]:
+            interval = sig.intervals[0]
+            data[0, interval.attribute] = interval.lower
+            data[-1, interval.attribute] = interval.upper
+        rssc = RSSC(signatures)
+
+        scalar = np.zeros(rssc.num_signatures, dtype=np.int64)
+        for point in data:
+            rssc.add_point(point, scalar)
+        batch = np.zeros(rssc.num_signatures, dtype=np.int64)
+        rssc.add_points(data, batch)
+
+        np.testing.assert_array_equal(batch, scalar)
+        brute = count_supports(data, signatures)
+        for j, sig in enumerate(signatures):
+            assert batch[j] == brute[sig]
+
+    def test_counts_accumulate_across_calls(self, rng):
+        data = rng.uniform(size=(90, 3))
+        signatures = _random_signatures(rng, 6, 3)
+        rssc = RSSC(signatures)
+        counts = np.zeros(len(signatures), dtype=np.int64)
+        rssc.add_points(data[:40], counts)
+        rssc.add_points(data[40:], counts)
+        expected = np.zeros(len(signatures), dtype=np.int64)
+        rssc.add_points(data, expected)
+        np.testing.assert_array_equal(counts, expected)
+
+    def test_chunked_equals_unchunked(self, rng):
+        data = rng.uniform(size=(200, 4))
+        signatures = _random_signatures(rng, 70, 4)  # spills into 2nd word
+        rssc = RSSC(signatures)
+        whole = np.zeros(len(signatures), dtype=np.int64)
+        rssc.add_points(data, whole)
+        chunked = np.zeros(len(signatures), dtype=np.int64)
+        rssc.add_points(data, chunked, chunk_rows=7)
+        np.testing.assert_array_equal(chunked, whole)
+
+    def test_more_than_64_signatures(self, rng):
+        # Multi-word masks: signature j must land in word j//64, bit j%64.
+        data = rng.uniform(size=(150, 5))
+        signatures = _random_signatures(rng, 130, 5)
+        rssc = RSSC(signatures)
+        batch = np.zeros(len(signatures), dtype=np.int64)
+        rssc.add_points(data, batch)
+        brute = count_supports(data, signatures)
+        for j, sig in enumerate(signatures):
+            assert batch[j] == brute[sig]
+
+    def test_empty_block(self, rng):
+        rssc = RSSC(_random_signatures(rng, 4, 2))
+        counts = np.zeros(4, dtype=np.int64)
+        rssc.add_points(np.empty((0, 2)), counts)
+        assert not counts.any()
+
+    def test_empty_candidate_set(self):
+        rssc = RSSC([])
+        counts = np.zeros(0, dtype=np.int64)
+        rssc.add_points(np.zeros((3, 2)), counts)  # must not raise
+
+    def test_count_supports_routes_through_batch(self, rng):
+        data = rng.uniform(size=(80, 4))
+        signatures = _random_signatures(rng, 9, 4)
+        assert RSSC(signatures).count_supports(data) == count_supports(
+            data, signatures
+        )
+
+
+class TestClampRegression:
+    """Values a hair outside [0, 1] (normalization float drift) must be
+    treated as the nearest boundary, not crash or wrap around.
+
+    Pre-fix, ``1.0 + 1e-12`` binned past the last cell (IndexError) and
+    ``-1e-12`` hit cell -1 (Python wrap-around: silently wrong counts).
+    """
+
+    def _rssc(self):
+        return RSSC(
+            [
+                Signature([Interval(0, 0.0, 0.4)]),
+                Signature([Interval(0, 0.6, 1.0)]),
+            ]
+        )
+
+    def test_scalar_above_one(self):
+        rssc = self._rssc()
+        counts = np.zeros(2, dtype=np.int64)
+        rssc.add_point(np.array([1.0 + 1e-12]), counts)
+        np.testing.assert_array_equal(counts, [0, 1])
+
+    def test_scalar_below_zero(self):
+        rssc = self._rssc()
+        counts = np.zeros(2, dtype=np.int64)
+        rssc.add_point(np.array([-1e-12]), counts)
+        np.testing.assert_array_equal(counts, [1, 0])
+
+    def test_batch_matches_scalar_on_drifted_values(self):
+        rssc = self._rssc()
+        data = np.array(
+            [[1.0 + 1e-12], [-1e-12], [1.0], [0.0], [0.5], [1.5], [-0.5]]
+        )
+        scalar = np.zeros(2, dtype=np.int64)
+        for point in data:
+            rssc.add_point(point, scalar)
+        batch = np.zeros(2, dtype=np.int64)
+        rssc.add_points(data, batch)
+        np.testing.assert_array_equal(batch, scalar)
+        # After clamping: {-1e-12, 0.0, -0.5} -> [0, 0.4] and
+        # {1 + 1e-12, 1.0, 1.5} -> [0.6, 1.0]; 0.5 supports neither.
+        np.testing.assert_array_equal(batch, [3, 3])
+
+    def test_membership_bits_on_drifted_values(self):
+        rssc = self._rssc()
+        assert rssc.membership_bits(np.array([1.0 + 1e-12])) == 0b10
+        assert rssc.membership_bits(np.array([-1e-12])) == 0b01
