@@ -24,6 +24,11 @@ from pathlib import Path
 from typing import Any, Sequence
 
 from repro.mapreduce.counters import Counters
+from repro.mapreduce.costmodel import (
+    ClusterCostModel,
+    PartitionPlan,
+    plan_partitions,
+)
 from repro.mapreduce.events import EventKind
 from repro.mapreduce.fs import CheckpointStore, chain_fingerprint
 from repro.mapreduce.job import Job
@@ -59,6 +64,16 @@ class JobChain:
         store is *restored* — its persisted output becomes the step
         result, a ``job_skipped`` event is emitted, and no tasks run.
         When false the store is still written, but never read.
+    auto_tune:
+        When true, a step run with ``num_reducers=None`` picks its
+        partition count from a :func:`plan_partitions` plan — the
+        chain's own event history calibrates the cost model and the
+        observed reduce skew/shuffle volume size the choice.  Off by
+        default: tuned partition counts change job shapes (not
+        outputs), so drivers opt in explicitly.
+    cost_model:
+        Base :class:`ClusterCostModel` for auto-tune calibration
+        (defaults to the paper-anchored constants).
     """
 
     def __init__(
@@ -66,6 +81,8 @@ class JobChain:
         runtime: MapReduceRuntime,
         checkpoint: CheckpointStore | str | Path | None = None,
         resume: bool = False,
+        auto_tune: bool = False,
+        cost_model: ClusterCostModel | None = None,
     ) -> None:
         self.runtime = runtime
         self.steps: list[ChainStep] = []
@@ -73,18 +90,47 @@ class JobChain:
             checkpoint = CheckpointStore(checkpoint)
         self.checkpoint = checkpoint
         self.resume = resume
+        self.auto_tune = auto_tune
+        self.cost_model = cost_model
         self._fingerprint = ""
+
+    def plan(self, input_records: int) -> PartitionPlan:
+        """Tuned split/partition counts for a job over ``input_records``.
+
+        Drivers call this *before* building splits (the split count is
+        part of the plan); :meth:`run` applies the reducer count
+        automatically for steps run with ``num_reducers=None`` under
+        ``auto_tune``.
+        """
+        workers = getattr(self.runtime.default_executor, "max_workers", None)
+        return plan_partitions(
+            self.runtime.events,
+            input_records=input_records,
+            num_workers=workers or self.runtime.max_workers or 1,
+            base=self.cost_model,
+        )
 
     def run(
         self,
         name: str,
         job: Job,
         splits: Sequence[InputSplit],
-        num_reducers: int = 1,
+        num_reducers: int | None = 1,
         num_splits: int | None = None,
         **extra: Any,
     ) -> JobResult:
-        """Run ``job`` over ``splits`` and log it as step ``name``."""
+        """Run ``job`` over ``splits`` and log it as step ``name``.
+
+        ``num_reducers=None`` defers the partition count to the chain:
+        the auto-tune plan under ``auto_tune=True``, the default of one
+        reducer otherwise.
+        """
+        if num_reducers is None:
+            num_reducers = (
+                self.plan(sum(len(split) for split in splits)).num_reducers
+                if self.auto_tune
+                else 1
+            )
         conf = JobConf(
             name=name,
             num_splits=num_splits if num_splits is not None else len(splits),

@@ -123,6 +123,99 @@ class ClusterCostModel:
         )
 
 
+@dataclass(frozen=True)
+class PartitionPlan:
+    """A tuned ``(num_splits, num_reducers)`` choice for one job.
+
+    Produced by :func:`plan_partitions` from the *measured* event
+    history of earlier jobs in the same chain: calibrated per-record
+    costs size the tasks, the observed reduce-side skew ratio widens
+    the partition count, and the observed shuffle volume bounds how
+    many reducers are worth paying for.
+    """
+
+    num_splits: int
+    num_reducers: int
+    #: Max/mean ratio of observed reduce task durations (1.0 = no skew).
+    skew_ratio: float
+    #: The calibrated model the plan was derived from.
+    model: ClusterCostModel
+
+
+def plan_partitions(
+    events: Iterable[Event],
+    input_records: int,
+    num_workers: int = 1,
+    base: ClusterCostModel | None = None,
+    target_task_s: float = 0.05,
+    max_reducers: int | None = None,
+) -> PartitionPlan:
+    """Pick split and partition counts from a measured event stream.
+
+    The chain's earlier jobs are the evidence: per-record map/reduce
+    costs come from :func:`calibrate_from_events`, the expected shuffle
+    volume of the *next* job is predicted by the latest finished job
+    (chained P3C+ jobs — EM iterations, refinement passes — repeat the
+    same shape), and reduce-duration skew widens the partition count so
+    one hot partition stops dominating the reduce wall time.
+
+    Sizing rule: enough tasks that each costs about ``target_task_s``
+    at the calibrated per-record rates, clamped to ``[1, 4 x workers]``
+    splits and ``[1, max_reducers or workers]`` reducers — below the
+    floor a task is all dispatch overhead, above the cap extra
+    partitions only queue.  With no event history the defaults degrade
+    to one reducer and worker-count splits.
+    """
+    from repro.mapreduce.counters import Counters
+    from repro.mapreduce.events import EventKind
+
+    if input_records < 0:
+        raise ValueError("input_records must be non-negative")
+    events = list(events)
+    model = calibrate_from_events(events, base=base)
+
+    last_shuffle = 0
+    reduce_durations: list[float] = []
+    for event in events:
+        if event.kind == EventKind.JOB_FINISH and event.counters:
+            last_shuffle = event.counter(
+                Counters.FRAMEWORK, Counters.SHUFFLE_RECORDS
+            )
+        elif (
+            event.kind == EventKind.TASK_FINISH
+            and event.phase == "reduce"
+            and event.duration_s is not None
+        ):
+            reduce_durations.append(event.duration_s)
+
+    skew_ratio = 1.0
+    if reduce_durations:
+        mean = sum(reduce_durations) / len(reduce_durations)
+        if mean > 0:
+            skew_ratio = max(reduce_durations) / mean
+
+    workers = max(1, num_workers)
+    ideal_splits = ceil(
+        input_records * model.map_record_cost_s / target_task_s
+    )
+    num_splits = max(1, min(max(ideal_splits, workers), 4 * workers))
+
+    ideal_reducers = ceil(
+        last_shuffle * model.reduce_record_cost_s / target_task_s
+    )
+    if skew_ratio > 1.5:
+        # Finer partitions smooth a hot key range across reducers.
+        ideal_reducers *= 2
+    cap = max_reducers if max_reducers is not None else workers
+    num_reducers = max(1, min(ideal_reducers, max(1, cap)))
+    return PartitionPlan(
+        num_splits=num_splits,
+        num_reducers=num_reducers,
+        skew_ratio=skew_ratio,
+        model=model,
+    )
+
+
 def calibrate_from_events(
     events: Iterable[Event],
     base: ClusterCostModel | None = None,

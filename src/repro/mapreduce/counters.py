@@ -48,8 +48,14 @@ class Counters:
     MAP_OUTPUT_RECORDS = "map_output_records"
     COMBINE_OUTPUT_RECORDS = "combine_output_records"
     SHUFFLE_RECORDS = "shuffle_records"
+    #: Estimated shuffle payload volume (columnar blocks by ``nbytes``,
+    #: tuple buckets by a per-pair pickled-size estimate).
+    SHUFFLE_BYTES = "shuffle_bytes"
     REDUCE_INPUT_GROUPS = "reduce_input_groups"
     REDUCE_OUTPUT_RECORDS = "reduce_output_records"
+    #: Reduce tasks dispatched before the last map task of their job
+    #: settled (the pipelined scheduler's map/reduce overlap).
+    PIPELINED_REDUCES = "pipelined_reduces"
     TASK_RETRIES = "task_retries"
     FRAMEWORK = "framework"
 

@@ -192,8 +192,10 @@ _COUNTER_LABELS = {
     "map_output_records": "map_out",
     "combine_output_records": "combine_out",
     "shuffle_records": "shuffle",
+    "shuffle_bytes": "shuffle_b",
     "reduce_input_groups": "reduce_groups",
     "reduce_output_records": "reduce_out",
+    "pipelined_reduces": "pipelined",
     "task_retries": "retries",
 }
 

@@ -120,6 +120,101 @@ class Combiner:
         raise NotImplementedError
 
 
+class ArraySumCombiner(Combiner):
+    """Sums fixed-shape ndarray values per key, with a vectorized path.
+
+    The scalar :meth:`combine` below is the semantic oracle: a single
+    value passes through unchanged, multiple values fold left to right
+    into a fresh array (the ``mr/aggregate.sum_partials`` contract —
+    shuffled value objects are never mutated, so retries stay pure).
+    When a map task's emitted pairs are uniform, the runtime bypasses
+    the per-key-group Python loop and calls :func:`fold_uniform_pairs`,
+    which produces bitwise-identical output via one argsort plus a
+    per-group sequential ``np.cumsum`` fold.
+    """
+
+    def combine(self, key: Any, values: list[Any], context: Context) -> None:
+        if len(values) == 1:
+            context.emit(key, values[0])
+            return
+        total = values[0].copy()
+        for value in values[1:]:
+            np.add(total, value, out=total)
+        context.emit(key, total)
+
+
+def fold_uniform_pairs(
+    pairs: list[tuple[Any, Any]],
+) -> list[tuple[Any, Any]] | None:
+    """Vectorized per-key sum of uniform ``(key, ndarray)`` pairs.
+
+    Applies when every key has the same type and maps to a clean numpy
+    scalar/string array element, and every value is an ndarray of one
+    shared shape and dtype.  Keys are ordered with a single argsort and
+    value rows folded per group with ``np.cumsum`` (taking the last
+    row); a cumulative sum must produce every prefix, so it accumulates
+    strictly left to right and each group's fold is bitwise equal to
+    the loop in :meth:`ArraySumCombiner.combine`.  (``np.add.reduceat``
+    and ``np.sum`` are faster but may sum pairwise, which changes float
+    rounding.)  Output order (sorted by key) and
+    the emitted key objects (first occurrence per group) match the
+    scalar path driven by :func:`group_sorted_pairs`.  Returns ``None``
+    when the pairs are not eligible; the caller falls back to the
+    scalar oracle.
+    """
+    if len(pairs) < 2:
+        return None
+    first_key, first_value = pairs[0]
+    key_type = type(first_key)
+    if (
+        not isinstance(first_value, np.ndarray)
+        or first_value.ndim < 1
+        or first_value.dtype.hasobject
+    ):
+        return None
+    for key, value in pairs:
+        if type(key) is not key_type:
+            return None
+        if (
+            not isinstance(value, np.ndarray)
+            or value.shape != first_value.shape
+            or value.dtype != first_value.dtype
+        ):
+            return None
+    try:
+        key_arr = np.asarray([key for key, _ in pairs])
+    except (ValueError, TypeError):
+        return None
+    if key_arr.shape != (len(pairs),) or key_arr.dtype.kind not in "biufSU":
+        return None
+    if key_arr.dtype.kind == "f" and np.isnan(key_arr).any():
+        return None  # NaN breaks ordering/equality; keep the oracle path
+    # kind="stable" matches the Python sort's tie order (first occurrence
+    # leads its group), which fixes which key *object* gets re-emitted.
+    order = np.argsort(key_arr, kind="stable")
+    sorted_keys = key_arr[order]
+    starts = np.flatnonzero(
+        np.concatenate(([True], sorted_keys[1:] != sorted_keys[:-1]))
+    )
+    stacked = np.stack([value for _, value in pairs])[order]
+    out: list[tuple[Any, Any]] = []
+    for pos, start in enumerate(starts):
+        key_obj = pairs[int(order[start])][0]
+        end = int(starts[pos + 1]) if pos + 1 < len(starts) else len(pairs)
+        if end - start == 1:
+            # Single-value groups pass the original object through,
+            # matching the scalar path (and avoiding a -0.0 + x rewrite).
+            out.append((key_obj, pairs[int(order[start])][1]))
+        else:
+            # dtype pinned so small ints wrap exactly like the scalar
+            # combiner instead of cumsum's default platform-int upcast.
+            folded = np.cumsum(
+                stacked[int(start):end], axis=0, dtype=stacked.dtype
+            )[-1]
+            out.append((key_obj, folded))
+    return out
+
+
 class Partitioner:
     """Maps an intermediate key to a reduce partition."""
 
@@ -140,6 +235,11 @@ class HashPartitioner(Partitioner):
 
 def _stable_hash(key: Any) -> int:
     """A process-stable, recursive hash for common key shapes."""
+    if isinstance(key, np.generic):
+        # Numpy scalars must hash like the equal Python scalar, not via
+        # repr() ("np.int64(5)" vs 5), or mixed-type keys split across
+        # partitions.
+        key = key.item()
     if isinstance(key, str):
         h = 2166136261
         for byte in key.encode("utf-8"):
@@ -170,6 +270,17 @@ class Job:
     combiner_factory: Callable[[], Combiner] | None = None
     partitioner: Partitioner = field(default_factory=HashPartitioner)
     cache: DistributedCache = field(default_factory=DistributedCache)
+    #: Optional partition-coverage hint for the pipelined scheduler:
+    #: maps a split id to the reduce partitions its map task may emit
+    #: to (``None`` per task = all partitions).  A declared partition
+    #: set lets the runtime launch a reduce task the moment its
+    #: contributing maps have delivered — before unrelated stragglers
+    #: finish.  The runtime *enforces* the declaration: a map attempt
+    #: whose payload carries records in an undeclared bucket fails
+    #: shuffle-integrity validation, so a lying hint cannot silently
+    #: drop data.  Must be picklable (a module-level function, not a
+    #: lambda) to ride the process executor.
+    partition_hint: Callable[[int], Sequence[int] | None] | None = None
 
     def describe(self) -> str:
         mapper = self.mapper_factory().__class__.__name__

@@ -29,8 +29,10 @@ included) and every attempt is visible in the runtime's event stream.
 from __future__ import annotations
 
 import time
+from concurrent.futures import FIRST_COMPLETED, Future
+from concurrent.futures import wait as _futures_wait
 from dataclasses import dataclass, field, replace
-from typing import Any, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.mapreduce.counters import Counters
 from repro.mapreduce.events import Event, EventKind, EventLog
@@ -38,19 +40,30 @@ from repro.mapreduce.executors import (
     CacheHandle,
     Executor,
     TaskFailedError,
+    TaskOutcome,
     TaskRunner,
     TaskTimeoutError,
     resolve_executor,
 )
 from repro.mapreduce.faults import ChaosExecutor, FaultPlan
 from repro.mapreduce.job import (
+    ArraySumCombiner,
     BatchMapper,
     Context,
     Job,
     Partitioner,
+    fold_uniform_pairs,
     group_sorted_pairs,
 )
-from repro.mapreduce.types import InputSplit, JobConf, split_block
+from repro.mapreduce.types import (
+    ColumnarBucket,
+    InputSplit,
+    JobConf,
+    bucket_nbytes,
+    bucket_pairs,
+    pack_pairs,
+    split_block,
+)
 
 #: Backwards-compatible alias; the canonical name lives on ``Counters``.
 TASK_RETRIES = Counters.TASK_RETRIES
@@ -84,19 +97,33 @@ class Shuffle:
     pairs out into ``num_partitions`` buckets and accounts for the
     shuffle volume in the task's own counters.  ``gather`` runs in the
     runtime between the phases: it concatenates the per-task buckets
-    into one pair list per reduce partition (in task order, preserving
+    into one partition payload each (in task order, preserving
     determinism).
+
+    With ``columnar=True`` a bucket whose pairs are uniform —
+    scalar/tuple keys, fixed-shape ndarray values — is packed into a
+    :class:`~repro.mapreduce.types.ColumnarBucket`, so ``gather``
+    concatenates value blocks instead of pair lists and the process
+    executor ships one out-of-band buffer per bucket.  Anything
+    non-uniform keeps the ``list[tuple]`` representation, which doubles
+    as the parity oracle in tests.
     """
 
-    def __init__(self, partitioner: Partitioner, num_partitions: int) -> None:
+    def __init__(
+        self,
+        partitioner: Partitioner,
+        num_partitions: int,
+        columnar: bool = True,
+    ) -> None:
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
         self.partitioner = partitioner
         self.num_partitions = num_partitions
+        self.columnar = columnar
 
     def scatter(
         self, pairs: list[tuple[Any, Any]], counters: Counters
-    ) -> list[list[tuple[Any, Any]]]:
+    ) -> list[ColumnarBucket | list[tuple[Any, Any]]]:
         buckets: list[list[tuple[Any, Any]]] = [
             [] for _ in range(self.num_partitions)
         ]
@@ -109,20 +136,54 @@ class Shuffle:
                 )
             buckets[pid].append((key, value))
         counters.increment(Counters.FRAMEWORK, Counters.SHUFFLE_RECORDS, len(pairs))
-        return buckets
+        payload: list[ColumnarBucket | list[tuple[Any, Any]]] = []
+        shuffled_bytes = 0
+        for bucket in buckets:
+            packed = pack_pairs(bucket) if self.columnar else None
+            chosen: ColumnarBucket | list[tuple[Any, Any]] = (
+                packed if packed is not None else bucket
+            )
+            payload.append(chosen)
+            shuffled_bytes += bucket_nbytes(chosen)
+        counters.increment(
+            Counters.FRAMEWORK, Counters.SHUFFLE_BYTES, shuffled_bytes
+        )
+        return payload
 
     @staticmethod
     def gather(
-        task_buckets: Sequence[list[list[tuple[Any, Any]]]],
+        task_buckets: Sequence[Sequence[ColumnarBucket | list]],
         num_partitions: int,
-    ) -> list[list[tuple[Any, Any]]]:
-        partitions: list[list[tuple[Any, Any]]] = [
-            [] for _ in range(num_partitions)
-        ]
-        for buckets in task_buckets:
-            for pid, bucket in enumerate(buckets):
-                partitions[pid].extend(bucket)
+    ) -> list[ColumnarBucket | list[tuple[Any, Any]]]:
+        partitions: list[ColumnarBucket | list[tuple[Any, Any]]] = []
+        for pid in range(num_partitions):
+            chunks = [
+                buckets[pid] for buckets in task_buckets if len(buckets[pid])
+            ]
+            partitions.append(Shuffle.merge_buckets(chunks))
         return partitions
+
+    @staticmethod
+    def merge_buckets(
+        chunks: Sequence[ColumnarBucket | list],
+    ) -> ColumnarBucket | list[tuple[Any, Any]]:
+        """Merge one partition's task-ordered bucket chunks.
+
+        All-columnar chunks with a shared value dtype/shape concatenate
+        into one block; any mix degrades to the tuple representation.
+        """
+        if chunks and all(isinstance(c, ColumnarBucket) for c in chunks):
+            first = chunks[0]
+            if all(
+                c.block.dtype == first.block.dtype
+                and c.block.shape[1:] == first.block.shape[1:]
+                for c in chunks[1:]
+            ):
+                return ColumnarBucket.concat(list(chunks))
+        merged: list[tuple[Any, Any]] = []
+        for chunk in chunks:
+            merged.extend(bucket_pairs(chunk))
+        return merged
 
 
 @dataclass
@@ -201,18 +262,27 @@ def _run_map_task(
     counters.increment(Counters.FRAMEWORK, Counters.MAP_OUTPUT_RECORDS, len(pairs))
 
     if job.combiner_factory is not None and pairs:
-        combine_ctx = Context(job.cache, counters, task_id=split.split_id, conf=conf)
         combiner = job.combiner_factory()
-        for key, values in group_sorted_pairs(pairs, conf.sort_keys):
-            combiner.combine(key, values, combine_ctx)
-        combined = combine_ctx.drain()
-        emitted_keys = {k for k, _ in pairs}
-        for key, _ in combined:
-            if key not in emitted_keys:
-                raise ValueError(
-                    f"combiner emitted new key {key!r}; combiners must "
-                    "preserve the key space of their input"
-                )
+        combined: list[tuple[Any, Any]] | None = None
+        if isinstance(combiner, ArraySumCombiner) and conf.sort_keys:
+            # Vectorized fast path: one argsort + per-group np.cumsum
+            # fold over uniform pairs, bitwise-identical to the scalar
+            # loop below (the oracle for anything non-uniform).
+            combined = fold_uniform_pairs(pairs)
+        if combined is None:
+            combine_ctx = Context(
+                job.cache, counters, task_id=split.split_id, conf=conf
+            )
+            for key, values in group_sorted_pairs(pairs, conf.sort_keys):
+                combiner.combine(key, values, combine_ctx)
+            combined = combine_ctx.drain()
+            emitted_keys = {k for k, _ in pairs}
+            for key, _ in combined:
+                if key not in emitted_keys:
+                    raise ValueError(
+                        f"combiner emitted new key {key!r}; combiners must "
+                        "preserve the key space of their input"
+                    )
         pairs = combined
         counters.increment(
             Counters.FRAMEWORK, Counters.COMBINE_OUTPUT_RECORDS, len(pairs)
@@ -220,18 +290,29 @@ def _run_map_task(
 
     payload: Any = pairs
     if conf.num_reducers > 0 and job.reducer_factory is not None:
-        shuffle = Shuffle(job.partitioner, conf.num_reducers)
+        shuffle = Shuffle(
+            job.partitioner, conf.num_reducers, columnar=conf.columnar_shuffle
+        )
         payload = shuffle.scatter(pairs, counters)
     return payload, counters, time.perf_counter() - started
 
 
-def _map_payload_validator(job: Job, conf: JobConf):
+def _map_payload_validator(
+    job: Job,
+    conf: JobConf,
+    task_id: int | None = None,
+    allowed_partitions: "set[int] | None" = None,
+):
     """Shuffle-integrity check for one job's map payloads.
 
     Compares the records present in a map task's payload against the
     record counts the task itself accumulated; a mismatch means the
     payload was corrupted or truncated after emission and fails the
-    attempt (see :class:`ShuffleIntegrityError`).
+    attempt (see :class:`ShuffleIntegrityError`).  When the job carries
+    a partition hint, ``allowed_partitions`` additionally pins the
+    buckets task ``task_id`` may populate: records in an undeclared
+    bucket would silently miss a pipelined reduce that already ran, so
+    a lying hint fails the task loudly instead.
     """
     reduce_job = conf.num_reducers > 0 and job.reducer_factory is not None
     has_combiner = job.combiner_factory is not None
@@ -245,6 +326,16 @@ def _map_payload_validator(job: Job, conf: JobConf):
                 )
             found = sum(len(bucket) for bucket in payload)
             expected = task_counters.framework_value(Counters.SHUFFLE_RECORDS)
+            if allowed_partitions is not None:
+                for pid, bucket in enumerate(payload):
+                    if pid not in allowed_partitions and len(bucket):
+                        raise ShuffleIntegrityError(
+                            f"map task {task_id} emitted {len(bucket)} "
+                            f"record(s) to partition {pid} outside its "
+                            f"declared partitions "
+                            f"{sorted(allowed_partitions)}; fix the job's "
+                            "partition_hint"
+                        )
         else:
             found = len(payload)
             emitted = task_counters.framework_value(Counters.MAP_OUTPUT_RECORDS)
@@ -266,12 +357,18 @@ def _map_payload_validator(job: Job, conf: JobConf):
 def _run_reduce_task(
     job: Job,
     partition_id: int,
-    pairs: list[tuple[Any, Any]],
+    bucket: "ColumnarBucket | list[tuple[Any, Any]]",
     conf: JobConf,
 ) -> tuple[list[tuple[Any, Any]], Counters, float]:
-    """Execute one reducer task over one shuffled partition."""
+    """Execute one reducer task over one shuffled partition.
+
+    The partition arrives in either shuffle representation; a columnar
+    bucket is unpacked into ``(key, value_row)`` view pairs here, so
+    reducers observe exactly the tuple-path input.
+    """
     started = time.perf_counter()
     counters = Counters()
+    pairs = bucket_pairs(bucket)
     ctx = Context(job.cache, counters, task_id=partition_id, conf=conf)
     assert job.reducer_factory is not None
     reducer = job.reducer_factory()
@@ -408,33 +505,50 @@ class MapReduceRuntime:
         first_event = len(self.events)
         self.events.emit(EventKind.JOB_START, conf.name)
 
-        map_results = runner.run_phase(
-            "map",
-            _run_map_task,
-            [(job, split, conf) for split in splits],
-            [split.split_id for split in splits],
-            counters,
-            validate=_map_payload_validator(job, conf),
-        )
-        map_outputs = [payload for payload, _ in map_results]
-        map_times = [elapsed for _, elapsed in map_results]
+        reduce_job = conf.num_reducers > 0 and job.reducer_factory is not None
+        pool = None
+        if reduce_job and len(splits) > 1 and self._pipeline_allowed(
+            executor, conf, runner
+        ):
+            pool = executor.make_pool()
 
-        reduce_times: list[float] = []
-        if conf.num_reducers == 0 or job.reducer_factory is None:
-            output = [pair for pairs in map_outputs for pair in pairs]
-        else:
-            partitions = Shuffle.gather(map_outputs, conf.num_reducers)
-            reduce_results = runner.run_phase(
-                "reduce",
-                _run_reduce_task,
-                [(job, pid, partitions[pid], conf) for pid in range(conf.num_reducers)],
-                list(range(conf.num_reducers)),
-                counters,
+        if pool is not None:
+            output, map_times, reduce_times = self._run_pipelined(
+                runner, pool, job, list(splits), conf, counters
             )
-            output = [
-                pair for part_output, _ in reduce_results for pair in part_output
-            ]
-            reduce_times = [elapsed for _, elapsed in reduce_results]
+        else:
+            map_results = runner.run_phase(
+                "map",
+                _run_map_task,
+                [(job, split, conf) for split in splits],
+                [split.split_id for split in splits],
+                counters,
+                validate=_map_payload_validator(job, conf),
+            )
+            map_outputs = [payload for payload, _ in map_results]
+            map_times = [elapsed for _, elapsed in map_results]
+
+            reduce_times = []
+            if not reduce_job:
+                output = [pair for pairs in map_outputs for pair in pairs]
+            else:
+                partitions = Shuffle.gather(map_outputs, conf.num_reducers)
+                reduce_results = runner.run_phase(
+                    "reduce",
+                    _run_reduce_task,
+                    [
+                        (job, pid, partitions[pid], conf)
+                        for pid in range(conf.num_reducers)
+                    ],
+                    list(range(conf.num_reducers)),
+                    counters,
+                )
+                output = [
+                    pair
+                    for part_output, _ in reduce_results
+                    for pair in part_output
+                ]
+                reduce_times = [elapsed for _, elapsed in reduce_results]
 
         wall_time = time.perf_counter() - started
         self.events.emit(
@@ -455,6 +569,208 @@ class MapReduceRuntime:
         )
         self.history.append(result)
         return result
+
+    # -- pipelined two-phase scheduling ---------------------------------
+
+    def _pipeline_allowed(
+        self, executor: Executor, conf: JobConf, runner: TaskRunner
+    ) -> bool:
+        """Whether this job may run map and reduce on one shared pool.
+
+        Pipelining is on by default for pool-backed executors
+        (``JobConf.pipelined`` overrides per job); the serial executor
+        has no pool, and the chaos / task-timeout / speculation
+        machinery keeps the classic full-barrier semantics — those
+        policies reason about one phase at a time.
+        """
+        pipelined = conf.pipelined if conf.pipelined is not None else True
+        return (
+            pipelined
+            and not isinstance(executor, ChaosExecutor)
+            and runner.task_timeout_s is None
+            and not runner.speculative
+        )
+
+    def _run_pipelined(
+        self,
+        runner: TaskRunner,
+        pool: Any,
+        job: Job,
+        splits: list[InputSplit],
+        conf: JobConf,
+        counters: Counters,
+    ) -> tuple[list[tuple[Any, Any]], list[float], list[float]]:
+        """Partition-ready reduce scheduling on one shared pool.
+
+        Map and reduce tasks share the executor's pool: the reduce task
+        for partition ``p`` is dispatched the moment every map task
+        that can contribute to ``p`` has delivered its bucket — by
+        default that is all of them (delivery happens at map-task
+        settlement, so the barrier collapses to "last contributor
+        settled"), but a job carrying a
+        :attr:`~repro.mapreduce.job.Job.partition_hint` unlocks ``p``
+        as soon as its *declared* contributors are done, overlapping
+        the map tail with reduce work.  Output stays byte-identical to
+        the barrier path: bucket chunks merge in map-task order and
+        reduce outputs concatenate in partition order, so completion
+        order cannot leak into the result.
+        """
+        num_parts = conf.num_reducers
+        task_ids = [split.split_id for split in splits]
+        map_calls = {
+            split.split_id: (job, split, conf) for split in splits
+        }
+        hint = job.partition_hint
+        declared: dict[int, set[int] | None] = {}
+        for tid in task_ids:
+            parts = None if hint is None else hint(tid)
+            declared[tid] = (
+                None if parts is None else {int(p) for p in parts}
+            )
+        contributors = {
+            pid: [
+                tid
+                for tid in task_ids
+                if declared[tid] is None or pid in declared[tid]
+            ]
+            for pid in range(num_parts)
+        }
+        validators = {
+            tid: _map_payload_validator(
+                job, conf, task_id=tid, allowed_partitions=declared[tid]
+            )
+            for tid in task_ids
+        }
+
+        map_payloads: dict[int, Any] = {}
+        map_times: dict[int, float] = {}
+        reduce_calls: dict[int, tuple] = {}
+        reduce_outputs: dict[int, list[tuple[Any, Any]]] = {}
+        reduce_times: dict[int, float] = {}
+        pending: dict[Future, tuple[str, int]] = {}
+        dispatched: set[int] = set()
+        map_phase_done = False
+        reduce_phase_started: float | None = None
+        map_started = time.perf_counter()
+
+        def dispatch_ready_reduces() -> None:
+            nonlocal reduce_phase_started
+            for pid in range(num_parts):
+                if pid in dispatched:
+                    continue
+                if any(t not in map_payloads for t in contributors[pid]):
+                    continue
+                chunks = [
+                    map_payloads[t][pid]
+                    for t in contributors[pid]
+                    if len(map_payloads[t][pid])
+                ]
+                partition = Shuffle.merge_buckets(chunks)
+                if reduce_phase_started is None:
+                    reduce_phase_started = time.perf_counter()
+                    self.events.emit(
+                        EventKind.PHASE_START, conf.name, phase="reduce"
+                    )
+                if not map_phase_done:
+                    counters.increment(
+                        Counters.FRAMEWORK, Counters.PIPELINED_REDUCES
+                    )
+                dispatched.add(pid)
+                reduce_calls[pid] = (job, pid, partition, conf)
+                self.events.emit(
+                    EventKind.TASK_START,
+                    conf.name,
+                    phase="reduce",
+                    task_id=pid,
+                    attempt=1,
+                )
+                pending[pool.submit(_run_reduce_task, *reduce_calls[pid])] = (
+                    "reduce",
+                    pid,
+                )
+
+        self.events.emit(EventKind.PHASE_START, conf.name, phase="map")
+        try:
+            for tid in task_ids:
+                self.events.emit(
+                    EventKind.TASK_START,
+                    conf.name,
+                    phase="map",
+                    task_id=tid,
+                    attempt=1,
+                )
+                pending[pool.submit(_run_map_task, *map_calls[tid])] = (
+                    "map",
+                    tid,
+                )
+            while len(reduce_outputs) < num_parts:
+                done, _ = _futures_wait(
+                    list(pending), return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    phase, tid = pending.pop(future)
+                    error = future.exception()
+                    outcome = (
+                        TaskOutcome(error=error)
+                        if error is not None
+                        else TaskOutcome(value=future.result())
+                    )
+                    if phase == "map":
+                        # Settlement (validation, retries, events) is
+                        # the runner's one shared path; retries re-run
+                        # in-process, exactly like the barrier path.
+                        payload, elapsed = runner._settle(
+                            "map",
+                            tid,
+                            _run_map_task,
+                            map_calls[tid],
+                            outcome,
+                            counters,
+                            validate=validators[tid],
+                        )
+                        map_payloads[tid] = payload
+                        map_times[tid] = elapsed
+                        if len(map_payloads) == len(task_ids):
+                            map_phase_done = True
+                            self.events.emit(
+                                EventKind.PHASE_FINISH,
+                                conf.name,
+                                phase="map",
+                                duration_s=time.perf_counter() - map_started,
+                                counters=counters.snapshot(),
+                            )
+                        dispatch_ready_reduces()
+                    else:
+                        output, elapsed = runner._settle(
+                            "reduce",
+                            tid,
+                            _run_reduce_task,
+                            reduce_calls[tid],
+                            outcome,
+                            counters,
+                        )
+                        reduce_outputs[tid] = output
+                        reduce_times[tid] = elapsed
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        self.events.emit(
+            EventKind.PHASE_FINISH,
+            conf.name,
+            phase="reduce",
+            duration_s=time.perf_counter()
+            - (reduce_phase_started or map_started),
+            counters=counters.snapshot(),
+        )
+        output = [
+            pair
+            for pid in range(num_parts)
+            for pair in reduce_outputs[pid]
+        ]
+        return (
+            output,
+            [map_times[tid] for tid in task_ids],
+            [reduce_times[pid] for pid in range(num_parts)],
+        )
 
     # -- accounting -----------------------------------------------------
 

@@ -33,6 +33,7 @@ from repro.core.em import GaussianMixture
 from repro.core.stats import mahalanobis_squared
 from repro.core.types import Signature
 from repro.mapreduce import BatchMapper, Context, DistributedCache, Job, Reducer
+from repro.mapreduce.job import ArraySumCombiner
 from repro.mapreduce.chain import JobChain
 from repro.mapreduce.types import InputSplit
 from repro.mr.aggregate import sum_partials
@@ -173,7 +174,17 @@ class _SplitBlockMapper(BatchMapper):
 
 
 class MomentSumsMapper(_SplitBlockMapper):
-    """Accumulates l_C, w_C and w_C2 for its split."""
+    """Accumulates l_C, w_C and w_C2 for its split.
+
+    The three sums (and, during EM iterations, the split's
+    log-likelihood) are packed into **one** ``(k, m+2)`` — or
+    ``(k+1, m+2)`` with the LL row — float array per split: columns are
+    ``[linear | w_C | w_C2]``, the optional last row is
+    ``[ll, 0, ..., 0]``.  A single fixed-shape ndarray value rides the
+    columnar shuffle plane (one block concat instead of per-tuple
+    pickling); the reducer unpacks back to the historical output
+    shape, so nothing downstream changes.
+    """
 
     def setup(self, context: Context) -> None:
         super().setup(context)
@@ -189,20 +200,33 @@ class MomentSumsMapper(_SplitBlockMapper):
         linear = weights.T @ sub
         weight_sum = weights.sum(axis=0)
         weight_sq = (weights**2).sum(axis=0)
-        context.emit(_SUMS_KEY, (linear, weight_sum, weight_sq))
+        packed = np.concatenate(
+            [linear, weight_sum[:, None], weight_sq[:, None]], axis=1
+        )
         if isinstance(self._model, ResponsibilityWeights):
-            context.emit(_LL_KEY, self._model.log_likelihood(data))
+            ll_row = np.zeros((1, packed.shape[1]))
+            ll_row[0, 0] = self._model.log_likelihood(data)
+            packed = np.concatenate([packed, ll_row], axis=0)
+        context.emit(_SUMS_KEY, packed)
 
 
 class MomentSumsReducer(Reducer):
+    """Unpacks the mappers' packed sum blocks to the historical output:
+    a ``(linear, w_C, w_C2)`` tuple under ``moment_sums`` plus, when the
+    weight model carries one, the total LL under ``log_likelihood``."""
+
     def reduce(self, key: str, values: list[Any], context: Context) -> None:
-        if key == _LL_KEY:
-            context.emit(key, float(np.sum(values)))
-            return
-        linear = sum(v[0] for v in values)
-        weight_sum = sum(v[1] for v in values)
-        weight_sq = sum(v[2] for v in values)
-        context.emit(key, (linear, weight_sum, weight_sq))
+        has_ll = isinstance(
+            context.cache["weight_model"], ResponsibilityWeights
+        )
+        k = values[0].shape[0] - (1 if has_ll else 0)
+        m = values[0].shape[1] - 2
+        total = sum(v[:k] for v in values)
+        context.emit(key, (total[:, :m], total[:, m], total[:, m + 1]))
+        if has_ll:
+            context.emit(
+                _LL_KEY, float(np.sum(np.asarray([v[k, 0] for v in values])))
+            )
 
 
 class CovarianceSumsMapper(_SplitBlockMapper):
@@ -281,6 +305,7 @@ def run_moment_jobs(
     sums_job = Job(
         mapper_factory=MomentSumsMapper,
         reducer_factory=MomentSumsReducer,
+        combiner_factory=ArraySumCombiner,
         cache=DistributedCache(
             {"weight_model": weight_model, "attributes": attributes}
         ),
@@ -297,6 +322,7 @@ def run_moment_jobs(
     cov_job = Job(
         mapper_factory=CovarianceSumsMapper,
         reducer_factory=CovarianceSumsReducer,
+        combiner_factory=ArraySumCombiner,
         cache=DistributedCache(
             {
                 "weight_model": weight_model,

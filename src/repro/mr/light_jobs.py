@@ -49,8 +49,14 @@ class LightMembershipMapper(BatchMapper):
         assigned = np.where(
             cover_count > 0, np.argmax(masks, axis=1), -1
         )
-        for key, exc, assign in zip(self._keys, exclusive, assigned):
-            context.emit(int(key), (int(exc), int(assign)))
+        # One pair per split, not per point: the (keys, exclusive,
+        # assigned) arrays travel as three int64 vectors and the driver
+        # scatters them — n points cost one emit.
+        keys_arr = np.asarray(self._keys, dtype=np.int64)
+        context.emit(
+            int(context.task_id),
+            (keys_arr, exclusive.astype(np.int64), assigned.astype(np.int64)),
+        )
 
 
 def run_light_membership_job(
@@ -68,7 +74,7 @@ def run_light_membership_job(
     result = chain.run(step_name, job, splits, num_reducers=0)
     exclusive = np.full(n, -1, dtype=np.int64)
     assignment = np.full(n, -1, dtype=np.int64)
-    for key, (exc, assign) in result.output:
-        exclusive[key] = exc
-        assignment[key] = assign
+    for _, (keys, exc, assign) in result.output:
+        exclusive[keys] = exc
+        assignment[keys] = assign
     return exclusive, assignment

@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.core.types import Signature
 from repro.mapreduce import BatchMapper, Context, DistributedCache, Job, Reducer
+from repro.mapreduce.job import ArraySumCombiner
 from repro.mapreduce.chain import JobChain
 from repro.mapreduce.types import InputSplit
 from repro.mr.rssc import RSSC
@@ -56,6 +57,7 @@ def run_support_job(
     job = Job(
         mapper_factory=SupportCountMapper,
         reducer_factory=SupportSumReducer,
+        combiner_factory=ArraySumCombiner,
         cache=DistributedCache({"rssc": rssc}),
     )
     result = chain.run(step_name, job, splits, num_reducers=1)

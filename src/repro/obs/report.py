@@ -49,6 +49,9 @@ def job_summary(name: str, result: Any) -> dict[str, Any]:
         "shuffle_records": result.counters.framework_value(
             Counters.SHUFFLE_RECORDS
         ),
+        "shuffled_bytes": result.counters.framework_value(
+            Counters.SHUFFLE_BYTES
+        ),
         "map_seconds": round(result.phase_seconds("map"), 6),
         "reduce_seconds": round(result.phase_seconds("reduce"), 6),
         "wall_seconds": round(result.wall_time, 6),
@@ -92,6 +95,7 @@ def build_run_report(
         "totals": {
             "mr_jobs": len(jobs),
             "shuffle_records": sum(j["shuffle_records"] for j in jobs),
+            "shuffled_bytes": sum(j.get("shuffled_bytes", 0) for j in jobs),
             "task_attempts": sum(
                 j["map_tasks"] + j["reduce_tasks"] for j in jobs
             ),
@@ -142,6 +146,7 @@ _JOB_FIELDS: dict[str, type | tuple[type, ...]] = {
     "reduce_tasks": int,
     "executor": str,
     "shuffle_records": int,
+    "shuffled_bytes": int,
     "map_seconds": (int, float),
     "reduce_seconds": (int, float),
     "wall_seconds": (int, float),

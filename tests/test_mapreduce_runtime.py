@@ -199,6 +199,78 @@ class TestPartitioner:
         assert isinstance(info.value.cause, ValueError)
         assert "partitioner" in str(info.value.cause)
 
+    def test_numpy_scalar_keys_hash_like_python_scalars(self):
+        """Regression: ``np.int64(5)`` must land in the partition of
+        ``5`` — the stable hash once fell through to ``repr()``
+        ("np.int64(5)"), splitting mixed-type keys across reducers."""
+        partitioner = HashPartitioner()
+        for num_partitions in (3, 5, 17):
+            for np_key, py_key in [
+                (np.int64(5), 5),
+                (np.int32(-2), -2),
+                (np.float64(3.25), 3.25),
+                (np.str_("abc"), "abc"),
+                ((np.int64(2), "x"), (2, "x")),
+            ]:
+                assert partitioner.partition(
+                    np_key, num_partitions
+                ) == partitioner.partition(py_key, num_partitions)
+
+
+class TestFoldUniformPairs:
+    """The vectorized combiner fold vs its scalar oracle."""
+
+    def _scalar_fold(self, pairs):
+        from repro.mapreduce.job import ArraySumCombiner, group_sorted_pairs
+
+        combiner = ArraySumCombiner()
+        ctx = Context(DistributedCache(), Counters(), task_id=0)
+        for key, values in group_sorted_pairs(pairs):
+            combiner.combine(key, values, ctx)
+        return ctx.drain()
+
+    @pytest.mark.parametrize("value_shape", [(1,), (4,), (3, 2)])
+    def test_fold_bitwise_matches_scalar_combiner(self, value_shape):
+        """Bitwise, not approximate: the fold must accumulate in the
+        scalar loop's left-to-right order (pairwise summation — as in
+        ``np.add.reduceat``/``np.sum`` — changes float rounding,
+        especially for trailing-size-1 blocks)."""
+        from repro.mapreduce.job import fold_uniform_pairs
+
+        rng = np.random.default_rng(42)
+        pairs = [
+            (int(i % 7), rng.uniform(size=value_shape)) for i in range(500)
+        ]
+        folded = fold_uniform_pairs(pairs)
+        assert folded is not None
+        oracle = self._scalar_fold(pairs)
+        assert [key for key, _ in folded] == [key for key, _ in oracle]
+        for (_, got), (_, want) in zip(folded, oracle):
+            assert got.dtype == want.dtype
+            assert got.tobytes() == want.tobytes()
+
+    def test_small_int_dtype_wraps_like_scalar_fold(self):
+        from repro.mapreduce.job import fold_uniform_pairs
+
+        pairs = [(0, np.array([200], dtype=np.uint8)) for _ in range(3)]
+        folded = fold_uniform_pairs(pairs)
+        oracle = self._scalar_fold(pairs)
+        assert folded[0][1].dtype == np.uint8
+        assert folded[0][1].tobytes() == oracle[0][1].tobytes()
+
+    def test_heterogeneous_pairs_fall_back(self):
+        from repro.mapreduce.job import fold_uniform_pairs
+
+        assert fold_uniform_pairs([]) is None
+        assert fold_uniform_pairs([(0, np.zeros(2))]) is None  # < 2 pairs
+        assert (
+            fold_uniform_pairs([(0, np.zeros(2)), ("k", np.zeros(2))]) is None
+        )
+        assert (
+            fold_uniform_pairs([(0, np.zeros(2)), (1, np.zeros(3))]) is None
+        )
+        assert fold_uniform_pairs([(0, 1), (0, 2)]) is None
+
 
 class TestMultiprocess:
     def test_process_pool_matches_serial(self):
