@@ -1,0 +1,250 @@
+"""Service-plane benchmark: concurrent multi-tenant chains on one pool.
+
+Runs 8 concurrent chains — three bulk tenants submitting two heavier
+chains each, plus one light "probe" tenant submitting two small chains
+— through the :class:`~repro.mapreduce.scheduler.ClusterService`
+fair-share pool, and measures
+
+- aggregate chain throughput (chains/s over the concurrent batch),
+- per-tenant p50/p95 completion latency, and
+- the *starvation ratio*: the probe tenant's p95 completion latency
+  under contention divided by its solo (idle-service) latency.
+
+The probe tenant is the canary for fair-share admission: it holds an
+equal weight, so if heavier tenants could monopolise slots its small
+chains would queue behind bulk task batches and the ratio would blow
+up.  With per-task weighted fair queueing the probe interleaves at
+every slot grant and stays within a small multiple of its solo
+latency.
+
+Writes ``BENCH_service.json`` at the repository root (schema v1).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py           # full
+    PYTHONPATH=src python benchmarks/bench_service.py --quick   # CI smoke
+    PYTHONPATH=src python benchmarks/bench_service.py --quick \\
+        --max-starvation-ratio 3
+
+``--max-starvation-ratio`` exits non-zero when the probe tenant's
+p95/solo ratio exceeds the bound — the CI no-starvation gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.mapreduce import (  # noqa: E402
+    ClusterService,
+    JobChain,
+    MapReduceRuntime,
+    split_records,
+)
+from repro.mapreduce.job import Job, Mapper, Reducer  # noqa: E402
+
+SCHEMA = "repro.benchmarks/service/v1"
+DEFAULT_OUT = REPO_ROOT / "BENCH_service.json"
+
+
+class SleepBucketMapper(Mapper):
+    """Bucket-sum map task whose duration models cluster task cost.
+
+    Task wall time is dominated by a per-task sleep (the cache carries
+    ``task_ms``), so on a small benchmark host the measured latencies
+    reflect *slot scheduling* — what this benchmark evaluates — rather
+    than interpreter-level CPU contention between chains.
+    """
+
+    def map(self, key, value, context):
+        context.emit(value % 8, value)
+
+    def cleanup(self, context):
+        time.sleep(context.cache["task_ms"] / 1000.0)
+
+
+class SleepSumReducer(Reducer):
+    def reduce(self, key, values, context):
+        context.emit(key, sum(values))
+
+    def cleanup(self, context):
+        time.sleep(context.cache["task_ms"] / 1000.0)
+
+
+def make_chain_fn(
+    records: int, jobs: int, splits: int, task_ms: float, reducers: int
+):
+    """A chain of ``jobs`` bucket-sum MR jobs over ``records`` records,
+    each map/reduce task taking ~``task_ms`` milliseconds."""
+    from repro.mapreduce import DistributedCache
+
+    def run(ctx) -> float:
+        started = time.perf_counter()
+        chain = JobChain(MapReduceRuntime(context=ctx))
+        data = split_records([(i, i) for i in range(records)], splits)
+        job = Job(
+            mapper_factory=SleepBucketMapper,
+            reducer_factory=SleepSumReducer,
+            cache=DistributedCache({"task_ms": task_ms}),
+        )
+        for ordinal in range(jobs):
+            result = chain.run(
+                f"job_{ordinal}", job, data, num_reducers=reducers
+            )
+            data = split_records(result.output, splits)
+        return time.perf_counter() - started
+
+    return run
+
+
+def percentile(values: list[float], q: float) -> float:
+    if not values:
+        return 0.0
+    if len(values) == 1:
+        return values[0]
+    return float(
+        statistics.quantiles(values, n=100, method="inclusive")[int(q) - 1]
+    )
+
+
+def run_benchmark(quick: bool) -> dict:
+    slots = 4
+    bulk_records = 200 if quick else 2_000
+    probe_records = 40 if quick else 200
+    bulk_jobs = 3 if quick else 5
+    probe_jobs = 2
+    bulk_task_ms = 30.0 if quick else 80.0
+    probe_task_ms = 20.0 if quick else 50.0
+
+    bulk_tenants = ("bulk_a", "bulk_b", "bulk_c")
+    bulk_fn = make_chain_fn(
+        bulk_records, bulk_jobs, splits=4, task_ms=bulk_task_ms, reducers=2
+    )
+    # The probe chain is intrinsically serial (one map split, one
+    # reducer): its solo latency is the sum of its task times, not an
+    # idle-pool parallel speedup.  Fair share guarantees it a prompt
+    # slot — which is all a serial chain needs — so the contended/solo
+    # ratio isolates scheduling delay from lost parallelism.
+    probe_fn = make_chain_fn(
+        probe_records, probe_jobs, splits=1, task_ms=probe_task_ms, reducers=1
+    )
+
+    # Solo latencies: each tenant's chain on an otherwise idle service.
+    solo: dict[str, float] = {}
+    for tenant, fn in (("probe", probe_fn), ("bulk", bulk_fn)):
+        with ClusterService(slots=slots, executor="thread") as service:
+            handle = service.submit(fn, name="solo", tenant=tenant)
+            handle.wait()
+        solo[tenant] = handle.result()
+
+    # The contended batch: 8 concurrent chains, equal fair-share weights.
+    submissions = [(tenant, bulk_fn) for tenant in bulk_tenants for _ in range(2)]
+    submissions += [("probe", probe_fn)] * 2
+    with ClusterService(slots=slots, executor="thread") as service:
+        batch_started = time.perf_counter()
+        handles = [
+            service.submit(fn, name=f"c{i}", tenant=tenant)
+            for i, (tenant, fn) in enumerate(submissions)
+        ]
+        for handle in handles:
+            handle.wait()
+        batch_wall = time.perf_counter() - batch_started
+        pool_counters = service.pool.snapshot()["counters"]
+
+    per_tenant: dict[str, list[float]] = {}
+    for handle in handles:
+        info = handle.info()
+        # Completion latency = queue wait + run time, as the tenant
+        # experiences it.
+        latency = info["queue_wait_s"] + (info["run_s"] or 0.0)
+        per_tenant.setdefault(handle.tenant, []).append(latency)
+
+    tenants = {
+        tenant: {
+            "chains": len(latencies),
+            "p50_s": percentile(sorted(latencies), 50),
+            "p95_s": percentile(sorted(latencies), 95),
+            "max_s": max(latencies),
+        }
+        for tenant, latencies in sorted(per_tenant.items())
+    }
+    probe_p95 = tenants["probe"]["p95_s"]
+    starvation_ratio = probe_p95 / solo["probe"] if solo["probe"] > 0 else 0.0
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "slots": slots,
+        "concurrent_chains": len(handles),
+        "batch_wall_s": batch_wall,
+        "throughput_chains_per_s": len(handles) / batch_wall,
+        "solo_latency_s": solo,
+        "tenants": tenants,
+        "probe_p95_s": probe_p95,
+        "starvation_ratio": starvation_ratio,
+        "fair_share_counters": {
+            group: values
+            for group, values in pool_counters.items()
+            if group.startswith("tenant.") or group == "service"
+        },
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument(
+        "--out", default=str(DEFAULT_OUT), help="output JSON path"
+    )
+    parser.add_argument(
+        "--max-starvation-ratio",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="fail when probe p95 latency exceeds RATIO x its solo latency",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(quick=args.quick)
+    Path(args.out).write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n"
+    )
+
+    print(
+        f"{report['concurrent_chains']} concurrent chains on "
+        f"{report['slots']} slots: {report['batch_wall_s']:.2f}s wall, "
+        f"{report['throughput_chains_per_s']:.2f} chains/s"
+    )
+    for tenant, row in report["tenants"].items():
+        print(
+            f"  {tenant:<8} x{row['chains']}: p50 {row['p50_s']:.3f}s  "
+            f"p95 {row['p95_s']:.3f}s"
+        )
+    print(
+        f"probe solo {report['solo_latency_s']['probe']:.3f}s -> "
+        f"contended p95 {report['probe_p95_s']:.3f}s "
+        f"(starvation ratio {report['starvation_ratio']:.2f})"
+    )
+    print(f"report written to {args.out}")
+
+    if (
+        args.max_starvation_ratio is not None
+        and report["starvation_ratio"] > args.max_starvation_ratio
+    ):
+        print(
+            f"FAIL: starvation ratio {report['starvation_ratio']:.2f} > "
+            f"bound {args.max_starvation_ratio}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

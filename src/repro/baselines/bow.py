@@ -48,6 +48,7 @@ from repro.mapreduce import (
     MapReduceRuntime,
     Partitioner,
     Reducer,
+    RuntimeContext,
 )
 from repro.mapreduce.types import split_records
 
@@ -179,9 +180,12 @@ class BoW:
         self,
         config: P3CPlusConfig | None = None,
         bow_config: BoWConfig | None = None,
+        context: RuntimeContext | None = None,
     ) -> None:
         self.config = config or P3CPlusConfig()
         self.bow_config = bow_config or BoWConfig()
+        #: Optional service-plane wiring (shared-pool executor etc.).
+        self.context = context
         self.chain: JobChain | None = None
 
     def fit(self, data: np.ndarray) -> ClusteringResult:
@@ -190,9 +194,12 @@ class BoW:
         bow = self.bow_config
         num_partitions = max(1, ceil(n / bow.samples_per_reducer))
 
-        runtime = MapReduceRuntime(
-            max_workers=bow.max_workers, executor=bow.executor
-        )
+        if self.context is not None:
+            runtime = MapReduceRuntime(context=self.context)
+        else:
+            runtime = MapReduceRuntime(
+                max_workers=bow.max_workers, executor=bow.executor
+            )
         chain = JobChain(runtime)
         self.chain = chain
         splits = split_records(data, bow.num_splits)

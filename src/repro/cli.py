@@ -7,6 +7,8 @@ cluster     run an algorithm on a CSV data set, write a JSON result
 evaluate    score a JSON result against a labelled data set
 experiment  run one paper-exhibit harness and print its table
 report      render a run-report JSON (see ``cluster --metrics``)
+serve       run the multi-tenant cluster service over a job spool
+submit      queue one clustering job on a service spool
 
 Examples
 --------
@@ -23,8 +25,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable
 
 import numpy as np
@@ -272,6 +277,97 @@ def _build_parser() -> argparse.ArgumentParser:
         "report", help="render a run-report JSON written by cluster --metrics"
     )
     report.add_argument("run_json", help="path to the run.json artifact")
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a job spool: admit queued submissions as concurrent "
+        "chains on one shared fair-share executor pool",
+    )
+    serve.add_argument(
+        "--spool",
+        required=True,
+        help="spool directory (submissions in <spool>/pending, completion "
+        "records in <spool>/done)",
+    )
+    serve.add_argument(
+        "--slots",
+        type=int,
+        default=None,
+        help="shared pool size in concurrent task slots (default: CPUs)",
+    )
+    serve.add_argument(
+        "--executor",
+        choices=sorted(EXECUTORS),
+        default="thread",
+        help="executor backend each admitted chain runs on (default thread)",
+    )
+    serve.add_argument(
+        "--drain",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after serving N jobs (deterministic batch mode)",
+    )
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="exit after this long with no pending or running jobs",
+    )
+    serve.add_argument(
+        "--poll-s", type=float, default=0.2, help="spool scan interval"
+    )
+
+    submit = commands.add_parser(
+        "submit", help="queue one clustering job on a service spool"
+    )
+    submit.add_argument("--spool", required=True, help="spool directory")
+    submit.add_argument(
+        "--algorithm", choices=("mr", "mr-light"), default="mr-light"
+    )
+    submit.add_argument("--data", required=True)
+    submit.add_argument("--out", required=True)
+    submit.add_argument(
+        "--metrics",
+        default=None,
+        metavar="RUN_JSON",
+        help="write the chain's run report (including fair-share "
+        "service counters) to this path",
+    )
+    submit.add_argument(
+        "--tenant",
+        default="default",
+        help="tenant name for fair-share accounting",
+    )
+    submit.add_argument(
+        "--priority",
+        type=float,
+        default=1.0,
+        help="fair-share weight of the tenant (2.0 = twice the slots "
+        "under contention)",
+    )
+    submit.add_argument("--theta-cc", type=float, default=0.35)
+    submit.add_argument("--poisson-alpha", type=float, default=0.01)
+    submit.add_argument("--normalize", action="store_true")
+    submit.add_argument(
+        "--estimated-records",
+        type=int,
+        default=None,
+        help="admission estimate: input size priced by the cost model "
+        "to gate the submission against the service budget",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job's completion record appears",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="max seconds to wait with --wait (default 300)",
+    )
     return parser
 
 
@@ -301,8 +397,6 @@ def _default_trace_out(out: str, trace_format: str) -> str:
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
-    import time
-
     data, _ = load_dataset_csv(args.data)
     if args.normalize:
         data = normalize_unit_range(data)
@@ -342,6 +436,12 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     print(result.summary())
 
     chain = getattr(algorithm, "chain", None)
+    # MR drivers scope their spans/metrics to a per-run obs context;
+    # export from the scope the fit actually wrote to.
+    run_obs = getattr(algorithm, "obs", None)
+    if run_obs is None or not getattr(run_obs, "enabled", False):
+        run_obs = obs
+    obs = run_obs
     if trace_format == "text":
         if chain is None:
             print("(--trace: no MapReduce chain; serial algorithms emit no events)")
@@ -445,6 +545,178 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- the service plane (serve / submit) ----------------------------------
+
+
+def _spool_dirs(spool: str) -> tuple[Path, Path]:
+    pending = Path(spool) / "pending"
+    done = Path(spool) / "done"
+    pending.mkdir(parents=True, exist_ok=True)
+    done.mkdir(parents=True, exist_ok=True)
+    return pending, done
+
+
+def _write_json_atomic(path: Path, payload: dict) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    os.replace(tmp, path)
+
+
+def _make_spool_job(spec: dict):
+    """Build the chain function one spool submission runs as.
+
+    The returned callable receives the service's
+    :class:`~repro.mapreduce.runtime.RuntimeContext` — the MR driver is
+    constructed around that context, so its tasks run on the shared
+    fair-share pool under the submitting tenant, and its run report
+    (when requested) carries the per-run service counters.
+    """
+
+    def run_chain(ctx):
+        data, _ = load_dataset_csv(spec["data"])
+        if spec.get("normalize"):
+            data = normalize_unit_range(data)
+        config = P3CPlusConfig(
+            theta_cc=spec.get("theta_cc", 0.35),
+            poisson_alpha=spec.get("poisson_alpha", 0.01),
+        )
+        driver_cls = P3CPlusMR if spec["algorithm"] == "mr" else P3CPlusMRLight
+        driver = driver_cls(config, P3CPlusMRConfig(), context=ctx)
+        started = time.perf_counter()
+        result = driver.fit(data)
+        wall_time = time.perf_counter() - started
+        save_result_json(spec["out"], result)
+        if spec.get("metrics"):
+            report = build_run_report(
+                spec["algorithm"],
+                obs=driver.obs,
+                chain=driver.chain,
+                dataset={
+                    "n": int(data.shape[0]),
+                    "d": int(data.shape[1]),
+                    "path": spec["data"],
+                },
+                result={
+                    "num_clusters": len(result.clusters),
+                    "num_outliers": int(len(result.outliers)),
+                },
+                wall_time_s=wall_time,
+                extra={
+                    "service": {
+                        "run_id": ctx.run_id,
+                        "tenant": ctx.tenant,
+                    }
+                },
+            )
+            save_run_report(spec["metrics"], report)
+        return {
+            "num_clusters": len(result.clusters),
+            "num_outliers": int(len(result.outliers)),
+            "out": spec["out"],
+            "wall_time_s": wall_time,
+        }
+
+    return run_chain
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.mapreduce import ClusterService
+
+    pending, done = _spool_dirs(args.spool)
+    obs = Observability(enabled=True)
+    service = ClusterService(
+        slots=args.slots, executor=args.executor, obs=obs
+    )
+    print(
+        f"serving {args.spool} on {service.slots} {args.executor} slot(s)"
+    )
+    active: dict[str, Any] = {}
+    served = 0
+    idle_since = time.monotonic()
+    try:
+        while True:
+            for path in sorted(pending.glob("*.json")):
+                try:
+                    spec = json.loads(path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    continue  # mid-write or corrupt; retry next scan
+                path.unlink()
+                handle = service.submit(
+                    _make_spool_job(spec),
+                    name=spec.get("algorithm", "chain"),
+                    tenant=spec.get("tenant", "default"),
+                    priority=spec.get("priority"),
+                    estimated_records=spec.get("estimated_records"),
+                )
+                active[spec["id"]] = handle
+                print(f"admitted {handle.job_id} ({spec['id']})")
+            for spool_id, handle in list(active.items()):
+                if not handle.done():
+                    continue
+                record = {"id": spool_id, "state": handle.status()}
+                record.update(handle.info())
+                try:
+                    record["result"] = handle.result(timeout=0)
+                except BaseException as exc:  # noqa: BLE001 - recorded
+                    record["error"] = f"{type(exc).__name__}: {exc}"
+                _write_json_atomic(done / f"{spool_id}.json", record)
+                print(f"finished {handle.job_id}: {handle.status()}")
+                del active[spool_id]
+                served += 1
+            if active:
+                idle_since = time.monotonic()
+            if args.drain is not None and served >= args.drain and not active:
+                break
+            if (
+                args.idle_timeout is not None
+                and not active
+                and time.monotonic() - idle_since > args.idle_timeout
+            ):
+                break
+            time.sleep(args.poll_s)
+    finally:
+        service.shutdown()
+    snapshot = service.pool.snapshot()
+    print(
+        f"served {served} job(s); fair-share counters: "
+        + json.dumps(snapshot["counters"].get("service", {}), sort_keys=True)
+    )
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    pending, done = _spool_dirs(args.spool)
+    job_id = f"{time.time_ns():016x}-{os.getpid()}"
+    spec = {
+        "id": job_id,
+        "algorithm": args.algorithm,
+        "data": args.data,
+        "out": args.out,
+        "metrics": args.metrics,
+        "tenant": args.tenant,
+        "priority": args.priority,
+        "theta_cc": args.theta_cc,
+        "poisson_alpha": args.poisson_alpha,
+        "normalize": args.normalize,
+        "estimated_records": args.estimated_records,
+    }
+    _write_json_atomic(pending / f"{job_id}.json", spec)
+    print(f"submitted {job_id} (tenant {args.tenant}) to {args.spool}")
+    if not args.wait:
+        return 0
+    deadline = time.monotonic() + args.timeout
+    record_path = done / f"{job_id}.json"
+    while time.monotonic() < deadline:
+        if record_path.exists():
+            record = json.loads(record_path.read_text())
+            print(json.dumps(record, indent=2, sort_keys=True))
+            return 0 if record.get("state") == "done" else 1
+        time.sleep(0.2)
+    print(f"error: job {job_id} not finished after {args.timeout}s",
+          file=sys.stderr)
+    return 1
+
+
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -453,6 +725,8 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": _cmd_evaluate,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
     }
     try:
         return handlers[args.command](args)

@@ -39,6 +39,7 @@ from repro.mapreduce.executors import (
     Executor,
     ProcessExecutor,
     SerialExecutor,
+    SlotLease,
     TaskFailedError,
     TaskRunner,
     TaskTimeoutError,
@@ -71,10 +72,23 @@ from repro.mapreduce.job import (
 from repro.mapreduce.runtime import (
     JobResult,
     MapReduceRuntime,
+    RuntimeContext,
     Shuffle,
     ShuffleIntegrityError,
+    new_run_id,
 )
 from repro.mapreduce.types import InputSplit, JobConf, split_block, split_records
+
+# The service plane composes everything above; import it last so the
+# module graph stays acyclic.
+from repro.mapreduce.scheduler import (  # noqa: E402
+    ClusterService,
+    FairShareSlotPool,
+    JobCancelledError,
+    ServiceHandle,
+    TenantLease,
+    TenantQuota,
+)
 
 __all__ = [
     "BatchMapper",
@@ -85,6 +99,7 @@ __all__ = [
     "ChaosExecutor",
     "CheckpointStore",
     "ClusterCostModel",
+    "ClusterService",
     "Combiner",
     "Context",
     "CostEstimate",
@@ -96,6 +111,7 @@ __all__ = [
     "EventLog",
     "events_to_jsonl",
     "Executor",
+    "FairShareSlotPool",
     "FaultClause",
     "FaultPlan",
     "fingerprint_splits",
@@ -103,20 +119,27 @@ __all__ = [
     "HashPartitioner",
     "InputSplit",
     "Job",
+    "JobCancelledError",
     "JobChain",
     "JobConf",
     "JobResult",
     "MapReduceRuntime",
     "Mapper",
     "make_csv_splits",
+    "new_run_id",
     "parse_fault_spec",
     "Partitioner",
     "ProcessExecutor",
     "Reducer",
     "resolve_executor",
+    "RuntimeContext",
     "SerialExecutor",
+    "ServiceHandle",
     "Shuffle",
     "ShuffleIntegrityError",
+    "SlotLease",
+    "TenantLease",
+    "TenantQuota",
     "TaskFailedError",
     "TaskRunner",
     "TaskTimeoutError",

@@ -32,7 +32,12 @@ from repro.mapreduce.costmodel import (
 from repro.mapreduce.events import EventKind
 from repro.mapreduce.fs import CheckpointStore, chain_fingerprint
 from repro.mapreduce.job import Job
-from repro.mapreduce.runtime import JobResult, MapReduceRuntime
+from repro.mapreduce.runtime import (
+    JobResult,
+    MapReduceRuntime,
+    RuntimeContext,
+    new_run_id,
+)
 from repro.mapreduce.types import InputSplit, JobConf
 
 
@@ -78,13 +83,21 @@ class JobChain:
 
     def __init__(
         self,
-        runtime: MapReduceRuntime,
+        runtime: MapReduceRuntime | RuntimeContext,
         checkpoint: CheckpointStore | str | Path | None = None,
         resume: bool = False,
         auto_tune: bool = False,
         cost_model: ClusterCostModel | None = None,
+        run_id: str | None = None,
     ) -> None:
+        if isinstance(runtime, RuntimeContext):
+            # Service-plane path: the scheduler hands the chain a
+            # pre-wired context instead of a runtime.
+            runtime = MapReduceRuntime(context=runtime)
         self.runtime = runtime
+        self.run_id = run_id or getattr(runtime, "run_id", None) or new_run_id(
+            "chain"
+        )
         self.steps: list[ChainStep] = []
         if checkpoint is not None and not isinstance(checkpoint, CheckpointStore):
             checkpoint = CheckpointStore(checkpoint)
@@ -126,11 +139,7 @@ class JobChain:
         reducer otherwise.
         """
         if num_reducers is None:
-            num_reducers = (
-                self.plan(sum(len(split) for split in splits)).num_reducers
-                if self.auto_tune
-                else 1
-            )
+            num_reducers = self._choose_reducers(name, splits)
         conf = JobConf(
             name=name,
             num_splits=num_splits if num_splits is not None else len(splits),
@@ -142,6 +151,31 @@ class JobChain:
         result = self.runtime.run(job, splits, conf)
         self.steps.append(ChainStep(name=name, result=result))
         return result
+
+    def _choose_reducers(
+        self, name: str, splits: Sequence[InputSplit]
+    ) -> int:
+        """Reducer count for a ``num_reducers=None`` step.
+
+        Without ``auto_tune`` the classic default of one reducer.  With
+        it, a resumed chain first consults the checkpointed partition
+        plan: the restored prefix leaves only ``job_skipped`` events
+        behind, so re-planning would calibrate from silence, change the
+        step's ``JobConf`` and invalidate every downstream fingerprint.
+        Fresh choices are persisted (before execution) so the next
+        resume reuses them.
+        """
+        if not self.auto_tune:
+            return 1
+        key = CheckpointStore.job_key(len(self.steps), name)
+        if self.checkpoint is not None and self.resume:
+            stored = self.checkpoint.load_plan(key)
+            if stored is not None:
+                return stored
+        chosen = self.plan(sum(len(split) for split in splits)).num_reducers
+        if self.checkpoint is not None:
+            self.checkpoint.save_plan(key, chosen)
+        return chosen
 
     def _run_checkpointed(
         self,

@@ -58,6 +58,11 @@ class Counters:
     PIPELINED_REDUCES = "pipelined_reduces"
     TASK_RETRIES = "task_retries"
     FRAMEWORK = "framework"
+    #: Service-plane accounting (the scheduler's fair-share slot pool
+    #: mirrors per-tenant grants here so run reports can audit shares).
+    SLOTS_GRANTED = "slots_granted"
+    SLOT_WAIT_MS = "slot_wait_ms"
+    SERVICE = "service"
 
     def __init__(self) -> None:
         self._groups: dict[str, CounterGroup] = {}

@@ -67,6 +67,9 @@ class Event:
     duration_s: float | None = None
     counters: Mapping[str, Mapping[str, int]] | None = None
     error: str | None = None
+    #: The owning chain/run of the emitting log (service plane); events
+    #: from the classic one-log-per-runtime layout carry ``None``.
+    run_id: str | None = None
 
     def counter(self, group: str, name: str) -> int:
         if not self.counters:
@@ -92,6 +95,9 @@ class EventLog:
     events: list[Event] = field(default_factory=list)
     _subscribers: list[Callable[[Event], None]] = field(default_factory=list)
     _origin: float = field(default_factory=time.perf_counter)
+    #: Stamped onto every emitted event, so streams from concurrent
+    #: chains stay attributable after any downstream merge.
+    run_id: str | None = None
 
     def emit(
         self,
@@ -116,6 +122,7 @@ class EventLog:
             duration_s=duration_s,
             counters=counters,
             error=error,
+            run_id=self.run_id,
         )
         self.events.append(event)
         for subscriber in list(self._subscribers):

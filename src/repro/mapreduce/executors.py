@@ -110,6 +110,77 @@ class TaskOutcome:
             return cls(error=error)
 
 
+class SlotLease:
+    """Cooperative slot admission: the scheduler's seam into executors.
+
+    An executor carrying a lease (:attr:`Executor.slot_lease`) holds
+    exactly one slot per in-flight task: ``acquire()`` runs before each
+    dispatch and ``release()`` when the attempt completes, so a
+    scheduler (see :mod:`repro.mapreduce.scheduler`) can interleave
+    task batches from many concurrent chains on one bounded pool.
+    Implementations must be thread-safe — the pipelined runtime and the
+    timeout/speculation monitor both dispatch from driver threads while
+    releases arrive on pool callback threads.  No slot is ever held
+    while waiting for another (acquire-per-task, release-at-settle), so
+    leases cannot deadlock across chains.
+    """
+
+    def acquire(self) -> None:
+        raise NotImplementedError
+
+    def release(self) -> None:
+        raise NotImplementedError
+
+
+class _LeasedPool:
+    """Wraps a task pool so every submitted call holds one lease slot
+    until its future settles.  Done callbacks fire exactly once —
+    including for cancelled futures — so accounting balances on every
+    path, and a submit that itself raises releases eagerly."""
+
+    def __init__(self, pool: Any, lease: SlotLease) -> None:
+        self._pool = pool
+        self._lease = lease
+
+    def submit(self, fn: Callable[..., Any], *args: Any) -> Future:
+        self._lease.acquire()
+        try:
+            future = self._pool.submit(fn, *args)
+        except BaseException:
+            self._lease.release()
+            raise
+        future.add_done_callback(lambda _f: self._lease.release())
+        return future
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        self._pool.shutdown(wait=wait, cancel_futures=cancel_futures)
+
+    def __enter__(self) -> "_LeasedPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> bool:
+        self.shutdown(wait=True)
+        return False
+
+
+def _run_inline(
+    fn: Callable[..., Any],
+    calls: Sequence[tuple],
+    lease: SlotLease | None,
+) -> list[TaskOutcome]:
+    """In-process batch execution, lease-gated when a lease is set."""
+    if lease is None:
+        return [TaskOutcome.capture(fn, args) for args in calls]
+    outcomes: list[TaskOutcome] = []
+    for args in calls:
+        lease.acquire()
+        try:
+            outcomes.append(TaskOutcome.capture(fn, args))
+        finally:
+            lease.release()
+    return outcomes
+
+
 class Executor:
     """Backend contract: run a batch of task calls, never raise.
 
@@ -119,6 +190,12 @@ class Executor:
     """
 
     name: str = "executor"
+
+    #: Optional cooperative admission lease.  When set (by the service
+    #: plane), every task dispatch acquires one slot first and releases
+    #: it at completion; ``None`` (the default) costs one attribute
+    #: check per batch.
+    slot_lease: SlotLease | None = None
 
     def run_batch(
         self, fn: Callable[..., Any], calls: Sequence[tuple]
@@ -171,7 +248,7 @@ class SerialExecutor(Executor):
     def run_batch(
         self, fn: Callable[..., Any], calls: Sequence[tuple]
     ) -> list[TaskOutcome]:
-        return [TaskOutcome.capture(fn, args) for args in calls]
+        return _run_inline(fn, calls, self.slot_lease)
 
 
 class _PoolExecutor(Executor):
@@ -186,15 +263,19 @@ class _PoolExecutor(Executor):
         raise NotImplementedError
 
     def make_pool(self):
-        return self._make_pool()
+        pool = self._make_pool()
+        lease = self.slot_lease
+        return _LeasedPool(pool, lease) if lease is not None else pool
 
     def run_batch(
         self, fn: Callable[..., Any], calls: Sequence[tuple]
     ) -> list[TaskOutcome]:
         if len(calls) <= 1 or self.max_workers == 1:
             # A pool buys nothing for a single task; skip its overhead.
-            return [TaskOutcome.capture(fn, args) for args in calls]
-        with self._make_pool() as pool:
+            return _run_inline(fn, calls, self.slot_lease)
+        # make_pool (not _make_pool): a set slot_lease gates every
+        # submit through the leased wrapper.
+        with self.make_pool() as pool:
             futures: list[Future] = [pool.submit(fn, *args) for args in calls]
             outcomes: list[TaskOutcome] = []
             for future in futures:
@@ -665,9 +746,12 @@ class TaskRunner:
                 task_id=tid,
                 attempt=attempt,
             )
-            if not speculative:
-                dispatched_at[tid] = time.perf_counter()
             future = pool.submit(call_fn, *call_args)
+            if not speculative:
+                # Timed from submit *completion*: a leased pool may
+                # block in submit waiting for a slot grant, and slot
+                # wait must not count against the task's timeout.
+                dispatched_at[tid] = time.perf_counter()
             pending[future] = (tid, attempt, speculative)
 
         def fail_attempt(tid: int, attempt: int, error: Exception) -> None:

@@ -292,6 +292,17 @@ class ChaosExecutor(Executor):
     def name(self) -> str:  # type: ignore[override]
         return f"chaos+{self.inner.name}"
 
+    @property
+    def slot_lease(self):  # type: ignore[override]
+        """Delegates to the wrapped backend: ``run_batch``/``make_pool``
+        run there, so the lease must live there too — and the scheduler
+        may bind it before or after chaos wrapping."""
+        return self.inner.slot_lease
+
+    @slot_lease.setter
+    def slot_lease(self, lease) -> None:
+        self.inner.slot_lease = lease
+
     def bind_events(self, events: EventLog) -> None:
         """Late-bind the event log injected faults are announced on."""
         self.events = events

@@ -28,6 +28,7 @@ included) and every attempt is visible in the runtime's event stream.
 
 from __future__ import annotations
 
+import itertools
 import time
 from concurrent.futures import FIRST_COMPLETED, Future
 from concurrent.futures import wait as _futures_wait
@@ -71,12 +72,49 @@ TASK_RETRIES = Counters.TASK_RETRIES
 __all__ = [
     "JobResult",
     "MapReduceRuntime",
+    "RuntimeContext",
     "Shuffle",
     "ShuffleIntegrityError",
     "TaskFailedError",
     "TaskTimeoutError",
     "TASK_RETRIES",
+    "new_run_id",
 ]
+
+_RUN_IDS = itertools.count(1)
+
+
+def new_run_id(prefix: str = "run") -> str:
+    """Process-unique run identifier (``chain-3``); cheap, monotone."""
+    return f"{prefix}-{next(_RUN_IDS)}"
+
+
+@dataclass(frozen=True)
+class RuntimeContext:
+    """Injected wiring for one chain's runtime (the service-plane seam).
+
+    Historically every :class:`MapReduceRuntime` constructed its own
+    executor and event log, so only one chain could sensibly exist per
+    process.  A context inverts that ownership: the scheduler (or a
+    test) decides the executor — typically one whose ``slot_lease`` is
+    bound to the shared fair-share pool — the per-chain event log, the
+    run identity and the fault/timeout policies, and hands the bundle
+    to the runtime.  When a context is given it *fully* determines the
+    runtime's wiring; the runtime's own keyword defaults are ignored.
+    """
+
+    executor: "str | Executor | None" = None
+    max_workers: int | None = None
+    events: EventLog | None = None
+    run_id: str | None = None
+    tenant: str = "default"
+    fault_plan: FaultPlan | None = None
+    task_timeout_s: float | None = None
+    speculative: bool = False
+    speculation_factor: float = 2.0
+    #: Per-run observability scope (``Observability.for_run``); kept as
+    #: ``Any`` so the mapreduce layer stays import-free of ``repro.obs``.
+    obs: Any = None
 
 
 class ShuffleIntegrityError(RuntimeError):
@@ -450,11 +488,29 @@ class MapReduceRuntime:
         task_timeout_s: float | None = None,
         speculative: bool = False,
         speculation_factor: float = 2.0,
+        context: RuntimeContext | None = None,
     ) -> None:
+        if context is not None:
+            # An injected context fully determines the wiring; the other
+            # keyword defaults are ignored (except obs, which may still
+            # be passed explicitly and falls back to the context's).
+            max_workers = context.max_workers
+            executor = context.executor
+            fault_plan = context.fault_plan
+            task_timeout_s = context.task_timeout_s
+            speculative = context.speculative
+            speculation_factor = context.speculation_factor
+            if obs is None:
+                obs = context.obs
         if max_workers is not None and max_workers < 1:
             raise ValueError("max_workers must be >= 1")
+        self.context = context
+        self.run_id = context.run_id if context is not None else None
         self.max_workers = max_workers
-        self.events = EventLog()
+        if context is not None and context.events is not None:
+            self.events = context.events
+        else:
+            self.events = EventLog(run_id=self.run_id)
         self.fault_plan = fault_plan
         self.task_timeout_s = task_timeout_s
         self.speculative = speculative

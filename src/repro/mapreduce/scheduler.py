@@ -1,0 +1,608 @@
+"""The service plane: a scheduler-owned pool serving concurrent chains.
+
+Historically this runtime was one-shot — a driver built a
+:class:`~repro.mapreduce.runtime.MapReduceRuntime`, ran its chain and
+exited, so one process served one chain.  This module inverts the
+ownership, following the shared-service framing of MapReduce analysis
+(Gonen, arXiv 1712.01817): a long-lived :class:`ClusterService` owns
+*one* executor pool, and chains become *submitted jobs* from named
+tenants.
+
+Three mechanisms compose:
+
+``FairShareSlotPool``
+    The global slot ledger.  Every task an executor would dispatch
+    first acquires a slot via the executor's
+    :class:`~repro.mapreduce.executors.SlotLease` seam; under
+    contention, grants go to the *most starved* tenant — the waiting
+    tenant whose ``in_use / weight`` share is smallest — implementing
+    weighted fair queueing over phase task batches.  Per-tenant
+    ``max_slots`` quotas cap a tenant without blocking others, and
+    every grant / wait-millisecond is mirrored into Hadoop-style
+    :class:`~repro.mapreduce.counters.Counters` for run reports.
+
+``ClusterService``
+    Admission and lifecycle.  Submissions are *gated, not rejected*:
+    a :class:`~repro.mapreduce.costmodel.ClusterCostModel` estimate
+    prices each chain, and when the active estimated load exceeds the
+    service's budget new chains queue until capacity frees (an idle
+    service always admits, so nothing starves on a bad estimate).
+    Admitted chains run on a daemon thread with an injected
+    :class:`~repro.mapreduce.runtime.RuntimeContext`: a fresh executor
+    whose lease is bound to the shared pool, a per-chain event log and
+    a per-run observability scope — per-chain isolation with
+    service-level aggregate counters.
+
+``ServiceHandle``
+    The client surface: ``status`` / ``wait`` / ``result`` / ``cancel``.
+    Cancellation is cooperative — a queued chain is dropped in place,
+    a running chain observes the cancel at its next slot acquisition
+    and unwinds with :class:`JobCancelledError`.
+
+Retried task attempts deliberately run *unleased*: retries re-execute
+in-process inside the settlement path (rare by construction), so the
+simple retry machinery stays shared with the one-shot runtime.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.mapreduce.costmodel import ClusterCostModel
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.events import EventLog
+from repro.mapreduce.executors import SlotLease, resolve_executor
+from repro.mapreduce.faults import FaultPlan
+from repro.mapreduce.runtime import RuntimeContext
+
+__all__ = [
+    "ClusterService",
+    "FairShareSlotPool",
+    "JobCancelledError",
+    "ServiceHandle",
+    "TenantLease",
+    "TenantQuota",
+]
+
+
+class JobCancelledError(RuntimeError):
+    """A submitted chain was cancelled before or during execution."""
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant scheduling policy.
+
+    ``weight`` scales the tenant's fair share (2.0 = twice the slots
+    under contention); ``max_slots`` hard-caps concurrent slots held;
+    ``max_concurrent`` caps chains admitted at once (excess chains
+    queue).
+    """
+
+    weight: float = 1.0
+    max_slots: int | None = None
+    max_concurrent: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("tenant weight must be > 0")
+        if self.max_slots is not None and self.max_slots < 1:
+            raise ValueError("max_slots must be >= 1")
+        if self.max_concurrent is not None and self.max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+
+
+class FairShareSlotPool:
+    """Weighted-fair slot admission over one shared executor pool.
+
+    A slot is one concurrently running task.  ``acquire(tenant)``
+    blocks until the tenant may run another task: the pool must have a
+    free slot, the tenant must be under its ``max_slots`` cap, and no
+    *other* eligible waiting tenant may be more starved (smaller
+    ``in_use / weight``).  Because executors acquire one slot per task
+    and never hold a slot while waiting for another, grants cannot
+    deadlock; fairness emerges from per-task interleaving across
+    tenants' phase batches.
+    """
+
+    def __init__(self, slots: int, poll_s: float = 0.05) -> None:
+        if slots < 1:
+            raise ValueError("slot pool needs >= 1 slot")
+        self.slots = slots
+        self.poll_s = poll_s
+        self._cond = threading.Condition()
+        self._quotas: dict[str, TenantQuota] = {}
+        self._in_use: dict[str, int] = {}
+        self._waiting: dict[str, int] = {}
+        #: Per-tenant (``tenant.<name>``) and aggregate (``service``)
+        #: grant/wait accounting, mirrored into run reports.
+        self.counters = Counters()
+
+    def configure(self, tenant: str, quota: TenantQuota) -> None:
+        with self._cond:
+            self._quotas[tenant] = quota
+            self._cond.notify_all()
+
+    def quota(self, tenant: str) -> TenantQuota:
+        with self._cond:
+            return self._quotas.get(tenant, TenantQuota())
+
+    # -- grant rule (call with the lock held) ---------------------------
+
+    def _capped(self, tenant: str) -> bool:
+        quota = self._quotas.get(tenant, TenantQuota())
+        return (
+            quota.max_slots is not None
+            and self._in_use.get(tenant, 0) >= quota.max_slots
+        )
+
+    def _share(self, tenant: str) -> float:
+        weight = self._quotas.get(tenant, TenantQuota()).weight
+        return self._in_use.get(tenant, 0) / weight
+
+    def _may_grant(self, tenant: str) -> bool:
+        if sum(self._in_use.values()) >= self.slots:
+            return False
+        if self._capped(tenant):
+            return False
+        # Yield to any strictly-more-starved eligible waiter: weighted
+        # fair queueing, evaluated at every grant point.
+        share = self._share(tenant)
+        for other, waiting in self._waiting.items():
+            if other == tenant or waiting <= 0 or self._capped(other):
+                continue
+            if self._share(other) < share - 1e-9:
+                return False
+        return True
+
+    # -- slot protocol --------------------------------------------------
+
+    def acquire(
+        self, tenant: str, cancel: threading.Event | None = None
+    ) -> float:
+        """Block until ``tenant`` is granted a slot; returns the wait in
+        seconds.  Raises :class:`JobCancelledError` once ``cancel`` is
+        set — the cooperative cancellation point of running chains."""
+        started = time.perf_counter()
+        with self._cond:
+            if cancel is not None and cancel.is_set():
+                raise JobCancelledError(f"chain of tenant {tenant!r} cancelled")
+            self._waiting[tenant] = self._waiting.get(tenant, 0) + 1
+            try:
+                while not self._may_grant(tenant):
+                    # Bounded wait only when a cancel flag needs polling;
+                    # otherwise sleep until a release/configure notifies.
+                    self._cond.wait(self.poll_s if cancel is not None else None)
+                    if cancel is not None and cancel.is_set():
+                        raise JobCancelledError(
+                            f"chain of tenant {tenant!r} cancelled"
+                        )
+            finally:
+                self._waiting[tenant] -= 1
+            self._in_use[tenant] = self._in_use.get(tenant, 0) + 1
+            waited = time.perf_counter() - started
+            for group in (f"tenant.{tenant}", Counters.SERVICE):
+                self.counters.increment(group, Counters.SLOTS_GRANTED)
+                self.counters.increment(
+                    group, Counters.SLOT_WAIT_MS, int(waited * 1000)
+                )
+            return waited
+
+    def release(self, tenant: str) -> None:
+        with self._cond:
+            held = self._in_use.get(tenant, 0)
+            if held <= 0:
+                raise RuntimeError(
+                    f"tenant {tenant!r} released a slot it never acquired"
+                )
+            self._in_use[tenant] = held - 1
+            self._cond.notify_all()
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._cond:
+            return {
+                "slots": self.slots,
+                "in_use": {t: n for t, n in self._in_use.items() if n},
+                "waiting": {t: n for t, n in self._waiting.items() if n},
+                "counters": self.counters.snapshot(),
+            }
+
+
+@dataclass
+class TenantLease(SlotLease):
+    """Binds one chain's executor to the shared pool, as one tenant.
+
+    The executor seam calls ``acquire``/``release`` around every task;
+    this lease routes those calls to the fair-share pool and mirrors
+    grant/wait accounting into the chain's per-run obs scope.
+    """
+
+    pool: FairShareSlotPool
+    tenant: str = "default"
+    obs: Any = None
+    cancel: threading.Event | None = None
+
+    def acquire(self) -> None:
+        waited = self.pool.acquire(self.tenant, cancel=self.cancel)
+        if self.obs is not None and getattr(self.obs, "enabled", False):
+            self.obs.count("service.slots_granted")
+            self.obs.observe("service.slot_wait_s", waited)
+
+    def release(self) -> None:
+        self.pool.release(self.tenant)
+
+
+# -- the service ---------------------------------------------------------
+
+_QUEUED = "queued"
+_RUNNING = "running"
+_DONE = "done"
+_FAILED = "failed"
+_CANCELLED = "cancelled"
+
+
+@dataclass
+class _ServiceJob:
+    """Internal lifecycle record of one submitted chain."""
+
+    id: str
+    name: str
+    tenant: str
+    fn: Callable[[RuntimeContext], Any]
+    estimate_s: float
+    fault_plan: FaultPlan | None = None
+    task_timeout_s: float | None = None
+    speculative: bool = False
+    state: str = _QUEUED
+    cancel: threading.Event = field(default_factory=threading.Event)
+    finished: threading.Event = field(default_factory=threading.Event)
+    result: Any = None
+    error: BaseException | None = None
+    submitted_s: float = 0.0
+    started_s: float | None = None
+    finished_s: float | None = None
+
+
+class ServiceHandle:
+    """Client-side view of one submitted chain."""
+
+    def __init__(self, service: "ClusterService", job: _ServiceJob) -> None:
+        self._service = service
+        self._job = job
+
+    @property
+    def job_id(self) -> str:
+        return self._job.id
+
+    @property
+    def tenant(self) -> str:
+        return self._job.tenant
+
+    @property
+    def name(self) -> str:
+        return self._job.name
+
+    def status(self) -> str:
+        """``queued`` / ``running`` / ``done`` / ``failed`` / ``cancelled``."""
+        return self._job.state
+
+    def done(self) -> bool:
+        return self._job.finished.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        return self._job.finished.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> Any:
+        """The chain's return value; re-raises its failure or
+        :class:`JobCancelledError` when it did not complete."""
+        if not self._job.finished.wait(timeout):
+            raise TimeoutError(
+                f"job {self._job.id} still {self._job.state} after {timeout}s"
+            )
+        if self._job.state == _CANCELLED:
+            raise JobCancelledError(f"job {self._job.id} was cancelled")
+        if self._job.error is not None:
+            raise self._job.error
+        return self._job.result
+
+    @property
+    def error(self) -> BaseException | None:
+        return self._job.error
+
+    def cancel(self) -> None:
+        """Cooperative cancel: queued chains are dropped immediately,
+        running chains unwind at their next slot acquisition."""
+        self._service._cancel(self._job)
+
+    def info(self) -> dict[str, Any]:
+        job = self._job
+        now = time.perf_counter()
+        queue_wait = (job.started_s or now) - job.submitted_s
+        run_s = None
+        if job.started_s is not None:
+            run_s = (job.finished_s or now) - job.started_s
+        return {
+            "id": job.id,
+            "name": job.name,
+            "tenant": job.tenant,
+            "state": job.state,
+            "estimate_s": job.estimate_s,
+            "queue_wait_s": queue_wait,
+            "run_s": run_s,
+        }
+
+
+class ClusterService:
+    """Long-lived multi-tenant scheduler over one shared executor pool.
+
+    ``submit`` takes a *chain function* — any callable of one
+    :class:`~repro.mapreduce.runtime.RuntimeContext` argument — and
+    returns a :class:`ServiceHandle`.  The service builds the context:
+    a fresh executor of the configured backend, lease-bound to the
+    fair-share pool under the submitting tenant, plus a per-chain
+    event log and per-run observability scope.
+
+    Admission is cost-gated, not rejecting: each submission is priced
+    by the cost model (``estimated_records`` x ``estimated_jobs``
+    through :meth:`~repro.mapreduce.costmodel.ClusterCostModel.scan_job`)
+    and queues while the active estimated load exceeds
+    ``admission_budget_s`` — except on an idle service, which always
+    admits the next chain so a pessimistic estimate can never wedge
+    the queue.
+    """
+
+    #: Chain length assumed when a submission carries no estimate —
+    #: the typical P3C+-MR pipeline depth.
+    DEFAULT_CHAIN_JOBS = 10
+
+    def __init__(
+        self,
+        slots: int | None = None,
+        executor: str = "thread",
+        *,
+        cost_model: ClusterCostModel | None = None,
+        obs: Any = None,
+        admission_budget_s: float | None = None,
+        name: str = "cluster",
+    ) -> None:
+        self.slots = slots or os.cpu_count() or 4
+        self.executor_spec = executor
+        self.cost_model = cost_model or ClusterCostModel()
+        self.obs = obs
+        self.name = name
+        self.admission_budget_s = (
+            admission_budget_s
+            if admission_budget_s is not None
+            else self.slots * 600.0
+        )
+        self.pool = FairShareSlotPool(self.slots)
+        self._lock = threading.Lock()
+        self._jobs: dict[str, _ServiceJob] = {}
+        self._queue: deque[_ServiceJob] = deque()
+        self._running: set[str] = set()
+        self._active_cost_s = 0.0
+        self._seq = itertools.count(1)
+        self._closed = False
+
+    # -- tenant policy --------------------------------------------------
+
+    def set_quota(
+        self,
+        tenant: str,
+        *,
+        weight: float = 1.0,
+        max_slots: int | None = None,
+        max_concurrent: int | None = None,
+    ) -> None:
+        self.pool.configure(
+            tenant,
+            TenantQuota(
+                weight=weight,
+                max_slots=max_slots,
+                max_concurrent=max_concurrent,
+            ),
+        )
+
+    # -- submission -----------------------------------------------------
+
+    def _estimate_cost_s(
+        self, estimated_records: int | None, estimated_jobs: int | None
+    ) -> float:
+        per_job = self.cost_model.scan_job(estimated_records or 0)
+        return per_job.total_s * (estimated_jobs or self.DEFAULT_CHAIN_JOBS)
+
+    def submit(
+        self,
+        fn: Callable[[RuntimeContext], Any],
+        *,
+        name: str | None = None,
+        tenant: str = "default",
+        priority: float | None = None,
+        estimated_records: int | None = None,
+        estimated_jobs: int | None = None,
+        fault_plan: FaultPlan | None = None,
+        task_timeout_s: float | None = None,
+        speculative: bool = False,
+    ) -> ServiceHandle:
+        """Queue one chain for execution; returns immediately.
+
+        ``priority`` is sugar for the tenant's fair-share weight (it
+        reconfigures the tenant's quota, keeping any slot caps).
+        """
+        if self._closed:
+            raise RuntimeError("service is shut down")
+        if priority is not None:
+            current = self.pool.quota(tenant)
+            self.pool.configure(
+                tenant,
+                TenantQuota(
+                    weight=priority,
+                    max_slots=current.max_slots,
+                    max_concurrent=current.max_concurrent,
+                ),
+            )
+        job = _ServiceJob(
+            id=f"{tenant}/{name or 'chain'}-{next(self._seq)}",
+            name=name or "chain",
+            tenant=tenant,
+            fn=fn,
+            estimate_s=self._estimate_cost_s(estimated_records, estimated_jobs),
+            fault_plan=fault_plan,
+            task_timeout_s=task_timeout_s,
+            speculative=speculative,
+            submitted_s=time.perf_counter(),
+        )
+        with self._lock:
+            self._jobs[job.id] = job
+            self._queue.append(job)
+            launch = self._admit_locked()
+        for admitted in launch:
+            self._launch(admitted)
+        return ServiceHandle(self, job)
+
+    # -- admission (call with self._lock held) --------------------------
+
+    def _admit_locked(self) -> list[_ServiceJob]:
+        """Drain the queue prefix the budget and quotas allow.
+
+        Blocked entries stay queued *in order* — admission is a gate,
+        not a rejection — and a cancelled-while-queued job is dropped
+        on the way through.
+        """
+        admitted: list[_ServiceJob] = []
+        blocked: deque[_ServiceJob] = deque()
+        running_per_tenant: dict[str, int] = {}
+        for job_id in self._running:
+            tenant = self._jobs[job_id].tenant
+            running_per_tenant[tenant] = running_per_tenant.get(tenant, 0) + 1
+        while self._queue:
+            job = self._queue.popleft()
+            if job.state != _QUEUED:
+                continue
+            quota = self.pool.quota(job.tenant)
+            tenant_running = running_per_tenant.get(job.tenant, 0)
+            over_quota = (
+                quota.max_concurrent is not None
+                and tenant_running >= quota.max_concurrent
+            )
+            over_budget = (
+                self._active_cost_s + job.estimate_s > self.admission_budget_s
+                and self._running
+            )
+            if over_quota or over_budget:
+                blocked.append(job)
+                continue
+            job.state = _RUNNING
+            job.started_s = time.perf_counter()
+            self._running.add(job.id)
+            self._active_cost_s += job.estimate_s
+            running_per_tenant[job.tenant] = tenant_running + 1
+            admitted.append(job)
+        self._queue = blocked
+        return admitted
+
+    # -- execution ------------------------------------------------------
+
+    def _launch(self, job: _ServiceJob) -> None:
+        thread = threading.Thread(
+            target=self._run_job,
+            args=(job,),
+            name=f"svc-{job.id}",
+            daemon=True,
+        )
+        thread.start()
+
+    def _run_job(self, job: _ServiceJob) -> None:
+        run_obs = None
+        if self.obs is not None and getattr(self.obs, "enabled", False):
+            run_obs = self.obs.for_run(job.id)
+        executor = resolve_executor(self.executor_spec, self.slots)
+        executor.slot_lease = TenantLease(
+            self.pool, job.tenant, obs=run_obs, cancel=job.cancel
+        )
+        ctx = RuntimeContext(
+            executor=executor,
+            max_workers=self.slots,
+            events=EventLog(run_id=job.id),
+            run_id=job.id,
+            tenant=job.tenant,
+            fault_plan=job.fault_plan,
+            task_timeout_s=job.task_timeout_s,
+            speculative=job.speculative,
+            obs=run_obs,
+        )
+        try:
+            result = job.fn(ctx)
+        except JobCancelledError:
+            self._finish(job, _CANCELLED)
+        except BaseException as error:  # noqa: BLE001 - reported via handle
+            job.error = error
+            self._finish(job, _FAILED)
+        else:
+            # A chain that completed normally beats a late cancel:
+            # the work is done, deliver the result.
+            job.result = result
+            self._finish(job, _DONE)
+
+    def _finish(self, job: _ServiceJob, state: str) -> None:
+        with self._lock:
+            job.state = state
+            job.finished_s = time.perf_counter()
+            self._running.discard(job.id)
+            self._active_cost_s = max(
+                0.0, self._active_cost_s - job.estimate_s
+            )
+            launch = self._admit_locked()
+        if self.obs is not None and getattr(self.obs, "enabled", False):
+            self.obs.count(f"service.{state}")
+        job.finished.set()
+        for admitted in launch:
+            self._launch(admitted)
+
+    def _cancel(self, job: _ServiceJob) -> None:
+        with self._lock:
+            if job.state == _QUEUED:
+                job.state = _CANCELLED
+                job.finished_s = time.perf_counter()
+                job.finished.set()
+                return
+        # Running (or already finished): flip the cooperative flag; a
+        # running chain unwinds at its next slot acquisition.
+        job.cancel.set()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def jobs(self) -> list[ServiceHandle]:
+        with self._lock:
+            return [ServiceHandle(self, job) for job in self._jobs.values()]
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Wait until every submitted chain has finished."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        for job in list(self._jobs.values()):
+            remaining = None
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.perf_counter())
+            if not job.finished.wait(remaining):
+                return False
+        return True
+
+    def shutdown(self, cancel_pending: bool = False) -> None:
+        self._closed = True
+        if cancel_pending:
+            for job in list(self._jobs.values()):
+                if not job.finished.is_set():
+                    self._cancel(job)
+        self.drain()
+
+    def __enter__(self) -> "ClusterService":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

@@ -25,7 +25,13 @@ import numpy as np
 from repro.core.intervals import find_relevant_intervals
 from repro.core.p3c_plus import P3CPlusConfig, _validate_data
 from repro.core.types import ClusteringResult, ProjectedCluster
-from repro.mapreduce import FaultPlan, JobChain, MapReduceRuntime
+from repro.mapreduce import (
+    FaultPlan,
+    JobChain,
+    MapReduceRuntime,
+    RuntimeContext,
+    new_run_id,
+)
 from repro.mapreduce.types import InputSplit, split_records
 from repro.mr.attribute_jobs import ArrayMembership
 from repro.mr.candidates import DEFAULT_T_GEN
@@ -72,29 +78,58 @@ class P3CPlusMR:
         config: P3CPlusConfig | None = None,
         mr_config: P3CPlusMRConfig | None = None,
         obs: Observability | None = None,
+        context: RuntimeContext | None = None,
     ) -> None:
         self.config = config or P3CPlusConfig()
         self.mr_config = mr_config or P3CPlusMRConfig()
-        self.obs = obs or NULL_OBS
+        self._base_obs = obs or NULL_OBS
+        self.obs = self._base_obs
+        #: Service-plane wiring: when set, the runtime is built from
+        #: this context (shared-pool executor, per-chain event log)
+        #: instead of ``mr_config``'s executor knobs.
+        self.context = context
         self.chain: JobChain | None = None
 
     # -- shared front half (also used by the Light driver) -------------
 
+    def _begin_run(self) -> Observability:
+        """Scope observability to this fit: per-run spans and metrics.
+
+        Two drivers sharing one process (or one service obs) each get
+        their own scope, so back-to-back reports stay disjoint; scoped
+        contexts handed in by the service pass through unchanged.
+        """
+        base = self._base_obs
+        if self.context is not None and self.context.obs is not None:
+            base = self.context.obs
+        run_id = (
+            self.context.run_id if self.context is not None else None
+        ) or new_run_id("chain")
+        self.obs = base.for_run(run_id)
+        return self.obs
+
     def _make_chain(self) -> JobChain:
         """Runtime + chain wired to this driver's observability context."""
         mr_config = self.mr_config
-        runtime = MapReduceRuntime(
-            max_workers=mr_config.max_workers,
-            executor=mr_config.executor,
-            obs=self.obs if self.obs.enabled else None,
-            fault_plan=mr_config.fault_plan,
-            task_timeout_s=mr_config.task_timeout_s,
-            speculative=mr_config.speculative,
-        )
+        if self.context is not None:
+            runtime = MapReduceRuntime(
+                obs=self.obs if self.obs.enabled else None,
+                context=self.context,
+            )
+        else:
+            runtime = MapReduceRuntime(
+                max_workers=mr_config.max_workers,
+                executor=mr_config.executor,
+                obs=self.obs if self.obs.enabled else None,
+                fault_plan=mr_config.fault_plan,
+                task_timeout_s=mr_config.task_timeout_s,
+                speculative=mr_config.speculative,
+            )
         chain = JobChain(
             runtime,
             checkpoint=mr_config.checkpoint_dir,
             resume=mr_config.resume,
+            run_id=getattr(self.obs, "run_id", None),
         )
         self.chain = chain
         return chain
@@ -164,7 +199,7 @@ class P3CPlusMR:
         """Cluster from pre-built input splits (in-memory or
         file-backed, see :func:`repro.mapreduce.fs.make_csv_splits`);
         the driver never materialises the data matrix."""
-        obs = self.obs
+        obs = self._begin_run()
         with obs.run("p3c_plus_mr", n=n, d=d):
             chain = self._make_chain()
 

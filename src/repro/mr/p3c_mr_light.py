@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.p3c_plus import P3CPlusConfig, _validate_data
 from repro.core.types import ClusteringResult
+from repro.mapreduce import RuntimeContext
 from repro.mapreduce.types import InputSplit, split_records
 from repro.mr.light_jobs import run_light_membership_job
 from repro.mr.p3c_mr import P3CPlusMR, P3CPlusMRConfig
@@ -29,8 +30,9 @@ class P3CPlusMRLight(P3CPlusMR):
         config: P3CPlusConfig | None = None,
         mr_config: P3CPlusMRConfig | None = None,
         obs: Observability | None = None,
+        context: RuntimeContext | None = None,
     ) -> None:
-        super().__init__(config, mr_config, obs=obs)
+        super().__init__(config, mr_config, obs=obs, context=context)
 
     def fit(self, data: np.ndarray) -> ClusteringResult:
         """Cluster an in-memory data matrix."""
@@ -43,7 +45,7 @@ class P3CPlusMRLight(P3CPlusMR):
         self, splits: list[InputSplit], n: int, d: int
     ) -> ClusteringResult:
         """Cluster from pre-built (possibly file-backed) input splits."""
-        obs = self.obs
+        obs = self._begin_run()
         with obs.run("p3c_plus_mr_light", n=n, d=d):
             chain = self._make_chain()
 

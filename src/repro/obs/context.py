@@ -177,6 +177,31 @@ class Observability:
         self.metrics = MetricsRegistry()
         self.resources = ResourceSampler(trace_allocations=trace_allocations)
         self._bridges: list[tuple[EventLog, _EventBridge]] = []
+        self._trace_allocations = trace_allocations
+        #: ``None`` for the classic process-wide context; set on scopes
+        #: minted by :meth:`for_run` (one per submitted chain).
+        self.run_id: str | None = None
+
+    def for_run(self, run_id: str) -> "Observability":
+        """A per-run scope: own tracer/sampler, metrics chained to ours.
+
+        Each concurrent chain writes spans and metrics into its own
+        scope, so two chains in one process produce disjoint reports
+        (the satellite leak fix) — while counters still roll up to this
+        parent registry for the aggregate service view.  Idempotent:
+        calling on an already-scoped (or disabled) context returns
+        ``self``, so a service-provided scope passes through drivers
+        unchanged.
+        """
+        if not self.enabled or self.run_id is not None:
+            return self
+        scope = Observability(
+            enabled=True, trace_allocations=self._trace_allocations
+        )
+        scope.metrics = MetricsRegistry(parent=self.metrics)
+        scope.run_id = run_id
+        scope.tracer.default_attrs["run_id"] = run_id
+        return scope
 
     # -- driver-facing span helpers -------------------------------------
 
@@ -186,6 +211,8 @@ class Observability:
         if not self.enabled:
             yield None
             return
+        if self.run_id is not None:
+            attrs.setdefault("run_id", self.run_id)
         self.resources.start()
         try:
             with self.tracer.span(name, "run", **attrs) as span:
@@ -217,6 +244,10 @@ class Observability:
     def record(self, name: str, value: float) -> None:
         if self.enabled:
             self.metrics.record(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        if self.enabled:
+            self.metrics.observe(name, value)
 
     # -- runtime bridging -----------------------------------------------
 

@@ -26,6 +26,7 @@ Four instrument kinds:
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
@@ -91,13 +92,23 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Namespaced metric store shared by driver, stages and sinks."""
+    """Namespaced metric store shared by driver, stages and sinks.
 
-    def __init__(self) -> None:
+    A registry may be *chained* to a ``parent``: every write lands in
+    both this registry and (recursively) the parent's.  The service
+    plane uses this for per-run scoping — each submitted chain writes
+    into its own registry, and the shared service-level registry still
+    accumulates the aggregate view.  Writes are lock-protected so
+    concurrent chains can share a parent safely.
+    """
+
+    def __init__(self, parent: "MetricsRegistry | None" = None) -> None:
         self._counters: dict[str, float] = {}
         self._gauges: dict[str, float] = {}
         self._series: dict[str, list[float]] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._parent = parent
+        self._lock = threading.Lock()
 
     # -- instruments ----------------------------------------------------
 
@@ -105,15 +116,24 @@ class MetricsRegistry:
         """Increment the monotone counter ``name`` by ``amount``."""
         if amount < 0:
             raise ValueError(f"counter increments must be >= 0, got {amount}")
-        self._counters[name] = self._counters.get(name, 0) + amount
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+        if self._parent is not None:
+            self._parent.count(name, amount)
 
     def gauge(self, name: str, value: float) -> None:
         """Set the gauge ``name`` (last write wins)."""
-        self._gauges[name] = float(value)
+        with self._lock:
+            self._gauges[name] = float(value)
+        if self._parent is not None:
+            self._parent.gauge(name, value)
 
     def record(self, name: str, value: float) -> None:
         """Append one sample to the ordered series ``name``."""
-        self._series.setdefault(name, []).append(float(value))
+        with self._lock:
+            self._series.setdefault(name, []).append(float(value))
+        if self._parent is not None:
+            self._parent.record(name, value)
 
     def record_all(self, name: str, values: Iterable[float]) -> None:
         for value in values:
@@ -126,11 +146,14 @@ class MetricsRegistry:
         buckets: Sequence[float] | None = None,
     ) -> None:
         """Feed one sample into the bucketed histogram ``name``."""
-        if name not in self._histograms:
-            self._histograms[name] = Histogram(
-                tuple(buckets) if buckets else DEFAULT_BUCKETS
-            )
-        self._histograms[name].observe(value)
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(
+                    tuple(buckets) if buckets else DEFAULT_BUCKETS
+                )
+            self._histograms[name].observe(value)
+        if self._parent is not None:
+            self._parent.observe(name, value, buckets)
 
     # -- queries --------------------------------------------------------
 
@@ -145,11 +168,12 @@ class MetricsRegistry:
 
     def snapshot(self) -> dict[str, Any]:
         """One JSON-ready view of every instrument."""
-        return {
-            "counters": dict(sorted(self._counters.items())),
-            "gauges": dict(sorted(self._gauges.items())),
-            "series": {k: list(v) for k, v in sorted(self._series.items())},
-            "histograms": {
-                k: h.snapshot() for k, h in sorted(self._histograms.items())
-            },
-        }
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "series": {k: list(v) for k, v in sorted(self._series.items())},
+                "histograms": {
+                    k: h.snapshot() for k, h in sorted(self._histograms.items())
+                },
+            }

@@ -77,6 +77,10 @@ class SpanTracer:
         self._origin = time.perf_counter()
         self.spans: list[Span] = []
         self._stack: list[Span] = []
+        #: Merged into every span's attrs at creation (explicit attrs
+        #: win); per-run scopes stamp their ``run_id`` here so every
+        #: span stays attributable after cross-run merges.
+        self.default_attrs: dict[str, Any] = {}
 
     @property
     def origin(self) -> float:
@@ -100,7 +104,7 @@ class SpanTracer:
             span_id=len(self.spans),
             parent_id=self.current.span_id if self.current else None,
             start_s=self.now(),
-            attrs=dict(attrs),
+            attrs={**self.default_attrs, **attrs},
         )
         self.spans.append(span)
         self._stack.append(span)
@@ -149,7 +153,7 @@ class SpanTracer:
             parent_id=parent.span_id if parent else None,
             start_s=start_s,
             end_s=start_s + duration_s,
-            attrs=dict(attrs),
+            attrs={**self.default_attrs, **attrs},
         )
         self.spans.append(span)
         return span

@@ -67,20 +67,9 @@ class SpreadMapper(Mapper):
         context.emit(key + 100, value)
 
 
-def run_chain(
-    executor: str | None,
-    fault_spec: str | None,
-    seed: int = 0,
-    max_workers: int | None = None,
-):
-    """Run the 3-job chain; returns (pickled outputs, runtime)."""
-    plan = FaultPlan.parse(fault_spec, seed=seed) if fault_spec else None
-    runtime = MapReduceRuntime(
-        executor=executor, max_workers=max_workers, fault_plan=plan
-    )
-    chain = JobChain(runtime)
+def _run_jobs(chain: JobChain) -> bytes:
+    """The 3-job chaos chain body; returns the pickled outputs."""
     splits = split_records([(i, i) for i in range(N_RECORDS)], NUM_SPLITS)
-
     r1 = chain.run(
         "count",
         Job(mapper_factory=TokenizeMapper, reducer_factory=CountReducer),
@@ -99,7 +88,21 @@ def run_chain(
         split_records(r2.output, 2),
         num_reducers=0,
     )
-    outputs = pickle.dumps([r1.output, r2.output, sorted(r3.output)])
+    return pickle.dumps([r1.output, r2.output, sorted(r3.output)])
+
+
+def run_chain(
+    executor: str | None,
+    fault_spec: str | None,
+    seed: int = 0,
+    max_workers: int | None = None,
+):
+    """Run the 3-job chain; returns (pickled outputs, runtime)."""
+    plan = FaultPlan.parse(fault_spec, seed=seed) if fault_spec else None
+    runtime = MapReduceRuntime(
+        executor=executor, max_workers=max_workers, fault_plan=plan
+    )
+    outputs = _run_jobs(JobChain(runtime))
     return outputs, runtime
 
 
@@ -153,6 +156,52 @@ def test_chaos_runs_actually_injected_faults():
         1 for e in runtime.events.events if e.kind == EventKind.FAULT_INJECTED
     )
     assert injected >= 3
+
+
+# -- service-plane parity: concurrent chains on one shared pool -----------
+#
+# N chains submitted through the ClusterService — sharing one
+# fair-share slot pool, interleaved at every task grant, optionally
+# under per-chain chaos — must each reproduce the clean serial output
+# byte for byte.  This is the isolation acid test: no cross-chain state
+# (events, counters, retries, shuffle buffers) may leak.
+
+
+@pytest.mark.parametrize(
+    ("executor", "slots", "num_chains", "fault_spec"),
+    [
+        ("serial", 2, 4, None),
+        ("thread", 4, 8, None),  # the 8-concurrent-chains criterion
+        ("thread", 4, 4, CHAOS_SPEC),
+        ("process", 2, 2, CHAOS_SPEC),
+    ],
+)
+def test_scheduler_concurrent_chains_match_serial(
+    clean_baseline, executor, slots, num_chains, fault_spec
+):
+    from repro.mapreduce import ClusterService
+
+    def make_chain_fn(index: int):
+        plan = (
+            FaultPlan.parse(fault_spec, seed=index) if fault_spec else None
+        )
+
+        def run(ctx) -> bytes:
+            return _run_jobs(JobChain(MapReduceRuntime(context=ctx)))
+
+        return run, plan
+
+    with ClusterService(slots=slots, executor=executor) as service:
+        handles = []
+        for i in range(num_chains):
+            fn, plan = make_chain_fn(i)
+            handles.append(
+                service.submit(
+                    fn, name=f"c{i}", tenant=f"t{i % 2}", fault_plan=plan
+                )
+            )
+        results = [handle.result(timeout=120) for handle in handles]
+    assert all(outputs == clean_baseline for outputs in results)
 
 
 # -- vectorized (BatchMapper) chain parity --------------------------------

@@ -228,3 +228,119 @@ class TestExperimentCommand:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "nonsense"])
+
+
+class TestServicePlane:
+    def test_submit_then_serve_drains_spool(self, tmp_path, capsys):
+        data_file = tmp_path / "data.csv"
+        main(
+            [
+                "generate",
+                "--n", "400",
+                "--dims", "6",
+                "--clusters", "2",
+                "--noise", "0.05",
+                "--seed", "3",
+                "--out", str(data_file),
+            ]
+        )
+        spool = tmp_path / "spool"
+        metrics_file = tmp_path / "run1.json"
+        for tenant, out, extra in (
+            ("alice", "r1.json", ["--metrics", str(metrics_file)]),
+            ("bob", "r2.json", []),
+        ):
+            code = main(
+                [
+                    "submit",
+                    "--spool", str(spool),
+                    "--algorithm", "mr-light",
+                    "--data", str(data_file),
+                    "--out", str(tmp_path / out),
+                    "--tenant", tenant,
+                    *extra,
+                ]
+            )
+            assert code == 0
+        assert len(list((spool / "pending").glob("*.json"))) == 2
+
+        code = main(
+            [
+                "serve",
+                "--spool", str(spool),
+                "--slots", "2",
+                "--executor", "thread",
+                "--drain", "2",
+                "--poll-s", "0.05",
+            ]
+        )
+        assert code == 0
+        out_text = capsys.readouterr().out
+        assert "served 2 job(s)" in out_text
+        assert "slots_granted" in out_text
+
+        # The spool drained: submissions consumed, completions recorded.
+        assert list((spool / "pending").glob("*.json")) == []
+        records = [
+            json.loads(path.read_text())
+            for path in (spool / "done").glob("*.json")
+        ]
+        assert {record["state"] for record in records} == {"done"}
+        assert {record["tenant"] for record in records} == {"alice", "bob"}
+        for name in ("r1.json", "r2.json"):
+            result = load_result_json(tmp_path / name)
+            assert result.n_points == 400
+
+        # The run report rides the service scope: per-run fair-share
+        # counters plus the service attribution block.
+        report = json.loads(metrics_file.read_text())
+        assert validate_run_report(report) == []
+        assert report["metrics"]["counters"]["service.slots_granted"] > 0
+        assert report["service"]["tenant"] == "alice"
+        assert report["service"]["run_id"].startswith("alice/")
+
+    def test_submit_wait_returns_after_completion(self, tmp_path, capsys):
+        import threading
+
+        data_file = tmp_path / "data.csv"
+        main(
+            [
+                "generate",
+                "--n", "200",
+                "--dims", "5",
+                "--clusters", "2",
+                "--noise", "0.05",
+                "--seed", "4",
+                "--out", str(data_file),
+            ]
+        )
+        spool = tmp_path / "spool"
+        server = threading.Thread(
+            target=main,
+            args=(
+                [
+                    "serve",
+                    "--spool", str(spool),
+                    "--slots", "2",
+                    "--drain", "1",
+                    "--poll-s", "0.05",
+                ],
+            ),
+            daemon=True,
+        )
+        server.start()
+        code = main(
+            [
+                "submit",
+                "--spool", str(spool),
+                "--data", str(data_file),
+                "--out", str(tmp_path / "result.json"),
+                "--wait",
+                "--timeout", "120",
+            ]
+        )
+        server.join(timeout=120)
+        assert code == 0
+        assert not server.is_alive()
+        out_text = capsys.readouterr().out
+        assert '"state": "done"' in out_text

@@ -461,3 +461,73 @@ class TestRunReport:
         assert "1 MR jobs" in text
         assert "em.iterations" in text
         assert "peak RSS" in text
+
+
+# -- per-run scoping ----------------------------------------------------
+
+
+class TestPerRunScoping:
+    def test_metrics_registry_chains_to_parent(self):
+        parent = MetricsRegistry()
+        child = MetricsRegistry(parent=parent)
+        child.count("mr.jobs", 2)
+        child.gauge("clusters.found", 3)
+        child.observe("durations", 0.5)
+        assert child.snapshot()["counters"] == {"mr.jobs": 2}
+        assert parent.snapshot()["counters"] == {"mr.jobs": 2}
+        assert parent.snapshot()["gauges"] == {"clusters.found": 3.0}
+        assert parent.snapshot()["histograms"]["durations"]["count"] == 1
+
+    def test_for_run_returns_fresh_scope_once(self):
+        base = Observability(enabled=True)
+        scope = base.for_run("run-1")
+        assert scope is not base
+        assert scope.run_id == "run-1"
+        # Already-scoped obs passes through unchanged (the service hands
+        # drivers a pre-scoped context; drivers must not re-wrap it).
+        assert scope.for_run("run-2") is scope
+        # Disabled obs never allocates scopes.
+        assert NULL_OBS.for_run("run-3") is NULL_OBS
+
+    def test_back_to_back_driver_runs_report_disjointly(self, tiny_dataset):
+        """Regression: two fits sharing one obs used to interleave
+        their spans and sum their counters into a single report."""
+        from repro.mr import P3CPlusMRConfig, P3CPlusMRLight
+
+        base = Observability(enabled=True)
+        data = tiny_dataset.data
+        algo1 = P3CPlusMRLight(
+            mr_config=P3CPlusMRConfig(num_splits=4), obs=base
+        )
+        algo1.fit(data)
+        scope1, chain1 = algo1.obs, algo1.chain
+        algo2 = P3CPlusMRLight(
+            mr_config=P3CPlusMRConfig(num_splits=4), obs=base
+        )
+        algo2.fit(data)
+        scope2, chain2 = algo2.obs, algo2.chain
+
+        # Each fit wrote to its own scope with its own run id ...
+        assert scope1 is not base and scope2 is not base
+        assert scope1 is not scope2
+        assert scope1.run_id != scope2.run_id
+        for scope, chain in ((scope1, chain1), (scope2, chain2)):
+            counters = scope.metrics.snapshot()["counters"]
+            assert counters["mr.jobs"] == chain.num_jobs
+        # ... every span carries its run id ...
+        for scope in (scope1, scope2):
+            assert all(
+                span.attrs.get("run_id") == scope.run_id
+                for span in scope.tracer.spans
+            )
+        # ... and the base aggregates both runs instead of mixing them.
+        base_counters = base.metrics.snapshot()["counters"]
+        assert base_counters["mr.jobs"] == chain1.num_jobs + chain2.num_jobs
+        report1 = build_run_report("mr-light", obs=scope1, chain=chain1)
+        report2 = build_run_report("mr-light", obs=scope2, chain=chain2)
+        assert (
+            report1["metrics"]["counters"]["mr.jobs"] == chain1.num_jobs
+        )
+        assert (
+            report2["metrics"]["counters"]["mr.jobs"] == chain2.num_jobs
+        )
