@@ -34,7 +34,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import statistics
 import sys
 import time
 from pathlib import Path
@@ -48,6 +47,7 @@ from repro.mapreduce import (  # noqa: E402
     MapReduceRuntime,
     split_records,
 )
+from repro.obs.resources import percentile  # noqa: E402
 from repro.mapreduce.job import Job, Mapper, Reducer  # noqa: E402
 
 SCHEMA = "repro.benchmarks/service/v1"
@@ -102,16 +102,6 @@ def make_chain_fn(
         return time.perf_counter() - started
 
     return run
-
-
-def percentile(values: list[float], q: float) -> float:
-    if not values:
-        return 0.0
-    if len(values) == 1:
-        return values[0]
-    return float(
-        statistics.quantiles(values, n=100, method="inclusive")[int(q) - 1]
-    )
 
 
 def run_benchmark(quick: bool) -> dict:
@@ -169,8 +159,8 @@ def run_benchmark(quick: bool) -> dict:
     tenants = {
         tenant: {
             "chains": len(latencies),
-            "p50_s": percentile(sorted(latencies), 50),
-            "p95_s": percentile(sorted(latencies), 95),
+            "p50_s": percentile(sorted(latencies), 0.50),
+            "p95_s": percentile(sorted(latencies), 0.95),
             "max_s": max(latencies),
         }
         for tenant, latencies in sorted(per_tenant.items())

@@ -318,6 +318,82 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--poll-s", type=float, default=0.2, help="spool scan interval"
     )
+    serve.add_argument(
+        "--telemetry-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve /metrics (OpenMetrics), /healthz and /statusz on "
+        "this port (0 = pick an ephemeral port; printed at startup)",
+    )
+    serve.add_argument(
+        "--telemetry-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="telemetry sampling period (default 1.0)",
+    )
+    serve.add_argument(
+        "--telemetry-log",
+        default=None,
+        metavar="JSONL",
+        help="append every telemetry sample to this JSONL file "
+        "(default <spool>/telemetry.jsonl when telemetry is on)",
+    )
+
+    top = commands.add_parser(
+        "top",
+        help="live tenant table for a running service: queued/running "
+        "chains, granted slots, wait/latency p95, SLO status",
+    )
+    top.add_argument(
+        "--endpoint",
+        default=None,
+        metavar="URL",
+        help="telemetry base URL of a running service "
+        "(e.g. http://127.0.0.1:9464)",
+    )
+    top.add_argument(
+        "--log",
+        default=None,
+        metavar="JSONL",
+        help="read the newest sample from a telemetry JSONL log instead",
+    )
+    top.add_argument(
+        "--spool",
+        default=None,
+        help="shorthand for --log <spool>/telemetry.jsonl",
+    )
+    top.add_argument(
+        "--watch",
+        action="store_true",
+        help="refresh continuously until interrupted",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period with --watch (default 2.0)",
+    )
+
+    telemetry = commands.add_parser(
+        "telemetry",
+        help="summarize a telemetry JSONL log: per-series quantiles "
+        "over the logged window",
+    )
+    telemetry.add_argument("log", help="path to telemetry.jsonl")
+    telemetry.add_argument(
+        "--series",
+        default=None,
+        metavar="PREFIX",
+        help="only show series whose dotted name starts with PREFIX",
+    )
+    telemetry.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the raw summary JSON instead of the table",
+    )
 
     submit = commands.add_parser(
         "submit", help="queue one clustering job on a service spool"
@@ -630,6 +706,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(
         f"serving {args.spool} on {service.slots} {args.executor} slot(s)"
     )
+    if args.telemetry_port is not None:
+        log_path = args.telemetry_log or str(
+            Path(args.spool) / "telemetry.jsonl"
+        )
+        plane = service.start_telemetry(
+            args.telemetry_port,
+            interval_s=args.telemetry_interval,
+            log_path=log_path,
+        )
+        print(
+            f"telemetry on http://127.0.0.1:{plane.port} "
+            f"(/metrics /healthz /statusz), log {log_path}"
+        )
     active: dict[str, Any] = {}
     served = 0
     idle_since = time.monotonic()
@@ -684,6 +773,108 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fetch_statusz(endpoint: str, timeout: float = 5.0) -> dict:
+    import urllib.request
+
+    url = endpoint.rstrip("/") + "/statusz"
+    with urllib.request.urlopen(url, timeout=timeout) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _last_log_sample(log_path: Path) -> dict:
+    """Newest parseable sample in an append-only telemetry log.
+
+    The writer appends whole lines and flushes, but the final line can
+    still be mid-write when we race it — walk backwards to the newest
+    line that parses.
+    """
+    lines = log_path.read_text(encoding="utf-8").splitlines()
+    for line in reversed(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            sample = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(sample, dict):
+            return sample
+    raise ValueError(f"no parseable telemetry samples in {log_path}")
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry import render_top
+
+    log_path = args.log or (
+        str(Path(args.spool) / "telemetry.jsonl") if args.spool else None
+    )
+    if bool(args.endpoint) == bool(log_path):
+        print(
+            "error: pass exactly one of --endpoint or --log/--spool",
+            file=sys.stderr,
+        )
+        return 2
+
+    def fetch() -> dict:
+        if args.endpoint:
+            return _fetch_statusz(args.endpoint)
+        return _last_log_sample(Path(log_path))
+
+    try:
+        while True:
+            try:
+                screen = render_top(fetch())
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            if args.watch:
+                # Home + clear-to-end keeps the refresh flicker-free.
+                sys.stdout.write("\x1b[H\x1b[J" + screen + "\n")
+                sys.stdout.flush()
+                time.sleep(args.interval)
+            else:
+                print(screen)
+                return 0
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry import summarize_log_lines
+
+    log_path = Path(args.log)
+    if not log_path.exists():
+        print(f"error: {log_path} does not exist", file=sys.stderr)
+        return 1
+    with open(log_path, "r", encoding="utf-8") as handle:
+        summary = summarize_log_lines(handle)
+    if args.series:
+        summary["series"] = {
+            name: stats
+            for name, stats in summary["series"].items()
+            if name.startswith(args.series)
+        }
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{summary['samples']} sample(s) over {summary['span_s']:.1f}s"
+        + (f" ({summary['skipped']} skipped)" if summary["skipped"] else "")
+    )
+    if not summary["series"]:
+        print("(no series matched)")
+        return 0
+    print(
+        f"{'series':<44} {'last':>10} {'p50':>10} {'p95':>10} {'max':>10}"
+    )
+    for name, stats in summary["series"].items():
+        print(
+            f"{name[:44]:<44} {stats['last']:>10.4g} {stats['p50']:>10.4g} "
+            f"{stats['p95']:>10.4g} {stats['max']:>10.4g}"
+        )
+    return 0
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     pending, done = _spool_dirs(args.spool)
     job_id = f"{time.time_ns():016x}-{os.getpid()}"
@@ -727,6 +918,8 @@ def main(argv: list[str] | None = None) -> int:
         "report": _cmd_report,
         "serve": _cmd_serve,
         "submit": _cmd_submit,
+        "telemetry": _cmd_telemetry,
+        "top": _cmd_top,
     }
     try:
         return handlers[args.command](args)

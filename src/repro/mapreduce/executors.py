@@ -33,6 +33,7 @@ from __future__ import annotations
 import os
 import pickle
 import statistics
+import threading
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -110,6 +111,52 @@ class TaskOutcome:
             return cls(error=error)
 
 
+class LeaseStats:
+    """Thread-safe lease accounting, sampled by the telemetry plane.
+
+    The executor seam (:class:`_LeasedPool` / :func:`_run_inline`)
+    updates these around every leased dispatch, so the service's
+    telemetry sampler can read live per-chain slot pressure — task
+    attempts in flight, cumulative slot-wait — without touching the
+    scheduler's own ledger.
+    """
+
+    __slots__ = ("_lock", "acquired_total", "released_total",
+                 "wait_s_total", "last_wait_s")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.acquired_total = 0
+        self.released_total = 0
+        self.wait_s_total = 0.0
+        self.last_wait_s = 0.0
+
+    def on_acquired(self, waited_s: float) -> None:
+        waited_s = max(0.0, float(waited_s))
+        with self._lock:
+            self.acquired_total += 1
+            self.wait_s_total += waited_s
+            self.last_wait_s = waited_s
+
+    def on_released(self) -> None:
+        with self._lock:
+            self.released_total += 1
+
+    def inflight(self) -> int:
+        with self._lock:
+            return self.acquired_total - self.released_total
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "acquired_total": self.acquired_total,
+                "released_total": self.released_total,
+                "inflight": self.acquired_total - self.released_total,
+                "wait_s_total": round(self.wait_s_total, 6),
+                "last_wait_s": round(self.last_wait_s, 6),
+            }
+
+
 class SlotLease:
     """Cooperative slot admission: the scheduler's seam into executors.
 
@@ -125,11 +172,24 @@ class SlotLease:
     leases cannot deadlock across chains.
     """
 
+    _stats_guard = threading.Lock()
+
     def acquire(self) -> None:
         raise NotImplementedError
 
     def release(self) -> None:
         raise NotImplementedError
+
+    def stats(self) -> LeaseStats:
+        """Lazily-created per-lease accounting (telemetry sampling)."""
+        stats = getattr(self, "_stats", None)
+        if stats is None:
+            with SlotLease._stats_guard:
+                stats = getattr(self, "_stats", None)
+                if stats is None:
+                    stats = LeaseStats()
+                    self._stats = stats
+        return stats
 
 
 class _LeasedPool:
@@ -143,13 +203,22 @@ class _LeasedPool:
         self._lease = lease
 
     def submit(self, fn: Callable[..., Any], *args: Any) -> Future:
+        stats = self._lease.stats()
+        started = time.monotonic()
         self._lease.acquire()
+        stats.on_acquired(time.monotonic() - started)
         try:
             future = self._pool.submit(fn, *args)
         except BaseException:
             self._lease.release()
+            stats.on_released()
             raise
-        future.add_done_callback(lambda _f: self._lease.release())
+
+        def _settle(_f: Future) -> None:
+            self._lease.release()
+            stats.on_released()
+
+        future.add_done_callback(_settle)
         return future
 
     def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
@@ -172,12 +241,16 @@ def _run_inline(
     if lease is None:
         return [TaskOutcome.capture(fn, args) for args in calls]
     outcomes: list[TaskOutcome] = []
+    stats = lease.stats()
     for args in calls:
+        started = time.monotonic()
         lease.acquire()
+        stats.on_acquired(time.monotonic() - started)
         try:
             outcomes.append(TaskOutcome.capture(fn, args))
         finally:
             lease.release()
+            stats.on_released()
     return outcomes
 
 

@@ -60,6 +60,11 @@ from repro.mapreduce.events import EventLog
 from repro.mapreduce.executors import SlotLease, resolve_executor
 from repro.mapreduce.faults import FaultPlan
 from repro.mapreduce.runtime import RuntimeContext
+from repro.obs.metrics import Histogram
+from repro.obs.slo import SLORegistry, SLOTarget
+
+if False:  # pragma: no cover - typing only (avoids an import cycle)
+    from repro.obs.telemetry import TelemetryPlane
 
 __all__ = [
     "ClusterService",
@@ -69,6 +74,13 @@ __all__ = [
     "TenantLease",
     "TenantQuota",
 ]
+
+#: Slot-wait histogram buckets (seconds): scheduling delays are small,
+#: so the resolution is concentrated under one second.
+WAIT_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 15.0, 60.0,
+)
 
 
 class JobCancelledError(RuntimeError):
@@ -123,6 +135,10 @@ class FairShareSlotPool:
         #: Per-tenant (``tenant.<name>``) and aggregate (``service``)
         #: grant/wait accounting, mirrored into run reports.
         self.counters = Counters()
+        #: Per-tenant slot-wait distributions (thread-safe histograms)
+        #: exported as the ``repro_slot_wait_seconds`` OpenMetrics
+        #: histogram by the telemetry plane.
+        self.wait_histograms: dict[str, Histogram] = {}
 
     def configure(self, tenant: str, quota: TenantQuota) -> None:
         with self._cond:
@@ -169,7 +185,7 @@ class FairShareSlotPool:
         """Block until ``tenant`` is granted a slot; returns the wait in
         seconds.  Raises :class:`JobCancelledError` once ``cancel`` is
         set — the cooperative cancellation point of running chains."""
-        started = time.perf_counter()
+        started = time.monotonic()
         with self._cond:
             if cancel is not None and cancel.is_set():
                 raise JobCancelledError(f"chain of tenant {tenant!r} cancelled")
@@ -186,13 +202,22 @@ class FairShareSlotPool:
             finally:
                 self._waiting[tenant] -= 1
             self._in_use[tenant] = self._in_use.get(tenant, 0) + 1
-            waited = time.perf_counter() - started
+            # Monotonic end-to-end (as is every scheduler timestamp),
+            # so NTP steps can never inject a negative wait into the
+            # SLO histograms; the clamp guards coarse-tick platforms.
+            waited = max(0.0, time.monotonic() - started)
             for group in (f"tenant.{tenant}", Counters.SERVICE):
                 self.counters.increment(group, Counters.SLOTS_GRANTED)
                 self.counters.increment(
                     group, Counters.SLOT_WAIT_MS, int(waited * 1000)
                 )
-            return waited
+            histogram = self.wait_histograms.get(tenant)
+            if histogram is None:
+                histogram = self.wait_histograms[tenant] = Histogram(
+                    WAIT_BUCKETS
+                )
+        histogram.observe(waited)
+        return waited
 
     def release(self, tenant: str) -> None:
         with self._cond:
@@ -206,12 +231,23 @@ class FairShareSlotPool:
 
     def snapshot(self) -> dict[str, Any]:
         with self._cond:
-            return {
-                "slots": self.slots,
-                "in_use": {t: n for t, n in self._in_use.items() if n},
-                "waiting": {t: n for t, n in self._waiting.items() if n},
-                "counters": self.counters.snapshot(),
-            }
+            in_use = {t: n for t, n in self._in_use.items() if n}
+            waiting = {t: n for t, n in self._waiting.items() if n}
+            counters = self.counters.snapshot()
+            histograms = dict(self.wait_histograms)
+        held = sum(in_use.values())
+        return {
+            "slots": self.slots,
+            "in_use": in_use,
+            "waiting": waiting,
+            "slots_held": held,
+            "utilization": round(held / self.slots, 6),
+            "counters": counters,
+            "wait_histograms": {
+                tenant: histogram.snapshot()
+                for tenant, histogram in sorted(histograms.items())
+            },
+        }
 
 
 @dataclass
@@ -227,12 +263,17 @@ class TenantLease(SlotLease):
     tenant: str = "default"
     obs: Any = None
     cancel: threading.Event | None = None
+    #: Optional :class:`~repro.obs.slo.TenantSLO` fed one wait sample
+    #: per grant (the sliding-window side of the SLO ledger).
+    slo: Any = None
 
     def acquire(self) -> None:
         waited = self.pool.acquire(self.tenant, cancel=self.cancel)
         if self.obs is not None and getattr(self.obs, "enabled", False):
             self.obs.count("service.slots_granted")
             self.obs.observe("service.slot_wait_s", waited)
+        if self.slo is not None:
+            self.slo.record_wait(waited)
 
     def release(self) -> None:
         self.pool.release(self.tenant)
@@ -267,6 +308,10 @@ class _ServiceJob:
     submitted_s: float = 0.0
     started_s: float | None = None
     finished_s: float | None = None
+    #: The chain's :class:`TenantLease` once launched — its
+    #: :class:`~repro.mapreduce.executors.LeaseStats` give the
+    #: telemetry sampler live in-flight task counts.
+    lease: "TenantLease | None" = None
 
 
 class ServiceHandle:
@@ -322,7 +367,7 @@ class ServiceHandle:
 
     def info(self) -> dict[str, Any]:
         job = self._job
-        now = time.perf_counter()
+        now = time.monotonic()
         queue_wait = (job.started_s or now) - job.submitted_s
         run_s = None
         if job.started_s is not None:
@@ -370,6 +415,7 @@ class ClusterService:
         obs: Any = None,
         admission_budget_s: float | None = None,
         name: str = "cluster",
+        slo_target: SLOTarget | None = None,
     ) -> None:
         self.slots = slots or os.cpu_count() or 4
         self.executor_spec = executor
@@ -382,6 +428,14 @@ class ClusterService:
             else self.slots * 600.0
         )
         self.pool = FairShareSlotPool(self.slots)
+        #: Per-tenant service-level objective trackers: chain latency
+        #: windows, lifecycle counts, error rates.  ``slo_target`` is
+        #: the default objective; per-tenant targets go through
+        #: :meth:`set_slo_target`.
+        self.slo = SLORegistry(default_target=slo_target)
+        #: The live telemetry plane once :meth:`start_telemetry` runs.
+        self.telemetry: "TelemetryPlane | None" = None
+        self._started_s = time.monotonic()
         self._lock = threading.Lock()
         self._jobs: dict[str, _ServiceJob] = {}
         self._queue: deque[_ServiceJob] = deque()
@@ -408,6 +462,11 @@ class ClusterService:
                 max_concurrent=max_concurrent,
             ),
         )
+
+    def set_slo_target(self, tenant: str, target: SLOTarget) -> None:
+        """Install a tenant's service-level objective (latency p95 /
+        error-rate bounds evaluated over a sliding window)."""
+        self.slo.set_target(tenant, target)
 
     # -- submission -----------------------------------------------------
 
@@ -456,8 +515,9 @@ class ClusterService:
             fault_plan=fault_plan,
             task_timeout_s=task_timeout_s,
             speculative=speculative,
-            submitted_s=time.perf_counter(),
+            submitted_s=time.monotonic(),
         )
+        self.slo.tenant(tenant).record_admitted()
         with self._lock:
             self._jobs[job.id] = job
             self._queue.append(job)
@@ -499,7 +559,7 @@ class ClusterService:
                 blocked.append(job)
                 continue
             job.state = _RUNNING
-            job.started_s = time.perf_counter()
+            job.started_s = time.monotonic()
             self._running.add(job.id)
             self._active_cost_s += job.estimate_s
             running_per_tenant[job.tenant] = tenant_running + 1
@@ -523,9 +583,15 @@ class ClusterService:
         if self.obs is not None and getattr(self.obs, "enabled", False):
             run_obs = self.obs.for_run(job.id)
         executor = resolve_executor(self.executor_spec, self.slots)
-        executor.slot_lease = TenantLease(
-            self.pool, job.tenant, obs=run_obs, cancel=job.cancel
+        lease = TenantLease(
+            self.pool,
+            job.tenant,
+            obs=run_obs,
+            cancel=job.cancel,
+            slo=self.slo.tenant(job.tenant),
         )
+        executor.slot_lease = lease
+        job.lease = lease
         ctx = RuntimeContext(
             executor=executor,
             max_workers=self.slots,
@@ -553,7 +619,7 @@ class ClusterService:
     def _finish(self, job: _ServiceJob, state: str) -> None:
         with self._lock:
             job.state = state
-            job.finished_s = time.perf_counter()
+            job.finished_s = time.monotonic()
             self._running.discard(job.id)
             self._active_cost_s = max(
                 0.0, self._active_cost_s - job.estimate_s
@@ -561,6 +627,9 @@ class ClusterService:
             launch = self._admit_locked()
         if self.obs is not None and getattr(self.obs, "enabled", False):
             self.obs.count(f"service.{state}")
+        self.slo.tenant(job.tenant).record_completion(
+            job.finished_s - job.submitted_s, state=state
+        )
         job.finished.set()
         for admitted in launch:
             self._launch(admitted)
@@ -569,12 +638,141 @@ class ClusterService:
         with self._lock:
             if job.state == _QUEUED:
                 job.state = _CANCELLED
-                job.finished_s = time.perf_counter()
+                job.finished_s = time.monotonic()
+                self.slo.tenant(job.tenant).record_completion(
+                    job.finished_s - job.submitted_s, state=_CANCELLED
+                )
                 job.finished.set()
                 return
         # Running (or already finished): flip the cooperative flag; a
         # running chain unwinds at its next slot acquisition.
         job.cancel.set()
+
+    # -- telemetry ------------------------------------------------------
+
+    def telemetry_snapshot(self) -> dict[str, Any]:
+        """One structured view of the whole service, for the telemetry
+        plane: scheduler state (queue depth, running chains, slot
+        utilization), per-tenant slot accounting (grants, wait totals,
+        wait histograms, in-flight leased tasks) and the SLO ledger.
+
+        Sampled by :class:`~repro.obs.telemetry.TelemetryPlane` from
+        its own thread; every substructure is copied under the
+        relevant lock, never held across locks.
+        """
+        with self._lock:
+            queued_chains = sum(
+                1 for job in self._queue if job.state == _QUEUED
+            )
+            running_chains = len(self._running)
+            chains_by_state: dict[str, int] = {}
+            queued_per_tenant: dict[str, int] = {}
+            running_per_tenant: dict[str, int] = {}
+            inflight_per_tenant: dict[str, int] = {}
+            for job in self._jobs.values():
+                chains_by_state[job.state] = (
+                    chains_by_state.get(job.state, 0) + 1
+                )
+                if job.state == _QUEUED:
+                    queued_per_tenant[job.tenant] = (
+                        queued_per_tenant.get(job.tenant, 0) + 1
+                    )
+                elif job.state == _RUNNING:
+                    running_per_tenant[job.tenant] = (
+                        running_per_tenant.get(job.tenant, 0) + 1
+                    )
+                    if job.lease is not None:
+                        inflight_per_tenant[job.tenant] = (
+                            inflight_per_tenant.get(job.tenant, 0)
+                            + job.lease.stats().inflight()
+                        )
+            active_cost_s = self._active_cost_s
+            closed = self._closed
+        pool = self.pool.snapshot()
+        pool_counters = pool["counters"]
+        tenant_names = sorted(
+            set(queued_per_tenant)
+            | set(running_per_tenant)
+            | set(pool["in_use"])
+            | set(pool["waiting"])
+            | set(pool["wait_histograms"])
+            | {
+                group[len("tenant."):]
+                for group in pool_counters
+                if group.startswith("tenant.")
+            }
+            | set(self.slo.tenants())
+        )
+        tenants: dict[str, Any] = {}
+        for tenant in tenant_names:
+            counters = pool_counters.get(f"tenant.{tenant}", {})
+            tenants[tenant] = {
+                "queued_chains": queued_per_tenant.get(tenant, 0),
+                "running_chains": running_per_tenant.get(tenant, 0),
+                "slots_in_use": pool["in_use"].get(tenant, 0),
+                "waiting_tasks": pool["waiting"].get(tenant, 0),
+                "tasks_inflight": inflight_per_tenant.get(tenant, 0),
+                "slots_granted_total": counters.get(
+                    Counters.SLOTS_GRANTED, 0
+                ),
+                "slot_wait_ms_total": counters.get(
+                    Counters.SLOT_WAIT_MS, 0
+                ),
+                "wait_histogram": pool["wait_histograms"].get(tenant),
+            }
+        return {
+            "service": {
+                "name": self.name,
+                "executor": self.executor_spec,
+                "slots": self.slots,
+                "closed": closed,
+                "uptime_s": round(time.monotonic() - self._started_s, 6),
+                "admission_budget_s": self.admission_budget_s,
+                "active_cost_s": round(active_cost_s, 6),
+            },
+            "scheduler": {
+                "queue_depth": queued_chains,
+                "running_chains": running_chains,
+                "slots_total": self.slots,
+                "slots_in_use": pool["slots_held"],
+                "utilization": pool["utilization"],
+                "waiting_tasks": sum(pool["waiting"].values()),
+                "chains_by_state": chains_by_state,
+            },
+            "tenants": tenants,
+            "slo": self.slo.snapshot(),
+        }
+
+    def start_telemetry(
+        self,
+        port: int = 0,
+        *,
+        host: str = "127.0.0.1",
+        interval_s: float = 1.0,
+        log_path: str | None = None,
+    ) -> "TelemetryPlane":
+        """Start the service-owned telemetry plane: periodic sampling
+        of :meth:`telemetry_snapshot`, ``/metrics`` + ``/healthz`` +
+        ``/statusz`` HTTP endpoints on ``port`` (0 = ephemeral; the
+        bound port is on the returned plane), and an append-only JSONL
+        log when ``log_path`` is given.  Stopped by :meth:`shutdown`.
+        """
+        if self.telemetry is not None:
+            raise RuntimeError("telemetry already started")
+        from repro.obs.telemetry import TelemetryPlane
+
+        plane = TelemetryPlane(
+            self.telemetry_snapshot,
+            interval_s=interval_s,
+            log_path=log_path,
+        )
+        plane.start(port, host=host)
+        self.telemetry = plane
+        # Attach the hub to the service obs so per-run scopes (and the
+        # run reports built from them) carry the live-series summary.
+        if self.obs is not None and getattr(self.obs, "enabled", False):
+            self.obs.telemetry = plane.hub
+        return plane
 
     # -- lifecycle ------------------------------------------------------
 
@@ -584,11 +782,11 @@ class ClusterService:
 
     def drain(self, timeout: float | None = None) -> bool:
         """Wait until every submitted chain has finished."""
-        deadline = None if timeout is None else time.perf_counter() + timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
         for job in list(self._jobs.values()):
             remaining = None
             if deadline is not None:
-                remaining = max(0.0, deadline - time.perf_counter())
+                remaining = max(0.0, deadline - time.monotonic())
             if not job.finished.wait(remaining):
                 return False
         return True
@@ -600,6 +798,9 @@ class ClusterService:
                 if not job.finished.is_set():
                     self._cancel(job)
         self.drain()
+        if self.telemetry is not None:
+            self.telemetry.stop()
+            self.telemetry = None
 
     def __enter__(self) -> "ClusterService":
         return self

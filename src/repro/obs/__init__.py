@@ -33,6 +33,19 @@ from repro.obs.resources import (
     ResourceSampler,
     duration_stats,
     peak_rss_kb,
+    percentile,
+    quantile_summary,
+)
+from repro.obs.slo import SLORegistry, SLOTarget, TenantSLO
+from repro.obs.telemetry import (
+    OPENMETRICS_CONTENT_TYPE,
+    TelemetryHub,
+    TelemetryPlane,
+    TimeSeries,
+    parse_openmetrics,
+    render_openmetrics,
+    render_top,
+    summarize_log_lines,
 )
 from repro.obs.spans import (
     SPAN_KINDS,
@@ -52,12 +65,25 @@ __all__ = [
     "MetricsRegistry",
     "NULL_OBS",
     "Observability",
+    "OPENMETRICS_CONTENT_TYPE",
+    "parse_openmetrics",
     "peak_rss_kb",
+    "percentile",
+    "quantile_summary",
+    "render_openmetrics",
     "render_run_report",
+    "render_top",
     "ResourceSample",
     "ResourceSampler",
     "save_run_report",
     "SCHEMA_VERSION",
+    "SLORegistry",
+    "SLOTarget",
+    "summarize_log_lines",
+    "TelemetryHub",
+    "TelemetryPlane",
+    "TenantSLO",
+    "TimeSeries",
     "Span",
     "SPAN_KINDS",
     "SpanTracer",

@@ -181,6 +181,12 @@ class Observability:
         #: ``None`` for the classic process-wide context; set on scopes
         #: minted by :meth:`for_run` (one per submitted chain).
         self.run_id: str | None = None
+        #: Optional live :class:`~repro.obs.telemetry.TelemetryHub` —
+        #: attached by the service plane so drivers can feed points
+        #: into the continuously-sampled series; shared (not scoped)
+        #: across :meth:`for_run` scopes, because telemetry is a
+        #: service-lifetime plane, not a per-run artifact.
+        self.telemetry: Any = None
 
     def for_run(self, run_id: str) -> "Observability":
         """A per-run scope: own tracer/sampler, metrics chained to ours.
@@ -201,6 +207,7 @@ class Observability:
         scope.metrics = MetricsRegistry(parent=self.metrics)
         scope.run_id = run_id
         scope.tracer.default_attrs["run_id"] = run_id
+        scope.telemetry = self.telemetry
         return scope
 
     # -- driver-facing span helpers -------------------------------------

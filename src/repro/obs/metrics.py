@@ -40,7 +40,14 @@ DEFAULT_BUCKETS = (
 
 @dataclass
 class Histogram:
-    """Fixed-bucket histogram with a running count/sum/min/max."""
+    """Fixed-bucket histogram with a running count/sum/min/max.
+
+    Thread-safe: ``observe`` and ``snapshot`` serialize on an internal
+    lock, so concurrent chains can feed one histogram while the
+    telemetry sampler reads consistent (count, sum, buckets) triples
+    from another thread — a torn snapshot would break the cumulative
+    ``le`` invariant the OpenMetrics exposition relies on.
+    """
 
     buckets: tuple[float, ...] = DEFAULT_BUCKETS
     counts: list[int] = field(default_factory=list)
@@ -48,6 +55,9 @@ class Histogram:
     total: float = 0.0
     min: float = math.inf
     max: float = -math.inf
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.buckets = tuple(sorted(self.buckets))
@@ -59,15 +69,16 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        self.min = min(self.min, value)
-        self.max = max(self.max, value)
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = min(self.min, value)
+            self.max = max(self.max, value)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[i] += 1
+                    return
+            self.counts[-1] += 1
 
     @property
     def mean(self) -> float:
@@ -75,18 +86,22 @@ class Histogram:
 
     def snapshot(self) -> dict[str, Any]:
         """JSON-ready summary with cumulative ``le`` bucket counts."""
+        with self._lock:
+            count, total = self.count, self.total
+            low, high = self.min, self.max
+            counts = list(self.counts)
         cumulative = 0
         buckets: dict[str, int] = {}
-        for bound, n in zip(self.buckets, self.counts):
+        for bound, n in zip(self.buckets, counts):
             cumulative += n
             buckets[f"le_{bound:g}"] = cumulative
-        buckets["le_inf"] = self.count
+        buckets["le_inf"] = count
         return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
-            "mean": self.mean,
+            "count": count,
+            "sum": total,
+            "min": low if count else 0.0,
+            "max": high if count else 0.0,
+            "mean": total / count if count else 0.0,
             "buckets": buckets,
         }
 
@@ -158,13 +173,21 @@ class MetricsRegistry:
     # -- queries --------------------------------------------------------
 
     def counter_value(self, name: str) -> float:
-        return self._counters.get(name, 0)
+        with self._lock:
+            return self._counters.get(name, 0)
 
     def gauge_value(self, name: str, default: float = 0.0) -> float:
-        return self._gauges.get(name, default)
+        with self._lock:
+            return self._gauges.get(name, default)
 
     def series_values(self, name: str) -> list[float]:
-        return list(self._series.get(name, []))
+        with self._lock:
+            return list(self._series.get(name, []))
+
+    def histogram_snapshot(self, name: str) -> dict[str, Any] | None:
+        with self._lock:
+            histogram = self._histograms.get(name)
+        return histogram.snapshot() if histogram is not None else None
 
     def snapshot(self) -> dict[str, Any]:
         """One JSON-ready view of every instrument."""

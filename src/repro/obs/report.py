@@ -109,6 +109,15 @@ def build_run_report(
         "spans": obs.tracer.to_dicts() if observed else [],
         "result": dict(result) if result else {},
     }
+    # A run that executed under the live service plane carries a
+    # compact view of the telemetry series (last value + window
+    # quantiles per series) so the post-mortem artifact links back to
+    # what the continuous plane saw.
+    if observed and getattr(obs, "telemetry", None) is not None:
+        try:
+            report["telemetry"] = obs.telemetry.summary()
+        except Exception:  # noqa: BLE001 - reports must always build
+            pass
     if extra:
         report.update(dict(extra))
     return report

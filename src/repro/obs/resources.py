@@ -18,7 +18,7 @@ from __future__ import annotations
 import sys
 import tracemalloc
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 try:
     import resource as _resource
@@ -102,8 +102,14 @@ class ResourceSampler:
         return [sample.as_dict() for sample in self.samples]
 
 
-def _percentile(ordered: list[float], q: float) -> float:
-    """Linear-interpolated percentile of a pre-sorted sample."""
+def percentile(ordered: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of a pre-sorted sample.
+
+    ``q`` is a fraction in [0, 1] (0.95 = p95).  This is the one
+    quantile implementation in the repo: :func:`duration_stats`, the
+    SLO trackers (:mod:`repro.obs.slo`) and the service benchmark all
+    call it, so every reported percentile uses the same interpolation.
+    """
     if not ordered:
         return 0.0
     if len(ordered) == 1:
@@ -113,6 +119,31 @@ def _percentile(ordered: list[float], q: float) -> float:
     high = min(low + 1, len(ordered) - 1)
     fraction = position - low
     return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def quantile_summary(
+    values: Sequence[float], digits: int = 6
+) -> dict[str, float]:
+    """The standard p50/p95/p99 summary of an unsorted sample.
+
+    Empty input yields all-zero stats so JSON schemas stay stable.
+    """
+    if not values:
+        return {"count": 0, "p50": 0.0, "p95": 0.0, "p99": 0.0,
+                "mean": 0.0, "max": 0.0}
+    ordered = sorted(values)
+    return {
+        "count": len(ordered),
+        "p50": round(percentile(ordered, 0.50), digits),
+        "p95": round(percentile(ordered, 0.95), digits),
+        "p99": round(percentile(ordered, 0.99), digits),
+        "mean": round(sum(ordered) / len(ordered), digits),
+        "max": round(ordered[-1], digits),
+    }
+
+
+#: Backwards-compatible alias for the pre-telemetry private name.
+_percentile = percentile
 
 
 def duration_stats(durations: list[float]) -> dict[str, float]:
@@ -134,8 +165,8 @@ def duration_stats(durations: list[float]) -> dict[str, float]:
     mean = sum(ordered) / len(ordered)
     return {
         "tasks": len(ordered),
-        "p50_s": round(_percentile(ordered, 0.50), 6),
-        "p95_s": round(_percentile(ordered, 0.95), 6),
+        "p50_s": round(percentile(ordered, 0.50), 6),
+        "p95_s": round(percentile(ordered, 0.95), 6),
         "max_s": round(ordered[-1], 6),
         "mean_s": round(mean, 6),
         "skew_ratio": round(ordered[-1] / mean, 3) if mean > 0 else 0.0,

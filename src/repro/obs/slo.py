@@ -1,0 +1,296 @@
+"""Per-tenant service-level objectives over sliding windows.
+
+The service plane (:mod:`repro.mapreduce.scheduler`) admits chains
+from many tenants onto one shared slot pool; this module answers the
+operator question *"is each tenant getting the service it was
+promised?"* continuously, while the service runs — not from a
+post-mortem ``run.json``.
+
+Each tenant gets one :class:`TenantSLO` tracker holding
+
+- lifecycle counts (admitted / completed / failed / cancelled /
+  rejected) and the derived **error rate**,
+- a **sliding window** of chain completion latencies and slot waits
+  (monotonic-stamped samples, evicted past ``window_s``), summarised
+  as p50/p95/p99 through the shared quantile helper
+  (:func:`repro.obs.resources.percentile` — the same interpolation
+  every other percentile in the repo uses), and
+- a cumulative fixed-bucket :class:`~repro.obs.metrics.Histogram` of
+  latencies, which is what the OpenMetrics exposition exports (bucket
+  counts must be monotone over the process lifetime for Prometheus
+  ``rate()`` to work; the sliding window is for humans and SLO
+  status, the cumulative histogram is for scrapers).
+
+:meth:`TenantSLO.status` grades the tenant against its
+:class:`SLOTarget`: ``ok``, ``warn`` (within the target but past the
+warning fraction of the budget), or ``breach``.  A tenant with no
+samples in the window is ``ok`` — silence is not an outage.
+
+Everything is thread-safe: chains record completions from their own
+threads while the telemetry sampler snapshots from its own.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque
+
+from repro.obs.metrics import Histogram
+from repro.obs.resources import percentile
+
+__all__ = [
+    "SLORegistry",
+    "SLOTarget",
+    "SlidingWindow",
+    "TenantSLO",
+]
+
+#: Latency-flavoured buckets (seconds): finer than the task-duration
+#: defaults at the sub-second end where chain latencies live.
+LATENCY_BUCKETS = (
+    0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+    10.0, 30.0, 60.0, 120.0, 300.0, 600.0,
+)
+
+
+@dataclass(frozen=True)
+class SLOTarget:
+    """What one tenant was promised.
+
+    ``latency_p95_s`` bounds the p95 completion latency over the
+    sliding window; ``max_error_rate`` bounds failed/completed chains;
+    ``window_s`` is the evaluation window; ``warn_fraction`` is the
+    fraction of the latency budget at which status degrades to
+    ``warn`` (early warning before a breach).
+    """
+
+    latency_p95_s: float | None = None
+    max_error_rate: float | None = None
+    window_s: float = 300.0
+    warn_fraction: float = 0.8
+
+    def __post_init__(self) -> None:
+        if self.latency_p95_s is not None and self.latency_p95_s <= 0:
+            raise ValueError("latency_p95_s must be > 0")
+        if self.max_error_rate is not None and not (
+            0.0 <= self.max_error_rate <= 1.0
+        ):
+            raise ValueError("max_error_rate must be in [0, 1]")
+        if self.window_s <= 0:
+            raise ValueError("window_s must be > 0")
+        if not 0.0 < self.warn_fraction <= 1.0:
+            raise ValueError("warn_fraction must be in (0, 1]")
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "latency_p95_s": self.latency_p95_s,
+            "max_error_rate": self.max_error_rate,
+            "window_s": self.window_s,
+        }
+
+
+class SlidingWindow:
+    """Monotonic-stamped samples with age-based eviction.
+
+    Append-only plus lazy eviction: every mutation and query first
+    drops samples older than ``window_s``.  Not internally locked —
+    owners (``TenantSLO``) serialize access.
+    """
+
+    def __init__(self, window_s: float, max_samples: int = 4096) -> None:
+        self.window_s = window_s
+        self._samples: Deque[tuple[float, float]] = deque(maxlen=max_samples)
+
+    def append(self, value: float, now: float) -> None:
+        if value < 0:
+            raise ValueError(f"window samples must be >= 0, got {value}")
+        self._evict(now)
+        self._samples.append((now, float(value)))
+
+    def _evict(self, now: float) -> None:
+        horizon = now - self.window_s
+        while self._samples and self._samples[0][0] < horizon:
+            self._samples.popleft()
+
+    def values(self, now: float) -> list[float]:
+        self._evict(now)
+        return [value for _, value in self._samples]
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+
+class TenantSLO:
+    """One tenant's live objective tracker (thread-safe)."""
+
+    def __init__(
+        self,
+        tenant: str,
+        target: SLOTarget | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.tenant = tenant
+        self.target = target or SLOTarget()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.cancelled = 0
+        self.rejected = 0
+        self._latency = SlidingWindow(self.target.window_s)
+        self._wait = SlidingWindow(self.target.window_s)
+        #: Cumulative latency distribution for the scrape exposition.
+        self.latency_histogram = Histogram(LATENCY_BUCKETS)
+
+    # -- recording ------------------------------------------------------
+
+    def record_admitted(self) -> None:
+        with self._lock:
+            self.admitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_completion(
+        self, latency_s: float, state: str = "done", now: float | None = None
+    ) -> None:
+        """One chain finished: ``state`` is ``done``/``failed``/
+        ``cancelled``; ``latency_s`` is submit-to-finish as the tenant
+        experienced it (monotonic deltas, so never negative)."""
+        latency_s = max(0.0, float(latency_s))
+        now = self._clock() if now is None else now
+        with self._lock:
+            if state == "failed":
+                self.failed += 1
+            elif state == "cancelled":
+                self.cancelled += 1
+            else:
+                self.completed += 1
+            self._latency.append(latency_s, now)
+        self.latency_histogram.observe(latency_s)
+
+    def record_wait(self, wait_s: float, now: float | None = None) -> None:
+        """One slot wait (scheduling delay) sample."""
+        now = self._clock() if now is None else now
+        with self._lock:
+            self._wait.append(max(0.0, float(wait_s)), now)
+
+    # -- evaluation -----------------------------------------------------
+
+    def _error_rate_locked(self) -> float:
+        finished = self.completed + self.failed
+        return self.failed / finished if finished else 0.0
+
+    def status(self, now: float | None = None) -> str:
+        """``ok`` / ``warn`` / ``breach`` against the target."""
+        now = self._clock() if now is None else now
+        target = self.target
+        with self._lock:
+            latencies = self._latency.values(now)
+            error_rate = self._error_rate_locked()
+        verdict = "ok"
+        if target.latency_p95_s is not None and latencies:
+            p95 = percentile(sorted(latencies), 0.95)
+            if p95 > target.latency_p95_s:
+                verdict = "breach"
+            elif p95 > target.latency_p95_s * target.warn_fraction:
+                verdict = "warn"
+        if target.max_error_rate is not None and error_rate > target.max_error_rate:
+            verdict = "breach"
+        return verdict
+
+    def snapshot(self, now: float | None = None) -> dict[str, Any]:
+        now = self._clock() if now is None else now
+        with self._lock:
+            latencies = sorted(self._latency.values(now))
+            waits = sorted(self._wait.values(now))
+            counts = {
+                "admitted": self.admitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "cancelled": self.cancelled,
+                "rejected": self.rejected,
+                "error_rate": round(self._error_rate_locked(), 6),
+            }
+        summary = dict(counts)
+        summary["latency"] = {
+            "count": len(latencies),
+            "p50_s": round(percentile(latencies, 0.50), 6),
+            "p95_s": round(percentile(latencies, 0.95), 6),
+            "p99_s": round(percentile(latencies, 0.99), 6),
+            "max_s": round(latencies[-1], 6) if latencies else 0.0,
+        }
+        summary["wait"] = {
+            "count": len(waits),
+            "p50_s": round(percentile(waits, 0.50), 6),
+            "p95_s": round(percentile(waits, 0.95), 6),
+            "p99_s": round(percentile(waits, 0.99), 6),
+        }
+        summary["status"] = self.status(now)
+        summary["target"] = self.target.as_dict()
+        summary["latency_histogram"] = self.latency_histogram.snapshot()
+        return summary
+
+
+class SLORegistry:
+    """Tenant name → :class:`TenantSLO`, created on first touch.
+
+    ``default_target`` applies to tenants without an explicit
+    :meth:`set_target`; per-tenant targets may be installed before or
+    after the tenant's first recorded event.
+    """
+
+    def __init__(
+        self,
+        default_target: SLOTarget | None = None,
+        clock=time.monotonic,
+    ) -> None:
+        self.default_target = default_target or SLOTarget()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tenants: dict[str, TenantSLO] = {}
+
+    def tenant(self, name: str) -> TenantSLO:
+        with self._lock:
+            tracker = self._tenants.get(name)
+            if tracker is None:
+                tracker = TenantSLO(
+                    name, self.default_target, clock=self._clock
+                )
+                self._tenants[name] = tracker
+            return tracker
+
+    def set_target(self, name: str, target: SLOTarget) -> None:
+        """Install (or replace) a tenant's objective.
+
+        The sliding windows restart with the new ``window_s``; counts
+        and the cumulative histogram carry over.
+        """
+        with self._lock:
+            existing = self._tenants.get(name)
+            if existing is None:
+                tracker = TenantSLO(name, target, clock=self._clock)
+                self._tenants[name] = tracker
+                return
+            existing.target = target
+            with existing._lock:
+                existing._latency = SlidingWindow(target.window_s)
+                existing._wait = SlidingWindow(target.window_s)
+
+    def tenants(self) -> list[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def snapshot(self, now: float | None = None) -> dict[str, Any]:
+        now = self._clock() if now is None else now
+        with self._lock:
+            trackers = list(self._tenants.values())
+        return {
+            tracker.tenant: tracker.snapshot(now)
+            for tracker in sorted(trackers, key=lambda t: t.tenant)
+        }

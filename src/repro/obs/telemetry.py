@@ -1,0 +1,907 @@
+"""The live telemetry plane: ring-buffered time series, OpenMetrics
+exposition, health/status endpoints and an append-only JSONL log.
+
+PR 2's ``run.json`` is a *post-mortem*: one artifact per chain, written
+when the chain dies.  Since the service plane turned the runtime into a
+long-lived daemon, the observables that matter — queue depth, slot
+starvation, per-tenant latency drift — exist only *while the service
+runs*.  This module samples them continuously (the elasticity framing
+of Fries et al., EDBT 2014: cluster load across waves of jobs is the
+signal that drives scaling decisions):
+
+:class:`TimeSeries`
+    A bounded ring buffer of ``(t, value)`` points; the hub keeps one
+    per flattened metric name, so memory is fixed regardless of how
+    long the service lives.
+
+:class:`TelemetryHub`
+    Owns the series and a set of *probes* (callables returning nested
+    mappings — the scheduler snapshot, process resources).  Each
+    :meth:`~TelemetryHub.sample` merges all probes into one structured
+    sample, appends every numeric leaf to its series, and remembers
+    the sample as "latest" for the endpoints.
+
+:class:`TelemetryPlane`
+    The deployable bundle: hub + periodic sampler thread + stdlib
+    ``http.server`` endpoints (``/metrics`` OpenMetrics text,
+    ``/healthz`` and ``/statusz`` JSON) + append-only JSONL log.
+    Owned by :class:`~repro.mapreduce.scheduler.ClusterService` via
+    ``start_telemetry`` (CLI: ``repro serve --telemetry-port``).
+
+:func:`render_openmetrics` / :func:`parse_openmetrics`
+    The text exposition and its validating parser.  The parser is not
+    just for tests: the CI smoke job scrapes a live service and
+    re-parses the payload, so the exposition can never drift from what
+    a Prometheus scraper accepts.
+
+No third-party dependencies — stdlib ``http.server`` + ``json`` only.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Deque, Mapping
+
+from repro.obs.resources import peak_rss_kb, quantile_summary
+
+__all__ = [
+    "OPENMETRICS_CONTENT_TYPE",
+    "SAMPLE_SCHEMA",
+    "TelemetryHub",
+    "TelemetryPlane",
+    "TimeSeries",
+    "parse_openmetrics",
+    "process_probe",
+    "render_openmetrics",
+    "render_top",
+    "summarize_log_lines",
+]
+
+SAMPLE_SCHEMA = "repro.obs/telemetry-sample/v1"
+OPENMETRICS_CONTENT_TYPE = (
+    "application/openmetrics-text; version=1.0.0; charset=utf-8"
+)
+
+
+class TimeSeries:
+    """Bounded ring buffer of ``(t_s, value)`` points (thread-safe)."""
+
+    def __init__(self, name: str, capacity: int = 720) -> None:
+        if capacity < 1:
+            raise ValueError("time series capacity must be >= 1")
+        self.name = name
+        self.capacity = capacity
+        self._points: Deque[tuple[float, float]] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def append(self, t_s: float, value: float) -> None:
+        with self._lock:
+            self._points.append((float(t_s), float(value)))
+
+    def last(self) -> tuple[float, float] | None:
+        with self._lock:
+            return self._points[-1] if self._points else None
+
+    def points(self) -> list[tuple[float, float]]:
+        with self._lock:
+            return list(self._points)
+
+    def values(self) -> list[float]:
+        with self._lock:
+            return [value for _, value in self._points]
+
+    def window(self, since_s: float) -> list[tuple[float, float]]:
+        """Points with ``t_s >= since_s`` (ring order is time order)."""
+        with self._lock:
+            return [(t, v) for t, v in self._points if t >= since_s]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._points)
+
+
+def process_probe() -> dict[str, Any]:
+    """Built-in probe: process-level resources."""
+    return {
+        "rss_peak_kb": peak_rss_kb(),
+        "threads": threading.active_count(),
+    }
+
+
+#: Subtrees skipped when flattening a sample into time series —
+#: histogram bucket maps would mint one series per bucket bound per
+#: tenant, and targets are configuration, not signal.
+_FLATTEN_SKIP = ("buckets", "target")
+
+
+def _flatten_numeric(
+    mapping: Mapping[str, Any],
+    prefix: str = "",
+    out: dict[str, float] | None = None,
+) -> dict[str, float]:
+    if out is None:
+        out = {}
+    for key, value in mapping.items():
+        key = str(key)
+        if key in _FLATTEN_SKIP or key.endswith("_histogram"):
+            continue
+        path = f"{prefix}.{key}" if prefix else key
+        if isinstance(value, Mapping):
+            _flatten_numeric(value, path, out)
+        elif isinstance(value, bool):
+            continue
+        elif isinstance(value, (int, float)):
+            out[path] = float(value)
+    return out
+
+
+class TelemetryHub:
+    """Named ring-buffered series fed by registered probes.
+
+    Probes are callables returning a nested mapping; ``sample()``
+    merges them (top-level keys must be disjoint) into one structured
+    sample and appends every numeric leaf — dotted path as the series
+    name — to its :class:`TimeSeries`.  A probe that raises records an
+    ``error`` entry instead of killing the sampler: one bad probe must
+    not blind the whole plane.
+    """
+
+    def __init__(
+        self, capacity: int = 720, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        self.capacity = capacity
+        self._clock = clock
+        self._origin = clock()
+        self._lock = threading.Lock()
+        self._series: dict[str, TimeSeries] = {}
+        self._probes: list[tuple[str, Callable[[], Mapping[str, Any]]]] = []
+        self._last_sample: dict[str, Any] | None = None
+        self.samples_taken = 0
+
+    def add_probe(
+        self, name: str, fn: Callable[[], Mapping[str, Any]]
+    ) -> None:
+        """Register a probe whose mapping lands under sample key
+        ``name`` (empty name = merged at the top level)."""
+        with self._lock:
+            self._probes.append((name, fn))
+
+    def series(self, name: str) -> TimeSeries:
+        with self._lock:
+            ts = self._series.get(name)
+            if ts is None:
+                ts = self._series[name] = TimeSeries(name, self.capacity)
+            return ts
+
+    def series_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._series)
+
+    def record_point(self, name: str, value: float) -> None:
+        """Directly append one point outside the probe cycle."""
+        self.series(name).append(self._clock() - self._origin, value)
+
+    def sample(self) -> dict[str, Any]:
+        """Run every probe, store the flattened leaves, return the
+        structured sample."""
+        t_s = self._clock() - self._origin
+        sample: dict[str, Any] = {
+            "schema": SAMPLE_SCHEMA,
+            "time_unix": time.time(),
+            "t_s": round(t_s, 6),
+        }
+        with self._lock:
+            probes = list(self._probes)
+        for name, fn in probes:
+            try:
+                payload = dict(fn())
+            except Exception as exc:  # noqa: BLE001 - probe isolation
+                payload = {"error": f"{type(exc).__name__}: {exc}"}
+            if name:
+                sample[name] = payload
+            else:
+                for key, value in payload.items():
+                    sample.setdefault(key, value)
+        for path, value in _flatten_numeric(
+            {k: v for k, v in sample.items() if isinstance(v, Mapping)}
+        ).items():
+            self.series(path).append(t_s, value)
+        with self._lock:
+            self._last_sample = sample
+            self.samples_taken += 1
+        return sample
+
+    def last_sample(self) -> dict[str, Any] | None:
+        with self._lock:
+            return self._last_sample
+
+    def summary(self) -> dict[str, Any]:
+        """Compact JSON view: per-series last value + window stats."""
+        names = self.series_names()
+        out: dict[str, Any] = {"samples_taken": self.samples_taken,
+                               "series": {}}
+        for name in names:
+            values = self.series(name).values()
+            if not values:
+                continue
+            stats = quantile_summary(values)
+            out["series"][name] = {
+                "last": values[-1],
+                "count": stats["count"],
+                "p50": stats["p50"],
+                "p95": stats["p95"],
+                "max": stats["max"],
+            }
+        return out
+
+
+# -- OpenMetrics exposition ----------------------------------------------
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _fmt_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _fmt_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Family:
+    """One metric family: TYPE header plus its sample lines."""
+
+    def __init__(self, name: str, kind: str, help_text: str) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.lines: list[str] = []
+
+    def add(
+        self, value: float, labels: Mapping[str, str] | None = None,
+        suffix: str = "",
+    ) -> None:
+        self.lines.append(
+            f"{self.name}{suffix}{_fmt_labels(labels or {})} "
+            f"{_fmt_value(value)}"
+        )
+
+    def add_histogram(
+        self, snapshot: Mapping[str, Any], labels: Mapping[str, str]
+    ) -> None:
+        """Emit ``_bucket``/``_count``/``_sum`` lines from a
+        :meth:`repro.obs.metrics.Histogram.snapshot` dict."""
+        for bucket_key, count in snapshot.get("buckets", {}).items():
+            bound = bucket_key[3:]  # strip the "le_" prefix
+            le = "+Inf" if bound == "inf" else bound
+            self.add(count, {**labels, "le": le}, suffix="_bucket")
+        self.add(snapshot.get("count", 0), labels, suffix="_count")
+        self.add(snapshot.get("sum", 0.0), labels, suffix="_sum")
+
+    def render(self) -> list[str]:
+        if not self.lines:
+            return []
+        out = [f"# HELP {self.name} {self.help}",
+               f"# TYPE {self.name} {self.kind}"]
+        out.extend(self.lines)
+        return out
+
+
+def render_openmetrics(sample: Mapping[str, Any] | None) -> str:
+    """OpenMetrics text exposition of one structured telemetry sample.
+
+    Tolerates partial samples — families with no data render nothing —
+    so the endpoint works from the first scrape, before the scheduler
+    has seen any tenant.
+    """
+    sample = sample or {}
+    scheduler = sample.get("scheduler") or {}
+    tenants = sample.get("tenants") or {}
+    slo = sample.get("slo") or {}
+    process = sample.get("process") or {}
+
+    families: list[_Family] = []
+
+    def family(name: str, kind: str, help_text: str) -> _Family:
+        fam = _Family(name, kind, help_text)
+        families.append(fam)
+        return fam
+
+    gauge = family(
+        "repro_queue_depth", "gauge",
+        "Chains queued for admission on the cluster service.",
+    )
+    if "queue_depth" in scheduler:
+        gauge.add(scheduler["queue_depth"])
+
+    running = family(
+        "repro_running_chains", "gauge", "Chains currently executing."
+    )
+    if "running_chains" in scheduler:
+        running.add(scheduler["running_chains"])
+
+    slots = family(
+        "repro_slots", "gauge", "Total task slots in the shared pool."
+    )
+    if "slots_total" in scheduler:
+        slots.add(scheduler["slots_total"])
+
+    in_use = family(
+        "repro_slots_in_use", "gauge", "Task slots currently held."
+    )
+    if "slots_in_use" in scheduler:
+        in_use.add(scheduler["slots_in_use"])
+
+    utilization = family(
+        "repro_slot_utilization", "gauge",
+        "Fraction of pool slots currently held.",
+    )
+    if "utilization" in scheduler:
+        utilization.add(scheduler["utilization"])
+
+    uptime = family(
+        "repro_uptime_seconds", "gauge", "Service telemetry uptime."
+    )
+    if "uptime_s" in sample:
+        uptime.add(sample["uptime_s"])
+
+    tenant_slots = family(
+        "repro_tenant_slots_in_use", "gauge",
+        "Slots held per tenant right now.",
+    )
+    tenant_waiting = family(
+        "repro_tenant_waiting_tasks", "gauge",
+        "Tasks of the tenant blocked waiting for a slot.",
+    )
+    tenant_inflight = family(
+        "repro_tenant_tasks_inflight", "gauge",
+        "Leased task attempts in flight per tenant.",
+    )
+    granted = family(
+        "repro_slots_granted", "counter",
+        "Slot grants per tenant since service start.",
+    )
+    wait_hist = family(
+        "repro_slot_wait_seconds", "histogram",
+        "Slot-wait (scheduling delay) distribution per tenant.",
+    )
+    for name, row in sorted(tenants.items()):
+        labels = {"tenant": name}
+        if "slots_in_use" in row:
+            tenant_slots.add(row["slots_in_use"], labels)
+        if "waiting_tasks" in row:
+            tenant_waiting.add(row["waiting_tasks"], labels)
+        if "tasks_inflight" in row:
+            tenant_inflight.add(row["tasks_inflight"], labels)
+        if "slots_granted_total" in row:
+            granted.add(row["slots_granted_total"], labels, suffix="_total")
+        if row.get("wait_histogram"):
+            wait_hist.add_histogram(row["wait_histogram"], labels)
+
+    chains = family(
+        "repro_tenant_chains", "counter",
+        "Chain lifecycle counts per tenant since service start.",
+    )
+    latency_hist = family(
+        "repro_tenant_latency_seconds", "histogram",
+        "Chain completion latency distribution per tenant.",
+    )
+    slo_status = family(
+        "repro_tenant_slo_status", "gauge",
+        "SLO verdict per tenant: 0 ok, 1 warn, 2 breach.",
+    )
+    latency_p95 = family(
+        "repro_tenant_latency_p95_seconds", "gauge",
+        "Windowed p95 chain completion latency per tenant.",
+    )
+    wait_p95 = family(
+        "repro_tenant_wait_p95_seconds", "gauge",
+        "Windowed p95 slot wait per tenant.",
+    )
+    error_rate = family(
+        "repro_tenant_error_rate", "gauge",
+        "Failed / finished chains over the SLO window per tenant.",
+    )
+    status_code = {"ok": 0, "warn": 1, "breach": 2}
+    for name, row in sorted(slo.items()):
+        labels = {"tenant": name}
+        for state in ("admitted", "completed", "failed", "cancelled",
+                      "rejected"):
+            if state in row:
+                chains.add(
+                    row[state], {**labels, "state": state}, suffix="_total"
+                )
+        if row.get("latency_histogram"):
+            latency_hist.add_histogram(row["latency_histogram"], labels)
+        if "status" in row:
+            slo_status.add(status_code.get(row["status"], 2), labels)
+        latency = row.get("latency") or {}
+        if "p95_s" in latency:
+            latency_p95.add(latency["p95_s"], labels)
+        wait = row.get("wait") or {}
+        if "p95_s" in wait:
+            wait_p95.add(wait["p95_s"], labels)
+        if "error_rate" in row:
+            error_rate.add(row["error_rate"], labels)
+
+    rss = family(
+        "repro_process_rss_peak_kb", "gauge",
+        "Process peak resident set size (KiB).",
+    )
+    if "rss_peak_kb" in process:
+        rss.add(process["rss_peak_kb"])
+    threads = family(
+        "repro_process_threads", "gauge", "Live thread count."
+    )
+    if "threads" in process:
+        threads.add(process["threads"])
+
+    lines: list[str] = []
+    for fam in families:
+        lines.extend(fam.render())
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def parse_openmetrics(
+    text: str, validate: bool = True
+) -> dict[str, dict[str, Any]]:
+    """Parse (and optionally validate) an OpenMetrics exposition.
+
+    Returns ``{family: {"type": ..., "help": ..., "samples":
+    [(sample_name, labels, value), ...]}}``.  With ``validate=True``
+    raises :class:`ValueError` on: a missing ``# EOF`` terminator, a
+    sample with no preceding ``# TYPE``, a duplicate family
+    declaration, an unparsable line, or histogram buckets that are not
+    cumulative / not capped by a ``+Inf`` bucket matching ``_count``.
+    """
+    families: dict[str, dict[str, Any]] = {}
+    lines = [line for line in text.split("\n") if line.strip()]
+    if validate and (not lines or lines[-1] != "# EOF"):
+        raise ValueError("exposition must end with '# EOF'")
+    current: str | None = None
+    for line in lines:
+        if line == "# EOF":
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ValueError(f"bad TYPE line: {line!r}")
+            _, _, name, kind = parts
+            if name in families and families[name].get("type"):
+                raise ValueError(f"duplicate family declaration: {name}")
+            families.setdefault(
+                name, {"help": None, "samples": []}
+            )["type"] = kind
+            current = name
+            continue
+        if line.startswith("# HELP "):
+            _, _, name, help_text = line.split(" ", 3)
+            families.setdefault(
+                name, {"type": None, "samples": []}
+            )["help"] = help_text
+            continue
+        if line.startswith("#"):
+            if validate:
+                raise ValueError(f"unexpected comment line: {line!r}")
+            continue
+        name, labels, value = _parse_sample_line(line)
+        base = name
+        for suffix in ("_bucket", "_count", "_sum", "_total"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                base = name[: -len(suffix)]
+                break
+        if base not in families or families[base].get("type") is None:
+            if validate:
+                raise ValueError(f"sample {name!r} has no # TYPE header")
+            families.setdefault(base, {"type": None, "help": None,
+                                       "samples": []})
+        if validate and current is not None and base != current:
+            # Families must not interleave: a sample after another
+            # family's TYPE header is a violation.
+            raise ValueError(
+                f"sample {name!r} interleaves family {current!r}"
+            )
+        if base == current or not validate:
+            families[base]["samples"].append((name, labels, value))
+    if validate:
+        for name, family in families.items():
+            if family.get("type") == "histogram":
+                _validate_histogram_family(name, family["samples"])
+    return families
+
+
+def _parse_sample_line(line: str) -> tuple[str, dict[str, str], float]:
+    if "{" in line:
+        name, rest = line.split("{", 1)
+        label_text, value_text = rest.rsplit("} ", 1)
+        labels: dict[str, str] = {}
+        for part in _split_labels(label_text):
+            key, raw = part.split("=", 1)
+            labels[key] = (
+                raw.strip('"')
+                .replace('\\"', '"')
+                .replace("\\n", "\n")
+                .replace("\\\\", "\\")
+            )
+    else:
+        name, value_text = line.rsplit(" ", 1)
+        labels = {}
+    name = name.strip()
+    if not name or " " in name:
+        raise ValueError(f"bad sample line: {line!r}")
+    return name, labels, float(value_text)
+
+
+def _split_labels(label_text: str) -> list[str]:
+    """Split ``a="x",b="y"`` on commas outside quoted values."""
+    parts: list[str] = []
+    depth_quote = False
+    current = ""
+    i = 0
+    while i < len(label_text):
+        char = label_text[i]
+        if char == "\\" and depth_quote:
+            current += label_text[i : i + 2]
+            i += 2
+            continue
+        if char == '"':
+            depth_quote = not depth_quote
+        if char == "," and not depth_quote:
+            parts.append(current)
+            current = ""
+        else:
+            current += char
+        i += 1
+    if current:
+        parts.append(current)
+    return parts
+
+
+def _validate_histogram_family(
+    name: str, samples: list[tuple[str, dict[str, str], float]]
+) -> None:
+    """Per label-set: bucket counts cumulative, +Inf present == count."""
+    by_labels: dict[tuple, dict[str, Any]] = {}
+    for sample_name, labels, value in samples:
+        key = tuple(sorted(
+            (k, v) for k, v in labels.items() if k != "le"
+        ))
+        entry = by_labels.setdefault(key, {"buckets": [], "count": None})
+        if sample_name.endswith("_bucket"):
+            entry["buckets"].append((labels.get("le", ""), value))
+        elif sample_name.endswith("_count"):
+            entry["count"] = value
+    for key, entry in by_labels.items():
+        buckets = entry["buckets"]
+        if not buckets:
+            raise ValueError(f"{name}{dict(key)}: histogram has no buckets")
+        counts = [value for _, value in buckets]
+        if any(b > a for b, a in zip(counts, counts[1:])):
+            raise ValueError(f"{name}{dict(key)}: buckets not cumulative")
+        if buckets[-1][0] != "+Inf":
+            raise ValueError(f"{name}{dict(key)}: last bucket must be +Inf")
+        if entry["count"] is not None and buckets[-1][1] != entry["count"]:
+            raise ValueError(
+                f"{name}{dict(key)}: +Inf bucket != _count"
+            )
+
+
+# -- HTTP endpoints ------------------------------------------------------
+
+
+class _TelemetryHandler(BaseHTTPRequestHandler):
+    """Routes ``/metrics`` / ``/healthz`` / ``/statusz``."""
+
+    server: "_TelemetryHTTPServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        plane = self.server.plane
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                body = plane.openmetrics().encode("utf-8")
+                self._reply(200, OPENMETRICS_CONTENT_TYPE, body)
+            elif path == "/healthz":
+                health = plane.health()
+                status = 200 if health["status"] == "ok" else 503
+                self._reply_json(status, health)
+            elif path == "/statusz":
+                self._reply_json(200, plane.status())
+            else:
+                self._reply_json(404, {"error": f"no route {path}"})
+        except Exception as exc:  # noqa: BLE001 - endpoint isolation
+            self._reply_json(
+                500, {"error": f"{type(exc).__name__}: {exc}"}
+            )
+
+    def _reply(self, code: int, content_type: str, body: bytes) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_json(self, code: int, payload: Mapping[str, Any]) -> None:
+        body = json.dumps(payload, indent=2, sort_keys=True,
+                          default=repr).encode("utf-8")
+        self._reply(code, "application/json; charset=utf-8", body)
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # scrapes are high-frequency; stay silent
+
+
+class _TelemetryHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    plane: "TelemetryPlane"
+
+
+class TelemetryPlane:
+    """Hub + sampler thread + HTTP endpoints + JSONL log, one lifecycle.
+
+    ``snapshot_fn`` supplies the structured service view (the
+    scheduler's ``telemetry_snapshot``); the built-in process probe is
+    always attached.  ``start()`` binds the HTTP server (port 0 picks
+    an ephemeral port — the bound port is returned and stored) and
+    launches the periodic sampler; ``stop()`` tears both down and
+    closes the log.  Every sample — periodic or scrape-triggered — is
+    appended to the JSONL log when one is configured.
+    """
+
+    def __init__(
+        self,
+        snapshot_fn: Callable[[], Mapping[str, Any]] | None = None,
+        *,
+        interval_s: float = 1.0,
+        log_path: str | None = None,
+        capacity: int = 720,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        self.interval_s = interval_s
+        self.log_path = log_path
+        self._clock = clock
+        self._started_t = clock()
+        self.hub = TelemetryHub(capacity=capacity, clock=clock)
+        if snapshot_fn is not None:
+            self.hub.add_probe("", snapshot_fn)
+        self.hub.add_probe("process", process_probe)
+        self._log_lock = threading.Lock()
+        self._log_handle = None
+        self._server: _TelemetryHTTPServer | None = None
+        self._server_thread: threading.Thread | None = None
+        self._sampler_thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.port: int | None = None
+
+    # -- sampling -------------------------------------------------------
+
+    def sample_once(self) -> dict[str, Any]:
+        sample = self.hub.sample()
+        sample["uptime_s"] = round(self._clock() - self._started_t, 6)
+        if self.log_path is not None:
+            line = json.dumps(sample, sort_keys=True, default=repr)
+            with self._log_lock:
+                if self._log_handle is None:
+                    self._log_handle = open(
+                        self.log_path, "a", encoding="utf-8"
+                    )
+                self._log_handle.write(line + "\n")
+                self._log_handle.flush()
+        return sample
+
+    def _sampler_loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.sample_once()
+            except Exception:  # noqa: BLE001 - keep sampling
+                pass
+
+    # -- endpoint payloads ----------------------------------------------
+
+    def openmetrics(self) -> str:
+        """Collect-on-scrape: a fresh sample rendered as OpenMetrics."""
+        return render_openmetrics(self.sample_once())
+
+    def status(self) -> dict[str, Any]:
+        """The full structured snapshot (``/statusz``), freshly sampled."""
+        return self.sample_once()
+
+    def health(self) -> dict[str, Any]:
+        last = self.hub.last_sample()
+        now = self._clock()
+        age_s = None
+        if last is not None:
+            age_s = round(
+                (now - self._started_t) - float(last.get("t_s", 0.0)), 6
+            )
+        stale = (
+            self._sampler_thread is not None
+            and age_s is not None
+            and age_s > 3 * self.interval_s + 1.0
+        )
+        return {
+            "status": "degraded" if stale else "ok",
+            "uptime_s": round(now - self._started_t, 6),
+            "samples_taken": self.hub.samples_taken,
+            "last_sample_age_s": age_s,
+            "port": self.port,
+        }
+
+    # -- lifecycle ------------------------------------------------------
+
+    def start(self, port: int = 0, host: str = "127.0.0.1") -> int:
+        """Bind the endpoints and launch the sampler; returns the port."""
+        if self._server is not None:
+            raise RuntimeError("telemetry plane already started")
+        server = _TelemetryHTTPServer((host, port), _TelemetryHandler)
+        server.plane = self
+        self._server = server
+        self.port = server.server_address[1]
+        self._server_thread = threading.Thread(
+            target=server.serve_forever,
+            name="telemetry-http",
+            daemon=True,
+        )
+        self._server_thread.start()
+        self._sampler_thread = threading.Thread(
+            target=self._sampler_loop, name="telemetry-sampler", daemon=True
+        )
+        self._sampler_thread.start()
+        self.sample_once()  # the plane is never empty once started
+        return self.port
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._server_thread is not None:
+            self._server_thread.join(timeout=5)
+            self._server_thread = None
+        if self._sampler_thread is not None:
+            self._sampler_thread.join(timeout=5)
+            self._sampler_thread = None
+        with self._log_lock:
+            if self._log_handle is not None:
+                self._log_handle.close()
+                self._log_handle = None
+
+    def __enter__(self) -> "TelemetryPlane":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+
+# -- the ``repro top`` view ----------------------------------------------
+
+def _fmt_seconds(value: float) -> str:
+    """Compact human duration: ms below one second, seconds above."""
+    if value <= 0:
+        return "-"
+    if value < 1.0:
+        return f"{value * 1e3:.1f}ms"
+    return f"{value:.2f}s"
+
+
+def render_top(sample: Mapping[str, Any]) -> str:
+    """The ``repro top`` screen: one header line plus the tenant table.
+
+    Works on any structured telemetry sample — a ``/statusz`` payload,
+    a JSONL log line, or :meth:`ClusterService.telemetry_snapshot`
+    output directly — and degrades to a stub when the sample carries
+    no scheduler section (e.g. a bare process-probe sample).
+    """
+    service = sample.get("service") or {}
+    sched = sample.get("scheduler") or {}
+    tenants = sample.get("tenants") or {}
+    slo = sample.get("slo") or {}
+
+    slots = sched.get("slots_total", service.get("slots", 0))
+    in_use = sched.get("slots_in_use", 0)
+    util = sched.get("utilization", 0.0)
+    lines = [
+        f"service {service.get('name', '?')} "
+        f"({service.get('executor', '?')}) — "
+        f"uptime {float(service.get('uptime_s', sample.get('uptime_s', 0.0))):.1f}s  "
+        f"slots {in_use}/{slots} ({util:.0%})  "
+        f"queue {sched.get('queue_depth', 0)}  "
+        f"running {sched.get('running_chains', 0)}"
+    ]
+    header = (
+        f"{'tenant':<16} {'queued':>6} {'running':>7} {'slots':>5} "
+        f"{'waiting':>7} {'granted':>7} {'wait p95':>9} {'lat p95':>9} "
+        f"{'err%':>5} {'slo':>6}"
+    )
+    lines.append(header)
+    names = sorted(set(tenants) | set(slo))
+    if not names:
+        lines.append("(no tenants yet)")
+        return "\n".join(lines)
+    for name in names:
+        row = tenants.get(name) or {}
+        grade = slo.get(name) or {}
+        wait_p95 = float((grade.get("wait") or {}).get("p95_s", 0.0))
+        lat_p95 = float((grade.get("latency") or {}).get("p95_s", 0.0))
+        err = float(grade.get("error_rate", 0.0)) * 100.0
+        lines.append(
+            f"{name[:16]:<16} "
+            f"{row.get('queued_chains', 0):>6} "
+            f"{row.get('running_chains', 0):>7} "
+            f"{row.get('slots_in_use', 0):>5} "
+            f"{row.get('waiting_tasks', 0):>7} "
+            f"{row.get('slots_granted_total', 0):>7} "
+            f"{_fmt_seconds(wait_p95):>9} "
+            f"{_fmt_seconds(lat_p95):>9} "
+            f"{err:>5.1f} "
+            f"{grade.get('status', '-'):>6}"
+        )
+    return "\n".join(lines)
+
+
+def summarize_log_lines(lines) -> dict[str, Any]:
+    """Aggregate a telemetry JSONL log into per-series window stats.
+
+    Accepts an iterable of JSON strings (blank and corrupt lines are
+    counted, not fatal — the log is append-only and the last line may
+    be mid-write).  Returns ``{"samples", "skipped", "span_s",
+    "series": {name: quantile_summary + last}}``.
+    """
+    series: dict[str, list[float]] = {}
+    samples = 0
+    skipped = 0
+    first_t: float | None = None
+    last_t: float | None = None
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            sample = json.loads(line)
+        except json.JSONDecodeError:
+            skipped += 1
+            continue
+        if not isinstance(sample, dict):
+            skipped += 1
+            continue
+        samples += 1
+        t_s = float(sample.get("t_s", 0.0))
+        first_t = t_s if first_t is None else first_t
+        last_t = t_s
+        flat = _flatten_numeric(
+            {k: v for k, v in sample.items() if isinstance(v, Mapping)}
+        )
+        for path, value in flat.items():
+            series.setdefault(path, []).append(value)
+    out: dict[str, Any] = {
+        "samples": samples,
+        "skipped": skipped,
+        "span_s": round((last_t - first_t), 6) if samples else 0.0,
+        "series": {},
+    }
+    for name in sorted(series):
+        values = series[name]
+        stats = quantile_summary(values)
+        stats["last"] = values[-1]
+        out["series"][name] = stats
+    return out

@@ -531,3 +531,51 @@ class TestPerRunScoping:
         assert (
             report2["metrics"]["counters"]["mr.jobs"] == chain2.num_jobs
         )
+
+    def test_concurrent_writers_roll_up_to_parent(self):
+        """Two chains writing through their own for_run scopes from
+        separate threads: each child sees only its own writes, and the
+        parent aggregate is exactly the sum — no lost updates."""
+        import threading
+
+        base = Observability(enabled=True)
+        scopes = [base.for_run(f"run-{i}") for i in range(2)]
+        per_writer = 5000
+
+        def pound(scope) -> None:
+            for i in range(per_writer):
+                scope.count("mr.jobs")
+                scope.observe("mr.task_duration_s", (i % 10) / 100.0)
+
+        workers = [
+            threading.Thread(target=pound, args=(scope,))
+            for scope in scopes
+        ]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        for scope in scopes:
+            snapshot = scope.metrics.snapshot()
+            assert snapshot["counters"]["mr.jobs"] == per_writer
+            assert (
+                snapshot["histograms"]["mr.task_duration_s"]["count"]
+                == per_writer
+            )
+        aggregate = base.metrics.snapshot()
+        assert aggregate["counters"]["mr.jobs"] == 2 * per_writer
+        assert (
+            aggregate["histograms"]["mr.task_duration_s"]["count"]
+            == 2 * per_writer
+        )
+
+    def test_telemetry_plane_is_shared_across_scopes(self):
+        """for_run scoping keeps per-run isolation, but the telemetry
+        plane is service-lifetime: children share the parent's."""
+        from repro.obs.telemetry import TelemetryHub
+
+        base = Observability(enabled=True)
+        hub = TelemetryHub()
+        base.telemetry = hub
+        scope = base.for_run("run-1")
+        assert scope.telemetry is hub

@@ -1,0 +1,524 @@
+"""Tests for the live telemetry plane: ring-buffered time series, the
+sampling hub, OpenMetrics exposition (render + validating parse), the
+HTTP endpoints owned by :class:`ClusterService`, per-tenant SLO
+tracking, the ``repro top`` renderer, and the bench-regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.mapreduce import (
+    ClusterService,
+    Job,
+    JobChain,
+    Mapper,
+    MapReduceRuntime,
+    Reducer,
+)
+from repro.mapreduce.types import split_records
+from repro.obs.metrics import Histogram
+from repro.obs.resources import percentile, quantile_summary
+from repro.obs.slo import (
+    LATENCY_BUCKETS,
+    SLORegistry,
+    SLOTarget,
+    SlidingWindow,
+    TenantSLO,
+)
+from repro.obs.telemetry import (
+    OPENMETRICS_CONTENT_TYPE,
+    TelemetryHub,
+    TelemetryPlane,
+    TimeSeries,
+    parse_openmetrics,
+    render_openmetrics,
+    render_top,
+    summarize_log_lines,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+class _SumMapper(Mapper):
+    def map(self, key, value, ctx):
+        ctx.emit(value % 4, value)
+
+
+class _SumReducer(Reducer):
+    def reduce(self, key, values, ctx):
+        ctx.emit(key, sum(values))
+
+
+def _run_chain(ctx):
+    chain = JobChain(MapReduceRuntime(context=ctx))
+    data = split_records([(i, i) for i in range(64)], 4)
+    job = Job(mapper_factory=_SumMapper, reducer_factory=_SumReducer)
+    return chain.run("sum", job, data, num_reducers=2).output
+
+
+class _FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+# -- quantile helper -----------------------------------------------------
+
+
+def test_percentile_interpolates():
+    values = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(values, 0.0) == 1.0
+    assert percentile(values, 1.0) == 4.0
+    assert percentile(values, 0.5) == pytest.approx(2.5)
+    assert percentile([], 0.95) == 0.0
+    assert percentile([7.0], 0.5) == 7.0
+
+
+def test_quantile_summary_keys_and_empty():
+    stats = quantile_summary([3.0, 1.0, 2.0])
+    assert stats["count"] == 3
+    assert stats["p50"] == 2.0
+    assert stats["max"] == 3.0
+    empty = quantile_summary([])
+    assert empty["count"] == 0 and empty["p95"] == 0.0
+
+
+# -- time series and hub -------------------------------------------------
+
+
+def test_time_series_ring_eviction():
+    series = TimeSeries("s", capacity=3)
+    for i in range(5):
+        series.append(float(i), float(i * 10))
+    assert series.values() == [20.0, 30.0, 40.0]
+    assert series.last() == (4.0, 40.0)
+    assert series.window(3.0) == [(3.0, 30.0), (4.0, 40.0)]
+    with pytest.raises(ValueError):
+        TimeSeries("bad", capacity=0)
+
+
+def test_hub_merges_probes_and_flattens():
+    clock = _FakeClock()
+    hub = TelemetryHub(capacity=8, clock=clock)
+    hub.add_probe("", lambda: {"scheduler": {"queue_depth": 3}})
+    hub.add_probe("process", lambda: {"threads": 7})
+    sample = hub.sample()
+    assert sample["scheduler"]["queue_depth"] == 3
+    assert sample["process"]["threads"] == 7
+    assert hub.series("scheduler.queue_depth").values() == [3.0]
+    assert hub.series("process.threads").values() == [7.0]
+
+
+def test_hub_probe_error_is_isolated():
+    hub = TelemetryHub(clock=_FakeClock())
+
+    def bad():
+        raise RuntimeError("probe down")
+
+    hub.add_probe("broken", bad)
+    hub.add_probe("fine", lambda: {"x": 1})
+    sample = hub.sample()
+    assert "probe down" in sample["broken"]["error"]
+    assert sample["fine"]["x"] == 1
+
+
+def test_hub_flatten_skips_histograms_and_targets():
+    hub = TelemetryHub(clock=_FakeClock())
+    hub.add_probe(
+        "",
+        lambda: {
+            "tenants": {
+                "a": {
+                    "slots_in_use": 1,
+                    "wait_histogram": {"count": 5, "le_inf": 5},
+                }
+            },
+            "slo": {"a": {"target": {"latency_p95_s": 1.0}}},
+        },
+    )
+    hub.sample()
+    names = hub.series_names()
+    assert "tenants.a.slots_in_use" in names
+    assert not any("wait_histogram" in name for name in names)
+    assert not any("target" in name for name in names)
+
+
+# -- thread-safe histogram ----------------------------------------------
+
+
+def test_histogram_concurrent_observe():
+    histogram = Histogram((0.1, 1.0, 10.0))
+    per_thread, threads = 2000, 8
+
+    def pound(seed: int) -> None:
+        for i in range(per_thread):
+            histogram.observe((seed + i) % 12)
+
+    workers = [
+        threading.Thread(target=pound, args=(t,)) for t in range(threads)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    snap = histogram.snapshot()
+    assert snap["count"] == per_thread * threads
+    assert snap["buckets"]["le_inf"] == per_thread * threads
+
+
+# -- SLO tracking --------------------------------------------------------
+
+
+def test_sliding_window_evicts_by_age():
+    window = SlidingWindow(window_s=10.0)
+    window.append(1.0, now=0.0)
+    window.append(2.0, now=5.0)
+    assert window.values(now=9.0) == [1.0, 2.0]
+    assert window.values(now=11.0) == [2.0]
+    with pytest.raises(ValueError):
+        window.append(-1.0, now=12.0)
+
+
+def test_tenant_slo_status_transitions():
+    clock = _FakeClock()
+    target = SLOTarget(latency_p95_s=1.0, window_s=60.0, warn_fraction=0.8)
+    slo = TenantSLO("alice", target, clock=clock)
+    assert slo.status() == "ok"  # no samples: silence is not an outage
+    for _ in range(10):
+        slo.record_completion(0.2)
+    assert slo.status() == "ok"
+    for _ in range(10):
+        slo.record_completion(0.9)
+    assert slo.status() == "warn"
+    for _ in range(10):
+        slo.record_completion(5.0)
+    assert slo.status() == "breach"
+    # Eviction clears the breach once the slow samples age out.
+    clock.advance(120.0)
+    assert slo.status() == "ok"
+
+
+def test_tenant_slo_error_rate_breach():
+    clock = _FakeClock()
+    slo = TenantSLO(
+        "bob", SLOTarget(max_error_rate=0.25, window_s=60.0), clock=clock
+    )
+    for _ in range(3):
+        slo.record_completion(0.1, state="done")
+    slo.record_completion(0.1, state="failed")
+    assert slo.snapshot()["error_rate"] == pytest.approx(0.25)
+    assert slo.status() == "ok"  # at the bound, not over it
+    slo.record_completion(0.1, state="failed")
+    assert slo.status() == "breach"
+
+
+def test_tenant_slo_snapshot_counts_and_histogram():
+    clock = _FakeClock()
+    slo = TenantSLO("carl", clock=clock)
+    slo.record_admitted()
+    slo.record_admitted()
+    slo.record_rejected()
+    slo.record_completion(0.3, state="done")
+    slo.record_completion(0.4, state="cancelled")
+    slo.record_wait(0.05)
+    snap = slo.snapshot()
+    assert snap["admitted"] == 2
+    assert snap["rejected"] == 1
+    assert snap["completed"] == 1 and snap["cancelled"] == 1
+    assert snap["latency"]["count"] == 2
+    assert snap["wait"]["p95_s"] == pytest.approx(0.05)
+    assert snap["latency_histogram"]["count"] == 2
+    assert len(LATENCY_BUCKETS) > 4
+
+
+def test_slo_registry_set_target_restarts_windows():
+    clock = _FakeClock()
+    registry = SLORegistry(clock=clock)
+    tracker = registry.tenant("t")
+    tracker.record_completion(2.0)
+    assert registry.tenant("t") is tracker
+    registry.set_target("t", SLOTarget(latency_p95_s=0.5, window_s=30.0))
+    snap = tracker.snapshot()
+    assert snap["latency"]["count"] == 0  # windows restarted
+    assert snap["completed"] == 1  # counts carry over
+    assert tracker.target.latency_p95_s == 0.5
+
+
+# -- OpenMetrics render + parse ------------------------------------------
+
+
+def _service_sample():
+    return {
+        "schema": "repro.obs/telemetry-sample/v1",
+        "t_s": 1.0,
+        "uptime_s": 1.0,
+        "service": {"name": "svc", "executor": "thread", "uptime_s": 1.0},
+        "scheduler": {
+            "queue_depth": 2,
+            "running_chains": 1,
+            "slots_total": 4,
+            "slots_in_use": 3,
+            "utilization": 0.75,
+            "waiting_tasks": 1,
+        },
+        "tenants": {
+            "alice": {
+                "queued_chains": 1,
+                "running_chains": 1,
+                "slots_in_use": 2,
+                "waiting_tasks": 1,
+                "tasks_inflight": 2,
+                "slots_granted_total": 9,
+                "wait_histogram": {
+                    "count": 3,
+                    "sum": 0.3,
+                    "buckets": {"le_0.1": 2, "le_1.0": 3, "le_inf": 3},
+                },
+            }
+        },
+        "slo": {
+            "alice": {
+                "admitted": 2,
+                "completed": 1,
+                "failed": 0,
+                "cancelled": 0,
+                "rejected": 0,
+                "error_rate": 0.0,
+                "status": "ok",
+                "latency": {"count": 1, "p95_s": 0.5},
+                "wait": {"count": 3, "p95_s": 0.1},
+                "latency_histogram": {
+                    "count": 1,
+                    "sum": 0.5,
+                    "buckets": {"le_1.0": 1, "le_inf": 1},
+                },
+            }
+        },
+        "process": {"rss_peak_kb": 120000, "threads": 9},
+    }
+
+
+def test_render_openmetrics_parses_cleanly():
+    text = render_openmetrics(_service_sample())
+    assert text.endswith("# EOF\n")
+    families = parse_openmetrics(text)  # validate=True: every line parsed
+    assert families["repro_queue_depth"]["type"] == "gauge"
+    assert families["repro_slots_granted"]["type"] == "counter"
+    wait = families["repro_slot_wait_seconds"]
+    assert wait["type"] == "histogram"
+    tenants = {s[1].get("tenant") for s in wait["samples"]}
+    assert tenants == {"alice"}
+    bucket_values = [
+        value
+        for name, labels, value in wait["samples"]
+        if name.endswith("_bucket") and labels["tenant"] == "alice"
+    ]
+    assert bucket_values == sorted(bucket_values)  # cumulative
+    status = families["repro_tenant_slo_status"]["samples"]
+    assert status[0][2] == 0.0  # ok -> 0
+
+
+def test_render_openmetrics_no_duplicate_families():
+    text = render_openmetrics(_service_sample())
+    declared = [
+        line.split(" ")[2]
+        for line in text.splitlines()
+        if line.startswith("# TYPE ")
+    ]
+    assert len(declared) == len(set(declared))
+
+
+def test_render_openmetrics_empty_families_render_nothing():
+    families = parse_openmetrics(render_openmetrics({"t_s": 0.0}))
+    assert "repro_slot_wait_seconds" not in families
+
+
+def test_parse_rejects_malformed_expositions():
+    with pytest.raises(ValueError, match="EOF"):
+        parse_openmetrics("# TYPE x gauge\nx 1\n")
+    with pytest.raises(ValueError, match="no # TYPE"):
+        parse_openmetrics("x 1\n# EOF\n")
+    with pytest.raises(ValueError, match="duplicate"):
+        parse_openmetrics(
+            "# TYPE x gauge\nx 1\n# TYPE x gauge\nx 2\n# EOF\n"
+        )
+    with pytest.raises(ValueError, match="cumulative|bucket"):
+        parse_openmetrics(
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_count 3\n"
+            "h_sum 1.0\n"
+            "# EOF\n"
+        )
+
+
+# -- the plane: sampling loop, JSONL log, HTTP endpoints -----------------
+
+
+def test_plane_jsonl_log_and_summary(tmp_path):
+    log_path = tmp_path / "telemetry.jsonl"
+    plane = TelemetryPlane(
+        lambda: {"scheduler": {"queue_depth": 1}},
+        interval_s=5.0,
+        log_path=str(log_path),
+    )
+    plane.sample_once()
+    plane.sample_once()
+    plane.stop()
+    lines = log_path.read_text().splitlines()
+    assert len(lines) == 2
+    sample = json.loads(lines[-1])
+    assert sample["scheduler"]["queue_depth"] == 1
+    summary = summarize_log_lines(lines + ["{corrupt", ""])
+    assert summary["samples"] == 2 and summary["skipped"] == 1
+    assert summary["series"]["scheduler.queue_depth"]["last"] == 1.0
+
+
+def test_service_http_endpoints():
+    service = ClusterService(slots=2, executor="thread")
+    try:
+        plane = service.start_telemetry(port=0, interval_s=0.2)
+        assert plane.port
+        with pytest.raises(RuntimeError):
+            service.start_telemetry(port=0)
+        handles = [
+            service.submit(_run_chain, tenant=tenant)
+            for tenant in ("alice", "bob")
+        ]
+        for handle in handles:
+            handle.wait(timeout=30)
+        base = f"http://127.0.0.1:{plane.port}"
+
+        with urllib.request.urlopen(f"{base}/healthz", timeout=5) as resp:
+            assert resp.status == 200
+            health = json.loads(resp.read())
+        assert health["status"] == "ok"
+
+        with urllib.request.urlopen(f"{base}/metrics", timeout=5) as resp:
+            assert resp.headers["Content-Type"] == OPENMETRICS_CONTENT_TYPE
+            families = parse_openmetrics(resp.read().decode())
+        assert "repro_queue_depth" in families
+        wait = families["repro_slot_wait_seconds"]
+        assert wait["type"] == "histogram"
+        assert {s[1].get("tenant") for s in wait["samples"]} == {
+            "alice",
+            "bob",
+        }
+
+        with urllib.request.urlopen(f"{base}/statusz", timeout=5) as resp:
+            status = json.loads(resp.read())
+        assert status["scheduler"]["slots_total"] == 2
+        assert set(status["tenants"]) == {"alice", "bob"}
+        assert status["slo"]["alice"]["completed"] == 1
+
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{base}/nope", timeout=5)
+        assert excinfo.value.code == 404
+    finally:
+        service.shutdown()
+    assert service.telemetry is None  # shutdown stops the plane
+
+
+def test_scheduler_snapshot_has_wait_histograms():
+    service = ClusterService(slots=2, executor="thread")
+    try:
+        service.submit(_run_chain, tenant="alice").wait(timeout=30)
+        snapshot = service.telemetry_snapshot()
+        alice = snapshot["tenants"]["alice"]
+        assert alice["slots_granted_total"] > 0
+        assert alice["wait_histogram"]["count"] > 0
+        assert snapshot["scheduler"]["slots_total"] == 2
+        assert snapshot["slo"]["alice"]["latency"]["count"] == 1
+    finally:
+        service.shutdown()
+
+
+# -- repro top -----------------------------------------------------------
+
+
+def test_render_top_tenant_table():
+    screen = render_top(_service_sample())
+    lines = screen.splitlines()
+    assert "slots 3/4" in lines[0] and "queue 2" in lines[0]
+    assert "tenant" in lines[1] and "slo" in lines[1]
+    alice = next(line for line in lines if line.startswith("alice"))
+    assert "ok" in alice and "9" in alice
+
+
+def test_render_top_empty_sample():
+    screen = render_top({"t_s": 0.0})
+    assert "(no tenants yet)" in screen
+
+
+def test_cli_top_reads_log(tmp_path, capsys):
+    from repro.cli import main
+
+    log = tmp_path / "telemetry.jsonl"
+    log.write_text(
+        json.dumps(_service_sample()) + "\n" + "{mid-write", encoding="utf-8"
+    )
+    assert main(["top", "--log", str(log)]) == 0
+    out = capsys.readouterr().out
+    assert "alice" in out and "slots 3/4" in out
+    # exactly one of --endpoint / --log must be given
+    assert main(["top"]) == 2
+
+
+# -- bench-regression gate -----------------------------------------------
+
+
+def _run_gate(*extra: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [
+            sys.executable,
+            str(REPO_ROOT / "benchmarks" / "check_regression.py"),
+            *extra,
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+
+
+def test_check_regression_passes_on_committed_baselines():
+    result = _run_gate()
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_check_regression_fails_on_starvation_regression(tmp_path):
+    for name in ("BENCH_hotpaths.json", "BENCH_service.json"):
+        payload = json.loads((REPO_ROOT / name).read_text())
+        if name == "BENCH_service.json":
+            payload["starvation_ratio"] *= 1.25
+        (tmp_path / name).write_text(json.dumps(payload))
+    result = _run_gate("--current-dir", str(tmp_path))
+    assert result.returncode == 1
+    assert "starvation_ratio" in result.stderr
+
+
+def test_check_regression_quick_skips_scale_sensitive(tmp_path):
+    # A quick-mode service artifact against the full-run baseline:
+    # probe_p95_s and throughput must be skipped, ratios still gated.
+    for name in ("BENCH_hotpaths.json", "BENCH_service.json"):
+        payload = json.loads((REPO_ROOT / name).read_text())
+        if name == "BENCH_service.json":
+            payload["probe_p95_s"] *= 10  # would fail if compared
+        (tmp_path / name).write_text(json.dumps(payload))
+    result = _run_gate("--current-dir", str(tmp_path), "--quick")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "SKIP BENCH_service.json:probe_p95_s" in result.stdout
