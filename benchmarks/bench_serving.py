@@ -1,0 +1,212 @@
+"""Serving-path benchmark: batched scoring vs the scalar oracle.
+
+Fits a quick P3C+-MR model on synthetic data, auto-registers it, loads
+it back through the :class:`~repro.serving.ModelRegistry` (so the
+measured model went through the exact artifact a server would load),
+then measures the batched ``FittedModel.assign`` path — sustained
+points/sec and per-batch latency percentiles — against the deliberately
+naive per-row :func:`~repro.serving.reference_assign` oracle.  Writes
+``BENCH_serving.json`` at the repository root.
+
+The speedup is only reported after a parity guard: the batched path
+must score the oracle subset element-wise bitwise identically
+(ids, outlier mask and scores), the same property the Hypothesis suite
+tests on random models.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py            # full workload
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_serving.py --quick \\
+        --min-assign-speedup 10
+
+``--min-assign-speedup`` exits non-zero when the batched scorer is not
+at least that multiple faster than the scalar reference — the CI
+serve-smoke gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.data import GeneratorConfig, generate_synthetic  # noqa: E402
+from repro.mr import P3CPlusMR, P3CPlusMRConfig  # noqa: E402
+from repro.serving import ModelRegistry, reference_assign  # noqa: E402
+
+SCHEMA = "repro.benchmarks/serving/v1"
+DEFAULT_OUT = REPO_ROOT / "BENCH_serving.json"
+
+
+def _row(bench: str, n: int, seconds: float) -> dict:
+    return {
+        "bench": bench,
+        "n": n,
+        "seconds": round(seconds, 6),
+        "points_per_sec": round(n / seconds, 1) if seconds > 0 else None,
+    }
+
+
+def _fit_and_load(n: int, d: int, seed: int):
+    """Fit the full MR pipeline and reload the registered model."""
+    dataset = generate_synthetic(
+        GeneratorConfig(
+            n=n,
+            d=d,
+            num_clusters=3,
+            noise_fraction=0.10,
+            max_cluster_dims=4,
+            seed=seed,
+        )
+    )
+    with tempfile.TemporaryDirectory() as root:
+        driver = P3CPlusMR(
+            mr_config=P3CPlusMRConfig(num_splits=4, model_registry=root)
+        )
+        started = time.perf_counter()
+        driver.fit(dataset.data)
+        fit_s = time.perf_counter() - started
+        if driver.model_id is None:
+            raise AssertionError(
+                "fit registered no model; enlarge the workload"
+            )
+        registry = ModelRegistry(root)
+        started = time.perf_counter()
+        model = registry.load("latest")
+        load_s = time.perf_counter() - started
+    return model, driver.model_id, fit_s, load_s
+
+
+def _assert_parity(batch, reference) -> None:
+    if not (
+        np.array_equal(batch.cluster_ids, reference.cluster_ids)
+        and np.array_equal(batch.outlier_mask, reference.outlier_mask)
+        and np.array_equal(batch.scores, reference.scores, equal_nan=True)
+    ):
+        raise AssertionError(
+            "batched assign diverged from the scalar reference scorer"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=None, help="fit points")
+    parser.add_argument("--d", type=int, default=8, help="dimensionality")
+    parser.add_argument(
+        "--batch-size", type=int, default=None, help="serving batch rows"
+    )
+    parser.add_argument(
+        "--batches", type=int, default=None, help="timed batches"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke workload (smaller fit and probe)",
+    )
+    parser.add_argument(
+        "--min-assign-speedup",
+        type=float,
+        default=None,
+        help="fail unless batched assign >= this multiple of the "
+        "scalar reference throughput",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="output JSON path"
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args(argv)
+
+    n = args.n if args.n is not None else (4_000 if args.quick else 20_000)
+    batch_size = args.batch_size or (256 if args.quick else 1_024)
+    num_batches = args.batches or (40 if args.quick else 100)
+    ref_n = min(300 if args.quick else 1_000, batch_size * num_batches)
+
+    model, model_id, fit_s, load_s = _fit_and_load(n, args.d, args.seed)
+
+    rng = np.random.default_rng(args.seed)
+    probe = rng.uniform(-0.05, 1.05, size=(num_batches * batch_size, args.d))
+    model.assign(probe[:batch_size])  # warm the per-component caches
+
+    latencies = np.empty(num_batches)
+    for i in range(num_batches):
+        batch = probe[i * batch_size : (i + 1) * batch_size]
+        started = time.perf_counter()
+        model.assign(batch)
+        latencies[i] = time.perf_counter() - started
+    batch_s = float(latencies.sum())
+    throughput = len(probe) / batch_s
+    p50_ms, p95_ms = (
+        float(v) * 1000.0 for v in np.percentile(latencies, [50, 95])
+    )
+
+    subset = probe[:ref_n]
+    started = time.perf_counter()
+    reference = reference_assign(model, subset)
+    ref_s = time.perf_counter() - started
+    _assert_parity(model.assign(subset), reference)
+    ref_pps = ref_n / ref_s
+    speedup = throughput / ref_pps
+
+    rows = [
+        _row("fit_register", n, fit_s),
+        _row("registry_load", 1, load_s),
+        _row("assign_batched", len(probe), batch_s),
+        _row("assign_reference", ref_n, ref_s),
+    ]
+    report = {
+        "schema": SCHEMA,
+        "quick": bool(args.quick),
+        "workload": {
+            "n": n,
+            "d": args.d,
+            "batch_size": batch_size,
+            "batches": num_batches,
+            "reference_n": ref_n,
+        },
+        "model_id": model_id,
+        "num_clusters": model.num_clusters,
+        "assign_speedup": round(speedup, 2),
+        "throughput_points_per_s": round(throughput, 1),
+        "batch_p50_ms": round(p50_ms, 4),
+        "batch_p95_ms": round(p95_ms, 4),
+        "rows": rows,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    width = max(len(r["bench"]) for r in rows)
+    print(f"{'bench':<{width}} {'n':>9} {'seconds':>10} {'points/s':>14}")
+    for r in rows:
+        pps = f"{r['points_per_sec']:,.0f}" if r["points_per_sec"] else "-"
+        print(
+            f"{r['bench']:<{width}} {r['n']:>9} "
+            f"{r['seconds']:>10.4f} {pps:>14}"
+        )
+    print(f"\nmodel: {model_id} ({model.num_clusters} clusters)")
+    print(
+        f"batched assign: {throughput:,.0f} points/s "
+        f"(p50 {p50_ms:.2f} ms, p95 {p95_ms:.2f} ms per batch)"
+    )
+    print(f"batched assign speedup over scalar reference: {speedup:.1f}x")
+    print(f"[saved to {args.out}]")
+
+    if args.min_assign_speedup is not None and speedup < args.min_assign_speedup:
+        print(
+            f"FAIL: assign speedup {speedup:.1f}x is below the "
+            f"required {args.min_assign_speedup:g}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,9 +1,10 @@
 #!/usr/bin/env python
 """Bench-regression gate: diff BENCH_*.json against committed baselines.
 
-The repo commits two benchmark artifacts at the root —
-``BENCH_hotpaths.json`` (data-plane speedup ratios) and
-``BENCH_service.json`` (fair-share service latencies) — plus frozen
+The repo commits three benchmark artifacts at the root —
+``BENCH_hotpaths.json`` (data-plane speedup ratios),
+``BENCH_service.json`` (fair-share service latencies) and
+``BENCH_serving.json`` (batched model-scoring throughput) — plus frozen
 copies under ``benchmarks/baselines/``.  This script compares the named
 headline metrics between the two and exits non-zero when any metric
 regresses by more than the tolerance (20% by default), so CI fails the
@@ -70,6 +71,16 @@ METRICS: tuple[MetricSpec, ...] = (
         "throughput_chains_per_s",
         True,
         scale_sensitive=True,
+    ),
+    MetricSpec("BENCH_serving.json", "assign_speedup", True),
+    MetricSpec(
+        "BENCH_serving.json",
+        "throughput_points_per_s",
+        True,
+        scale_sensitive=True,
+    ),
+    MetricSpec(
+        "BENCH_serving.json", "batch_p95_ms", False, scale_sensitive=True
     ),
 )
 

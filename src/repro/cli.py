@@ -9,6 +9,7 @@ experiment  run one paper-exhibit harness and print its table
 report      render a run-report JSON (see ``cluster --metrics``)
 serve       run the multi-tenant cluster service over a job spool
 submit      queue one clustering job on a service spool
+assign      score points against a registered fitted model
 
 Examples
 --------
@@ -74,6 +75,7 @@ class ExecOptions:
     speculative: bool = False
     checkpoint_dir: str | None = None
     resume: bool = False
+    model_registry: str | None = None
 
 
 ALGORITHMS: dict[str, Callable[[P3CPlusConfig, ExecOptions], Any]] = {
@@ -98,6 +100,7 @@ ALGORITHMS: dict[str, Callable[[P3CPlusConfig, ExecOptions], Any]] = {
             speculative=opts.speculative,
             checkpoint_dir=opts.checkpoint_dir,
             resume=opts.resume,
+            model_registry=opts.model_registry,
         ),
         obs=opts.obs,
     ),
@@ -111,6 +114,7 @@ ALGORITHMS: dict[str, Callable[[P3CPlusConfig, ExecOptions], Any]] = {
             speculative=opts.speculative,
             checkpoint_dir=opts.checkpoint_dir,
             resume=opts.resume,
+            model_registry=opts.model_registry,
         ),
         obs=opts.obs,
     ),
@@ -263,6 +267,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="restore completed jobs from --checkpoint-dir instead of "
         "re-running them (skips every job whose inputs are unchanged)",
     )
+    cluster.add_argument(
+        "--register",
+        default=None,
+        metavar="REGISTRY",
+        help="save the fitted model into this model-registry directory "
+        "and tag it 'latest' (mr/mr-light only)",
+    )
 
     evaluate = commands.add_parser("evaluate", help="score a saved result")
     evaluate.add_argument("--data", required=True)
@@ -339,6 +350,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="JSONL",
         help="append every telemetry sample to this JSONL file "
         "(default <spool>/telemetry.jsonl when telemetry is on)",
+    )
+    serve.add_argument(
+        "--registry",
+        default=None,
+        metavar="DIR",
+        help="model-registry directory backing assign submissions "
+        "(and --register on submitted fits)",
     )
 
     top = commands.add_parser(
@@ -444,6 +462,59 @@ def _build_parser() -> argparse.ArgumentParser:
         default=300.0,
         help="max seconds to wait with --wait (default 300)",
     )
+    submit.add_argument(
+        "--register",
+        default=None,
+        metavar="REGISTRY",
+        help="save the fitted model into this model-registry directory "
+        "on the serving host and tag it 'latest'",
+    )
+
+    assign = commands.add_parser(
+        "assign",
+        help="score a CSV of points against a registered fitted model",
+    )
+    assign.add_argument(
+        "--model",
+        default="latest",
+        help="model id or tag to score against (default 'latest')",
+    )
+    assign.add_argument("--data", required=True)
+    assign.add_argument("--out", required=True)
+    assign.add_argument(
+        "--registry",
+        default=None,
+        metavar="DIR",
+        help="score locally against this model-registry directory",
+    )
+    assign.add_argument(
+        "--spool",
+        default=None,
+        help="queue the batch on a running service's spool instead "
+        "(the service must run with --registry)",
+    )
+    assign.add_argument(
+        "--tenant",
+        default="default",
+        help="tenant name for fair-share accounting (spool mode)",
+    )
+    assign.add_argument(
+        "--priority",
+        type=float,
+        default=None,
+        help="fair-share weight of the tenant (spool mode)",
+    )
+    assign.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the completion record appears (spool mode)",
+    )
+    assign.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="max seconds to wait with --wait (default 300)",
+    )
     return parser
 
 
@@ -503,13 +574,25 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         speculative=args.speculative,
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
+        model_registry=args.register,
     )
+    if args.register and args.algorithm not in ("mr", "mr-light"):
+        print(
+            "error: --register requires an mr/mr-light algorithm",
+            file=sys.stderr,
+        )
+        return 2
     algorithm = ALGORITHMS[args.algorithm](config, opts)
     started = time.perf_counter()
     result = algorithm.fit(data)
     wall_time = time.perf_counter() - started
     save_result_json(args.out, result)
     print(result.summary())
+    model_id = getattr(algorithm, "model_id", None)
+    if model_id:
+        print(f"model registered as {model_id} (tag 'latest') in {args.register}")
+    elif args.register:
+        print("no cluster cores found: nothing registered", file=sys.stderr)
 
     chain = getattr(algorithm, "chain", None)
     # MR drivers scope their spans/metrics to a per-run obs context;
@@ -657,7 +740,11 @@ def _make_spool_job(spec: dict):
             poisson_alpha=spec.get("poisson_alpha", 0.01),
         )
         driver_cls = P3CPlusMR if spec["algorithm"] == "mr" else P3CPlusMRLight
-        driver = driver_cls(config, P3CPlusMRConfig(), context=ctx)
+        driver = driver_cls(
+            config,
+            P3CPlusMRConfig(model_registry=spec.get("register")),
+            context=ctx,
+        )
         started = time.perf_counter()
         result = driver.fit(data)
         wall_time = time.perf_counter() - started
@@ -690,9 +777,101 @@ def _make_spool_job(spec: dict):
             "num_outliers": int(len(result.outliers)),
             "out": spec["out"],
             "wall_time_s": wall_time,
+            "model_id": driver.model_id,
         }
 
     return run_chain
+
+
+def _write_assign_result(path: str, payload: dict) -> None:
+    """Persist one assign batch's output as JSON.
+
+    Shared by local ``repro assign`` and the serve loop so both paths
+    produce byte-identical artifacts for the same model and batch
+    (non-finite scores serialize as JSON ``NaN``, which ``json.loads``
+    reads back).
+    """
+    document = {
+        "schema": "repro.serving/assign-result/v1",
+        "model_id": payload["model_id"],
+        "n_points": int(payload["n_points"]),
+        "num_outliers": int(payload["num_outliers"]),
+        "cluster_ids": [int(v) for v in payload["cluster_ids"]],
+        "outlier_mask": [bool(v) for v in payload["outlier_mask"]],
+        "scores": [float(v) for v in payload["scores"]],
+    }
+    _write_json_atomic(Path(path), document)
+
+
+def _cmd_assign(args: argparse.Namespace) -> int:
+    if bool(args.registry) == bool(args.spool):
+        print(
+            "error: pass exactly one of --registry (local) or --spool "
+            "(via a running service)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.registry:
+        from repro.serving import ModelRegistry, RegistryError
+
+        data, _ = load_dataset_csv(args.data)
+        registry = ModelRegistry(args.registry)
+        try:
+            model_id = registry.resolve(args.model)
+            model = registry.load(model_id)
+        except RegistryError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        started = time.perf_counter()
+        result = model.assign(data)
+        wall_time = time.perf_counter() - started
+        num_outliers = int(result.outlier_mask.sum())
+        _write_assign_result(
+            args.out,
+            {
+                "model_id": model_id,
+                "n_points": len(result.cluster_ids),
+                "num_outliers": num_outliers,
+                "cluster_ids": result.cluster_ids,
+                "outlier_mask": result.outlier_mask,
+                "scores": result.scores,
+            },
+        )
+        print(
+            f"assigned {len(result.cluster_ids)} point(s) with {model_id}: "
+            f"{num_outliers} outlier(s) in {wall_time:.4f}s"
+        )
+        print(f"result written to {args.out}")
+        return 0
+
+    pending, done = _spool_dirs(args.spool)
+    job_id = f"{time.time_ns():016x}-{os.getpid()}"
+    spec = {
+        "id": job_id,
+        "kind": "assign",
+        "model": args.model,
+        "data": args.data,
+        "out": args.out,
+        "tenant": args.tenant,
+        "priority": args.priority,
+    }
+    _write_json_atomic(pending / f"{job_id}.json", spec)
+    print(f"submitted assign {job_id} (tenant {args.tenant}) to {args.spool}")
+    if not args.wait:
+        return 0
+    deadline = time.monotonic() + args.timeout
+    record_path = done / f"{job_id}.json"
+    while time.monotonic() < deadline:
+        if record_path.exists():
+            record = json.loads(record_path.read_text())
+            print(json.dumps(record, indent=2, sort_keys=True))
+            return 0 if record.get("state") == "done" else 1
+        time.sleep(0.2)
+    print(
+        f"error: assign {job_id} not finished after {args.timeout}s",
+        file=sys.stderr,
+    )
+    return 1
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -701,10 +880,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     pending, done = _spool_dirs(args.spool)
     obs = Observability(enabled=True)
     service = ClusterService(
-        slots=args.slots, executor=args.executor, obs=obs
+        slots=args.slots, executor=args.executor, obs=obs,
+        registry=args.registry,
     )
     print(
         f"serving {args.spool} on {service.slots} {args.executor} slot(s)"
+        + (f", model registry {args.registry}" if args.registry else "")
     )
     if args.telemetry_port is not None:
         log_path = args.telemetry_log or str(
@@ -730,22 +911,53 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 except (OSError, json.JSONDecodeError):
                     continue  # mid-write or corrupt; retry next scan
                 path.unlink()
-                handle = service.submit(
-                    _make_spool_job(spec),
-                    name=spec.get("algorithm", "chain"),
-                    tenant=spec.get("tenant", "default"),
-                    priority=spec.get("priority"),
-                    estimated_records=spec.get("estimated_records"),
-                )
-                active[spec["id"]] = handle
+                if spec.get("kind") == "assign":
+                    try:
+                        points, _ = load_dataset_csv(spec["data"])
+                        handle = service.serve_assign(
+                            spec["model"],
+                            points,
+                            tenant=spec.get("tenant", "default"),
+                            priority=spec.get("priority"),
+                        )
+                    except Exception as exc:  # noqa: BLE001 - recorded
+                        _write_json_atomic(
+                            done / f"{spec['id']}.json",
+                            {
+                                "id": spec["id"],
+                                "state": "failed",
+                                "error": f"{type(exc).__name__}: {exc}",
+                            },
+                        )
+                        print(f"rejected assign {spec['id']}: {exc}")
+                        continue
+                else:
+                    handle = service.submit(
+                        _make_spool_job(spec),
+                        name=spec.get("algorithm", "chain"),
+                        tenant=spec.get("tenant", "default"),
+                        priority=spec.get("priority"),
+                        estimated_records=spec.get("estimated_records"),
+                    )
+                active[spec["id"]] = (handle, spec)
                 print(f"admitted {handle.job_id} ({spec['id']})")
-            for spool_id, handle in list(active.items()):
+            for spool_id, (handle, spec) in list(active.items()):
                 if not handle.done():
                     continue
                 record = {"id": spool_id, "state": handle.status()}
                 record.update(handle.info())
                 try:
-                    record["result"] = handle.result(timeout=0)
+                    result = handle.result(timeout=0)
+                    if spec.get("kind") == "assign":
+                        _write_assign_result(spec["out"], result)
+                        result = {
+                            "model_id": result["model_id"],
+                            "n_points": result["n_points"],
+                            "num_outliers": result["num_outliers"],
+                            "wall_time_s": result["wall_time_s"],
+                            "out": spec["out"],
+                        }
+                    record["result"] = result
                 except BaseException as exc:  # noqa: BLE001 - recorded
                     record["error"] = f"{type(exc).__name__}: {exc}"
                 _write_json_atomic(done / f"{spool_id}.json", record)
@@ -890,6 +1102,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         "poisson_alpha": args.poisson_alpha,
         "normalize": args.normalize,
         "estimated_records": args.estimated_records,
+        "register": args.register,
     }
     _write_json_atomic(pending / f"{job_id}.json", spec)
     print(f"submitted {job_id} (tenant {args.tenant}) to {args.spool}")
@@ -911,6 +1124,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
+        "assign": _cmd_assign,
         "generate": _cmd_generate,
         "cluster": _cmd_cluster,
         "evaluate": _cmd_evaluate,

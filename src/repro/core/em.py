@@ -35,9 +35,22 @@ class GaussianMixture:
     log_likelihood_history: list[float] = field(default_factory=list)
 
     def __post_init__(self) -> None:
-        self.means = np.atleast_2d(np.asarray(self.means, dtype=float))
-        self.covariances = np.asarray(self.covariances, dtype=float)
-        self.weights = np.asarray(self.weights, dtype=float)
+        m = len(self.attributes)
+        means = np.asarray(self.means, dtype=float)
+        if means.ndim == 1:
+            # A single-attribute subspace yields (k,) moment vectors and a
+            # single-component model yields (m,); ``attributes`` fixes the
+            # subspace dimensionality, so orient by it instead of guessing
+            # with atleast_2d (which would turn (k,) into (1, k)).
+            means = means.reshape(-1, 1) if m == 1 else means.reshape(1, -1)
+        self.means = means
+        covariances = np.asarray(self.covariances, dtype=float)
+        if m == 1 and covariances.ndim < 3:
+            covariances = covariances.reshape(-1, 1, 1)
+        elif covariances.ndim == 2 and covariances.shape == (m, m):
+            covariances = covariances.reshape(1, m, m)
+        self.covariances = covariances
+        self.weights = np.atleast_1d(np.asarray(self.weights, dtype=float))
         k, m = self.means.shape
         if self.covariances.shape != (k, m, m):
             raise ValueError(
@@ -71,7 +84,29 @@ class GaussianMixture:
     def log_likelihood(self, sub: np.ndarray) -> float:
         return float(_logsumexp_rows(self._log_joint(sub)).sum())
 
+    def _as_batch(self, sub: np.ndarray) -> np.ndarray:
+        """Normalise a point batch to ``(n, m)`` subspace coordinates.
+
+        Accepts an already 2-D batch, a 1-D vector of values when
+        ``m == 1``, a single 1-D point when ``m > 1``, and empty input
+        of either rank.
+        """
+        sub = np.asarray(sub, dtype=float)
+        m = len(self.attributes)
+        if sub.ndim == 1:
+            if sub.size == 0 or m == 1:
+                sub = sub.reshape(-1, 1) if m == 1 else sub.reshape(0, m)
+            else:
+                sub = sub.reshape(1, -1)
+        if sub.ndim != 2 or sub.shape[1] != m:
+            raise ValueError(
+                f"point batch shape {sub.shape} incompatible with "
+                f"{m}-dimensional subspace"
+            )
+        return sub
+
     def _log_joint(self, sub: np.ndarray) -> np.ndarray:
+        sub = self._as_batch(sub)
         n = len(sub)
         k = self.num_components
         out = np.empty((n, k), dtype=float)

@@ -82,6 +82,14 @@ WAIT_BUCKETS = (
     0.5, 1.0, 2.5, 5.0, 15.0, 60.0,
 )
 
+#: Serve-time batch latency buckets (seconds): a vectorized assign over
+#: a typical batch lands well under a millisecond, so most of the
+#: resolution sits below 100ms.
+ASSIGN_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 1.0, 5.0,
+)
+
 
 class JobCancelledError(RuntimeError):
     """A submitted chain was cancelled before or during execution."""
@@ -416,6 +424,7 @@ class ClusterService:
         admission_budget_s: float | None = None,
         name: str = "cluster",
         slo_target: SLOTarget | None = None,
+        registry: Any = None,
     ) -> None:
         self.slots = slots or os.cpu_count() or 4
         self.executor_spec = executor
@@ -443,6 +452,23 @@ class ClusterService:
         self._active_cost_s = 0.0
         self._seq = itertools.count(1)
         self._closed = False
+        #: Serving state: the model registry backing ``serve_assign``
+        #: (a :class:`repro.serving.ModelRegistry` or a root path),
+        #: loaded models keyed by id, and per-tenant assign telemetry.
+        self.registry = self._resolve_registry(registry)
+        self._model_cache: dict[str, Any] = {}
+        self._model_lock = threading.Lock()
+        self._assign_lock = threading.Lock()
+        self._assign_stats: dict[str, dict[str, Any]] = {}
+
+    @staticmethod
+    def _resolve_registry(registry: Any) -> Any:
+        if registry is None or not isinstance(registry, (str, os.PathLike)):
+            return registry
+        # Imported lazily: repro.serving reaches back into repro.mr.
+        from repro.serving import ModelRegistry
+
+        return ModelRegistry(registry)
 
     # -- tenant policy --------------------------------------------------
 
@@ -525,6 +551,107 @@ class ClusterService:
         for admitted in launch:
             self._launch(admitted)
         return ServiceHandle(self, job)
+
+    # -- serving --------------------------------------------------------
+
+    def load_model(self, name: str) -> tuple[str, Any]:
+        """Resolve and load a registered model, memoizing by model id."""
+        if self.registry is None:
+            raise RuntimeError("service has no model registry configured")
+        model_id = self.registry.resolve(name)
+        with self._model_lock:
+            model = self._model_cache.get(model_id)
+        if model is None:
+            model = self.registry.load(model_id)
+            with self._model_lock:
+                self._model_cache.setdefault(model_id, model)
+        return model_id, model
+
+    def _assign_stats_for(self, tenant: str) -> dict[str, Any]:
+        with self._assign_lock:
+            row = self._assign_stats.get(tenant)
+            if row is None:
+                row = {
+                    "requests_total": 0,
+                    "points_total": 0,
+                    "outliers_total": 0,
+                    "errors_total": 0,
+                    "histogram": Histogram(ASSIGN_BUCKETS),
+                }
+                self._assign_stats[tenant] = row
+            return row
+
+    def serve_assign(
+        self,
+        model: Any,
+        points: Any,
+        *,
+        tenant: str = "default",
+        priority: float | None = None,
+    ) -> ServiceHandle:
+        """Score a point batch against a registered model.
+
+        ``model`` is a model id or tag name resolved through the
+        service's registry (or an in-memory
+        :class:`repro.serving.FittedModel`).  The scoring call is a
+        submitted job like any chain: it acquires one fair-share slot
+        under ``tenant`` (so heavy fits and serving traffic share the
+        pool under the same weighted-fair policy), records per-tenant
+        SLO latency, and feeds the ``repro_assign_*`` telemetry
+        families.  The handle's result is a dict with ``model_id``,
+        ``cluster_ids``, ``outlier_mask``, ``scores``, ``n_points``,
+        ``num_outliers`` and ``wall_time_s``.
+        """
+        import numpy as np
+
+        points = np.asarray(points, dtype=float)
+        n_points = len(np.atleast_2d(points)) if points.size else 0
+
+        def run_assign(ctx: RuntimeContext) -> dict[str, Any]:
+            stats = self._assign_stats_for(tenant)
+            started = time.monotonic()
+            try:
+                if isinstance(model, str):
+                    model_id, fitted = self.load_model(model)
+                else:
+                    model_id, fitted = "inline", model
+                lease = getattr(ctx.executor, "slot_lease", None)
+                if lease is not None:
+                    lease.acquire()
+                try:
+                    result = fitted.assign(points)
+                finally:
+                    if lease is not None:
+                        lease.release()
+            except BaseException:
+                with self._assign_lock:
+                    stats["errors_total"] += 1
+                raise
+            elapsed = time.monotonic() - started
+            num_outliers = int(result.outlier_mask.sum())
+            with self._assign_lock:
+                stats["requests_total"] += 1
+                stats["points_total"] += len(result.cluster_ids)
+                stats["outliers_total"] += num_outliers
+            stats["histogram"].observe(elapsed)
+            return {
+                "model_id": model_id,
+                "cluster_ids": result.cluster_ids,
+                "outlier_mask": result.outlier_mask,
+                "scores": result.scores,
+                "n_points": len(result.cluster_ids),
+                "num_outliers": num_outliers,
+                "wall_time_s": elapsed,
+            }
+
+        return self.submit(
+            run_assign,
+            name="assign",
+            tenant=tenant,
+            priority=priority,
+            estimated_records=n_points,
+            estimated_jobs=1,
+        )
 
     # -- admission (call with self._lock held) --------------------------
 
@@ -720,6 +847,19 @@ class ClusterService:
                 ),
                 "wait_histogram": pool["wait_histograms"].get(tenant),
             }
+        with self._model_lock:
+            models_loaded = len(self._model_cache)
+        with self._assign_lock:
+            serving_tenants = {
+                tenant: {
+                    "requests_total": row["requests_total"],
+                    "points_total": row["points_total"],
+                    "outliers_total": row["outliers_total"],
+                    "errors_total": row["errors_total"],
+                    "latency_histogram": row["histogram"].snapshot(),
+                }
+                for tenant, row in sorted(self._assign_stats.items())
+            }
         return {
             "service": {
                 "name": self.name,
@@ -740,6 +880,10 @@ class ClusterService:
                 "chains_by_state": chains_by_state,
             },
             "tenants": tenants,
+            "serving": {
+                "models_loaded": models_loaded,
+                "tenants": serving_tenants,
+            },
             "slo": self.slo.snapshot(),
         }
 

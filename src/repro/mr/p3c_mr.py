@@ -68,6 +68,10 @@ class P3CPlusMRConfig:
     #: Restore completed jobs from ``checkpoint_dir`` instead of
     #: re-running them (requires ``checkpoint_dir``).
     resume: bool = False
+    #: Root directory of a serving :class:`repro.serving.ModelRegistry`.
+    #: When set, the fitted model bundle is saved there at the end of
+    #: the run and tagged ``latest`` (see ``P3CPlusMR.model_id``).
+    model_registry: str | None = None
 
 
 class P3CPlusMR:
@@ -89,6 +93,11 @@ class P3CPlusMR:
         #: instead of ``mr_config``'s executor knobs.
         self.context = context
         self.chain: JobChain | None = None
+        #: Serving bundle of the last fit (``None`` until a run with
+        #: cluster cores completes); persisted when
+        #: ``mr_config.model_registry`` is set.
+        self.fitted_model = None
+        self.model_id: str | None = None
 
     # -- shared front half (also used by the Light driver) -------------
 
@@ -242,9 +251,55 @@ class P3CPlusMR:
                     "outliers.removed", int((membership == -1).sum())
                 )
 
+            self._register_fitted(
+                algorithm="mr",
+                cores=cores,
+                mixture=mixture,
+                od_means=od_means,
+                od_covariances=od_covs,
+                od_counts=np.asarray(moment_counts, dtype=float),
+                num_bins=diagnostics["num_bins"],
+                n=n,
+                d=d,
+            )
             return self._finish(
                 splits, n, d, chain, cores, membership, diagnostics
             )
+
+    def _register_fitted(
+        self,
+        *,
+        algorithm: str,
+        cores,
+        mixture,
+        od_means,
+        od_covariances,
+        od_counts,
+        num_bins: int,
+        n: int,
+        d: int,
+    ) -> None:
+        """Build the serving bundle; persist it when a registry is set."""
+        # Imported lazily: repro.serving pulls in repro.mr, which would
+        # cycle at module import time.
+        from repro.serving import FittedModel, ModelRegistry
+
+        self.fitted_model = FittedModel(
+            algorithm=algorithm,
+            cores=tuple(cores),
+            mixture=mixture,
+            od_means=od_means,
+            od_covariances=od_covariances,
+            od_counts=od_counts,
+            outlier_alpha=self.config.outlier_alpha,
+            num_bins=num_bins,
+            n_points=n,
+            n_dims=d,
+        )
+        if self.mr_config.model_registry:
+            registry = ModelRegistry(self.mr_config.model_registry)
+            self.model_id = registry.save(self.fitted_model, tags=("latest",))
+            self.obs.count("serving.models_registered")
 
     def _finish(
         self,

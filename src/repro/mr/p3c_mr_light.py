@@ -54,6 +54,17 @@ class P3CPlusMRLight(P3CPlusMR):
                 return self._empty_result(n, d, diagnostics, chain)
 
             signatures = [core.signature for core in cores]
+            self._register_fitted(
+                algorithm="mr-light",
+                cores=cores,
+                mixture=None,
+                od_means=None,
+                od_covariances=None,
+                od_counts=None,
+                num_bins=diagnostics["num_bins"],
+                n=n,
+                d=d,
+            )
 
             # Exclusive membership (m') and the unique output assignment
             # come from one map-only job (Section 6).

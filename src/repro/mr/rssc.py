@@ -205,6 +205,21 @@ class RSSC:
                 break
         return words
 
+    def membership_matrix(self, block: np.ndarray) -> np.ndarray:
+        """Boolean ``(n, num_signatures)`` membership matrix of a block:
+        entry ``(i, j)`` is True iff signature ``j`` contains point ``i``.
+
+        This is :meth:`membership_words` unpacked for callers that need
+        per-signature membership rather than support counts — the serving
+        scorer's core-interval test runs on it.
+        """
+        block = np.atleast_2d(np.asarray(block, dtype=float))
+        if self.num_signatures == 0:
+            return np.zeros((len(block), 0), dtype=bool)
+        words = self.membership_words(block)
+        bits = np.unpackbits(words.view(np.uint8), axis=1, bitorder="little")
+        return bits[:, : self.num_signatures].astype(bool)
+
     def add_points(
         self,
         block: np.ndarray,

@@ -394,6 +394,46 @@ def render_openmetrics(sample: Mapping[str, Any] | None) -> str:
         if row.get("wait_histogram"):
             wait_hist.add_histogram(row["wait_histogram"], labels)
 
+    serving = sample.get("serving") or {}
+    models_loaded = family(
+        "repro_assign_models_loaded", "gauge",
+        "Fitted models resident in the serving cache.",
+    )
+    if "models_loaded" in serving:
+        models_loaded.add(serving["models_loaded"])
+    assign_requests = family(
+        "repro_assign_requests", "counter",
+        "Serve-time assign requests per tenant since service start.",
+    )
+    assign_points = family(
+        "repro_assign_points", "counter",
+        "Points scored by serve-time assign per tenant.",
+    )
+    assign_outliers = family(
+        "repro_assign_outliers", "counter",
+        "Points judged outliers at serve time per tenant.",
+    )
+    assign_errors = family(
+        "repro_assign_errors", "counter",
+        "Failed serve-time assign requests per tenant.",
+    )
+    assign_latency = family(
+        "repro_assign_latency_seconds", "histogram",
+        "Serve-time assign batch latency distribution per tenant.",
+    )
+    for name, row in sorted((serving.get("tenants") or {}).items()):
+        labels = {"tenant": name}
+        if "requests_total" in row:
+            assign_requests.add(row["requests_total"], labels, suffix="_total")
+        if "points_total" in row:
+            assign_points.add(row["points_total"], labels, suffix="_total")
+        if "outliers_total" in row:
+            assign_outliers.add(row["outliers_total"], labels, suffix="_total")
+        if "errors_total" in row:
+            assign_errors.add(row["errors_total"], labels, suffix="_total")
+        if row.get("latency_histogram"):
+            assign_latency.add_histogram(row["latency_histogram"], labels)
+
     chains = family(
         "repro_tenant_chains", "counter",
         "Chain lifecycle counts per tenant since service start.",

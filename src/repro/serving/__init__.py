@@ -1,0 +1,25 @@
+"""Online serving: persisted fitted models and the batched scorer."""
+
+from repro.serving.model import (
+    SCHEMA_VERSION,
+    AssignResult,
+    FittedModel,
+    reference_assign,
+)
+from repro.serving.registry import (
+    ModelCorruptError,
+    ModelNotFoundError,
+    ModelRegistry,
+    RegistryError,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "AssignResult",
+    "FittedModel",
+    "ModelCorruptError",
+    "ModelNotFoundError",
+    "ModelRegistry",
+    "RegistryError",
+    "reference_assign",
+]

@@ -1,0 +1,291 @@
+"""Versioned filesystem model registry (JSON metadata + npz arrays).
+
+Layout under the registry root::
+
+    <root>/models/<model_id>/model.json    # schema, cores, scalars
+    <root>/models/<model_id>/arrays.npz    # EM + MVB parameter arrays
+    <root>/tags/<tag>.json                 # {"model_id": ...}
+
+``model_id`` is ``<algorithm>-<content-fingerprint>``, so saving the
+same fitted parameters twice is idempotent and two concurrent service
+runs racing to save cannot clobber each other: each writes into a
+private temp directory and publishes it with one atomic ``os.replace``;
+the loser of the race finds the winner's identical bundle already in
+place and discards its own copy.
+
+Loads are defensive: missing entries raise :class:`ModelNotFoundError`,
+truncated or tampered files raise :class:`ModelCorruptError` (arrays
+load with ``allow_pickle=False`` — nothing in a bundle is ever
+unpickled), and the content fingerprint is recomputed from the loaded
+parameters and compared against the stored one before the model is
+returned.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+import uuid
+import zipfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.em import GaussianMixture
+from repro.core.types import ClusterCore, Interval, Signature
+from repro.serving.model import SCHEMA_VERSION, FittedModel
+
+#: npz keys persisted for a full model; light models carry no arrays.
+_ARRAY_KEYS = (
+    "em_means",
+    "em_covariances",
+    "em_weights",
+    "od_means",
+    "od_covariances",
+    "od_counts",
+)
+
+
+class RegistryError(Exception):
+    """Base class for registry failures."""
+
+
+class ModelNotFoundError(RegistryError, KeyError):
+    """No model or tag with the requested name exists."""
+
+
+class ModelCorruptError(RegistryError):
+    """A persisted bundle is truncated, tampered, or schema-incompatible."""
+
+
+def _core_to_json(core: ClusterCore) -> dict:
+    return {
+        "signature": [
+            {"attribute": iv.attribute, "lower": iv.lower, "upper": iv.upper}
+            for iv in core.signature
+        ],
+        "support": int(core.support),
+        "expected_support": float(core.expected_support),
+    }
+
+
+def _core_from_json(payload: dict) -> ClusterCore:
+    signature = Signature(
+        intervals=tuple(
+            Interval(
+                attribute=int(iv["attribute"]),
+                lower=float(iv["lower"]),
+                upper=float(iv["upper"]),
+            )
+            for iv in payload["signature"]
+        )
+    )
+    return ClusterCore(
+        signature=signature,
+        support=int(payload["support"]),
+        expected_support=float(payload["expected_support"]),
+    )
+
+
+class ModelRegistry:
+    """Filesystem-backed store of :class:`FittedModel` bundles."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.models_dir = self.root / "models"
+        self.tags_dir = self.root / "tags"
+
+    # -- writing ----------------------------------------------------------
+
+    def save(self, model: FittedModel, tags: tuple[str, ...] = ()) -> str:
+        """Persist ``model``; returns its content-addressed model id.
+
+        Idempotent: re-saving identical parameters is a no-op beyond
+        (re)pointing the requested tags.
+        """
+        model_id = f"{model.algorithm}-{model.fingerprint()}"
+        final = self.models_dir / model_id
+        if not final.exists():
+            self.models_dir.mkdir(parents=True, exist_ok=True)
+            tmp = self.models_dir / f".tmp-{model_id}-{uuid.uuid4().hex[:8]}"
+            tmp.mkdir()
+            try:
+                self._write_bundle(tmp, model, model_id)
+                try:
+                    os.replace(tmp, final)
+                except OSError:
+                    # Lost a concurrent-save race: the winner published an
+                    # identical (content-addressed) bundle already.
+                    if not final.exists():
+                        raise
+                    shutil.rmtree(tmp, ignore_errors=True)
+            except BaseException:
+                shutil.rmtree(tmp, ignore_errors=True)
+                raise
+        for name in tags:
+            self.tag(model_id, name)
+        return model_id
+
+    def _write_bundle(self, directory: Path, model: FittedModel, model_id: str) -> None:
+        meta: dict = {
+            "schema": SCHEMA_VERSION,
+            "model_id": model_id,
+            "algorithm": model.algorithm,
+            "fingerprint": model.fingerprint(),
+            "outlier_alpha": float(model.outlier_alpha),
+            "num_bins": int(model.num_bins),
+            "n_points": int(model.n_points),
+            "n_dims": int(model.n_dims),
+            "created_unix": time.time(),  # informational; not fingerprinted
+            "cores": [_core_to_json(core) for core in model.cores],
+            "em_attributes": (
+                list(model.mixture.attributes) if model.mixture is not None else None
+            ),
+        }
+        (directory / "model.json").write_text(
+            json.dumps(meta, indent=2, sort_keys=True) + "\n"
+        )
+        arrays: dict[str, np.ndarray] = {}
+        if model.mixture is not None:
+            arrays = {
+                "em_means": model.mixture.means,
+                "em_covariances": model.mixture.covariances,
+                "em_weights": model.mixture.weights,
+                "od_means": model.od_means,
+                "od_covariances": model.od_covariances,
+                "od_counts": model.od_counts,
+            }
+        np.savez(directory / "arrays.npz", **arrays)
+
+    def tag(self, model_id: str, name: str) -> None:
+        """Point tag ``name`` at ``model_id`` (atomic overwrite)."""
+        if not (self.models_dir / model_id).exists():
+            raise ModelNotFoundError(model_id)
+        self.tags_dir.mkdir(parents=True, exist_ok=True)
+        tmp = self.tags_dir / f".tmp-{name}-{uuid.uuid4().hex[:8]}"
+        tmp.write_text(json.dumps({"model_id": model_id}) + "\n")
+        os.replace(tmp, self.tags_dir / f"{name}.json")
+
+    # -- reading ----------------------------------------------------------
+
+    def resolve(self, name: str) -> str:
+        """Resolve a model id or tag name to a model id."""
+        if (self.models_dir / name).is_dir():
+            return name
+        tag_path = self.tags_dir / f"{name}.json"
+        if tag_path.exists():
+            try:
+                payload = json.loads(tag_path.read_text())
+                return str(payload["model_id"])
+            except (ValueError, KeyError) as exc:
+                raise ModelCorruptError(f"tag file {tag_path} is corrupt") from exc
+        raise ModelNotFoundError(name)
+
+    def load(self, name: str) -> FittedModel:
+        """Load a model by id or tag, verifying schema and fingerprint."""
+        model_id = self.resolve(name)
+        directory = self.models_dir / model_id
+        if not directory.is_dir():
+            raise ModelNotFoundError(model_id)
+        try:
+            meta = json.loads((directory / "model.json").read_text())
+        except FileNotFoundError as exc:
+            raise ModelCorruptError(f"{model_id}: model.json missing") from exc
+        except ValueError as exc:
+            raise ModelCorruptError(f"{model_id}: model.json unreadable") from exc
+        if meta.get("schema") != SCHEMA_VERSION:
+            raise ModelCorruptError(
+                f"{model_id}: schema {meta.get('schema')!r} != {SCHEMA_VERSION!r}"
+            )
+        try:
+            with np.load(directory / "arrays.npz", allow_pickle=False) as bundle:
+                arrays = {key: bundle[key] for key in bundle.files}
+        except FileNotFoundError as exc:
+            raise ModelCorruptError(f"{model_id}: arrays.npz missing") from exc
+        except (ValueError, OSError, KeyError, zipfile.BadZipFile) as exc:
+            raise ModelCorruptError(f"{model_id}: arrays.npz unreadable") from exc
+        model = self._build_model(meta, arrays, model_id)
+        if model.fingerprint() != meta.get("fingerprint"):
+            raise ModelCorruptError(
+                f"{model_id}: stored fingerprint does not match contents"
+            )
+        return model
+
+    def _build_model(
+        self, meta: dict, arrays: dict[str, np.ndarray], model_id: str
+    ) -> FittedModel:
+        try:
+            cores = tuple(_core_from_json(c) for c in meta["cores"])
+            mixture = None
+            od_means = od_covs = od_counts = None
+            if meta.get("em_attributes") is not None:
+                missing = [key for key in _ARRAY_KEYS if key not in arrays]
+                if missing:
+                    raise ModelCorruptError(
+                        f"{model_id}: arrays.npz missing {missing}"
+                    )
+                mixture = GaussianMixture(
+                    means=arrays["em_means"],
+                    covariances=arrays["em_covariances"],
+                    weights=arrays["em_weights"],
+                    attributes=tuple(int(a) for a in meta["em_attributes"]),
+                )
+                od_means = arrays["od_means"]
+                od_covs = arrays["od_covariances"]
+                od_counts = arrays["od_counts"]
+            return FittedModel(
+                algorithm=str(meta["algorithm"]),
+                cores=cores,
+                mixture=mixture,
+                od_means=od_means,
+                od_covariances=od_covs,
+                od_counts=od_counts,
+                outlier_alpha=float(meta["outlier_alpha"]),
+                num_bins=int(meta["num_bins"]),
+                n_points=int(meta["n_points"]),
+                n_dims=int(meta["n_dims"]),
+            )
+        except ModelCorruptError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ModelCorruptError(f"{model_id}: malformed bundle") from exc
+
+    # -- listing ----------------------------------------------------------
+
+    def list_models(self) -> list[dict]:
+        """Summaries of every stored model, sorted by id."""
+        if not self.models_dir.is_dir():
+            return []
+        out: list[dict] = []
+        for directory in sorted(self.models_dir.iterdir()):
+            if not directory.is_dir() or directory.name.startswith(".tmp-"):
+                continue
+            try:
+                meta = json.loads((directory / "model.json").read_text())
+            except (OSError, ValueError):
+                continue
+            out.append(
+                {
+                    "model_id": directory.name,
+                    "algorithm": meta.get("algorithm"),
+                    "created_unix": meta.get("created_unix"),
+                    "n_points": meta.get("n_points"),
+                    "n_dims": meta.get("n_dims"),
+                    "num_cores": len(meta.get("cores", [])),
+                }
+            )
+        return out
+
+    def tags(self) -> dict[str, str]:
+        """Mapping of tag name -> model id."""
+        if not self.tags_dir.is_dir():
+            return {}
+        out: dict[str, str] = {}
+        for path in sorted(self.tags_dir.glob("*.json")):
+            try:
+                out[path.stem] = str(json.loads(path.read_text())["model_id"])
+            except (OSError, ValueError, KeyError):
+                continue
+        return out

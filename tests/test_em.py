@@ -76,6 +76,69 @@ class TestMixture:
         assert np.array_equal(mixture.project(data), data[:, [1, 3]])
 
 
+class TestBatchShapes:
+    """Regressions for assign/log_responsibilities batch normalisation.
+
+    The serving scorer feeds the mixture empty batches and
+    single-attribute subspaces; both used to trip ``atleast_2d``'s
+    orientation guesses.
+    """
+
+    def _single_attr_mixture(self):
+        # (k,) means and bare variances for a one-attribute A_rel must
+        # orient to (k, 1) / (k, 1, 1), not (1, k).
+        return GaussianMixture(
+            means=np.array([0.2, 0.8]),
+            covariances=np.array([0.01, 0.01]),
+            weights=np.array([0.5, 0.5]),
+            attributes=(3,),
+        )
+
+    def test_empty_batch_assign(self):
+        mixture = GaussianMixture(
+            means=np.array([[0.2, 0.2], [0.8, 0.8]]),
+            covariances=np.stack([np.eye(2) * 0.01] * 2),
+            weights=np.array([0.5, 0.5]),
+            attributes=(0, 1),
+        )
+        labels = mixture.assign(np.empty((0, 2)))
+        assert labels.shape == (0,)
+        labels = mixture.assign(np.array([]))
+        assert labels.shape == (0,)
+
+    def test_single_attribute_orientation(self):
+        mixture = self._single_attr_mixture()
+        assert mixture.means.shape == (2, 1)
+        assert mixture.covariances.shape == (2, 1, 1)
+        labels = mixture.assign(np.array([[0.18], [0.83], [0.79]]))
+        assert labels.tolist() == [0, 1, 1]
+
+    def test_single_attribute_1d_batch(self):
+        # A 1-D batch against a one-attribute mixture is n points, not
+        # one n-dimensional point.
+        mixture = self._single_attr_mixture()
+        labels = mixture.assign(np.array([0.18, 0.83]))
+        assert labels.tolist() == [0, 1]
+        assert mixture.assign(np.array([])).shape == (0,)
+
+    def test_single_component_row_orientation(self):
+        # A bare (m,) mean for one component must orient to (1, m).
+        mixture = GaussianMixture(
+            means=np.array([0.4, 0.6]),
+            covariances=np.eye(2) * 0.01,
+            weights=np.ones(1),
+            attributes=(0, 1),
+        )
+        assert mixture.means.shape == (1, 2)
+        assert mixture.covariances.shape == (1, 2, 2)
+        assert mixture.assign(np.array([0.41, 0.58])).tolist() == [0]
+
+    def test_mismatched_batch_raises(self):
+        mixture = self._single_attr_mixture()
+        with pytest.raises(ValueError):
+            mixture.assign(np.zeros((4, 3)))
+
+
 class TestInitialization:
     def test_requires_cores(self):
         with pytest.raises(ValueError):

@@ -6,6 +6,12 @@ the fixed-seed tiny dataset.  Any change to this output — from the
 runtime, the fault-tolerance machinery or the algorithm itself — fails
 the comparison *exactly*, not approximately.
 
+``tests/golden/serve_probe.json`` extends the pin to the serving path:
+the model auto-registered by the same fit, saved and re-loaded through
+the registry, must score a frozen probe batch (including boundary,
+out-of-range and non-finite rows) to exactly the snapshotted
+assignments — and bitwise identically to the in-memory model.
+
 Chaos runs must reproduce the same snapshot: injected faults are
 recovered by retries and shuffle-integrity validation, so they may
 never leak into results.
@@ -23,13 +29,27 @@ from pathlib import Path
 
 import pytest
 
+import numpy as np
+
 from repro.data import GeneratorConfig, generate_synthetic
 from repro.mapreduce import FaultPlan
 from repro.mr import P3CPlusMRConfig, P3CPlusMRLight
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "mr_light_tiny.json"
+SERVE_GOLDEN_PATH = Path(__file__).parent / "golden" / "serve_probe.json"
 
 CHAOS_SPEC = "map:error:p=0.25;reduce:error:p=0.2;map:corrupt:p=0.15"
+
+
+def _probe_batch() -> np.ndarray:
+    """Frozen 64-row probe: in-range points plus the awkward edges."""
+    probe = np.random.default_rng(7).uniform(-0.1, 1.1, size=(64, 8))
+    probe[0] = 0.0  # exact lower boundary
+    probe[1] = 1.0  # exact upper boundary
+    probe[2, 3] = np.nan  # non-finite on a (possibly relevant) attribute
+    probe[3, 0] = np.inf
+    probe[4, 5] = -np.inf
+    return probe
 
 
 def _dataset():
@@ -76,6 +96,41 @@ def _snapshot(mr_config: P3CPlusMRConfig) -> dict:
     }
 
 
+def _serve_snapshot() -> dict:
+    """Fit, auto-register, reload through the registry, score the probe.
+
+    Asserts along the way that the reloaded model scores bitwise
+    identically to the in-memory one — the registry round trip may not
+    perturb a single ULP.
+    """
+    import tempfile
+
+    from repro.serving import ModelRegistry
+
+    probe = _probe_batch()
+    with tempfile.TemporaryDirectory() as root:
+        mr_config = P3CPlusMRConfig(num_splits=4, model_registry=root)
+        algo = P3CPlusMRLight(mr_config=mr_config)
+        algo.fit(_dataset().data)
+        assert algo.model_id is not None
+        loaded = ModelRegistry(root).load("latest")
+        in_memory = algo.fitted_model.assign(probe)
+        served = loaded.assign(probe)
+    assert np.array_equal(served.cluster_ids, in_memory.cluster_ids)
+    assert np.array_equal(served.outlier_mask, in_memory.outlier_mask)
+    assert np.array_equal(served.scores, in_memory.scores, equal_nan=True)
+    return {
+        "schema": "repro.tests/golden-serve-probe/v1",
+        "model_id": algo.model_id,
+        "algorithm": loaded.algorithm,
+        "cluster_ids": [int(c) for c in served.cluster_ids],
+        "outlier_mask": [bool(o) for o in served.outlier_mask],
+        "scores": [
+            float(s) if np.isfinite(s) else None for s in served.scores
+        ],
+    }
+
+
 @pytest.fixture(scope="module")
 def golden() -> dict:
     with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
@@ -90,6 +145,12 @@ def test_clean_run_matches_golden_exactly(golden):
 def test_chaos_run_matches_golden_exactly(golden, seed):
     plan = FaultPlan.parse(CHAOS_SPEC, seed=seed)
     assert _snapshot(P3CPlusMRConfig(num_splits=4, fault_plan=plan)) == golden
+
+
+def test_serve_probe_matches_golden_exactly():
+    with open(SERVE_GOLDEN_PATH, "r", encoding="utf-8") as handle:
+        serve_golden = json.load(handle)
+    assert _serve_snapshot() == serve_golden
 
 
 def test_golden_snapshot_is_well_formed(golden):
@@ -107,3 +168,8 @@ if __name__ == "__main__" and "regen" in sys.argv:
         json.dump(snapshot, handle, indent=1, sort_keys=True)
         handle.write("\n")
     print(f"regenerated {GOLDEN_PATH}")
+    serve_snapshot = _serve_snapshot()
+    with open(SERVE_GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        json.dump(serve_snapshot, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"regenerated {SERVE_GOLDEN_PATH}")

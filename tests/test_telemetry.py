@@ -500,8 +500,15 @@ def test_check_regression_passes_on_committed_baselines():
     assert result.returncode == 0, result.stdout + result.stderr
 
 
+GATED_ARTIFACTS = (
+    "BENCH_hotpaths.json",
+    "BENCH_service.json",
+    "BENCH_serving.json",
+)
+
+
 def test_check_regression_fails_on_starvation_regression(tmp_path):
-    for name in ("BENCH_hotpaths.json", "BENCH_service.json"):
+    for name in GATED_ARTIFACTS:
         payload = json.loads((REPO_ROOT / name).read_text())
         if name == "BENCH_service.json":
             payload["starvation_ratio"] *= 1.25
@@ -511,10 +518,21 @@ def test_check_regression_fails_on_starvation_regression(tmp_path):
     assert "starvation_ratio" in result.stderr
 
 
+def test_check_regression_fails_on_assign_speedup_regression(tmp_path):
+    for name in GATED_ARTIFACTS:
+        payload = json.loads((REPO_ROOT / name).read_text())
+        if name == "BENCH_serving.json":
+            payload["assign_speedup"] *= 0.5
+        (tmp_path / name).write_text(json.dumps(payload))
+    result = _run_gate("--current-dir", str(tmp_path))
+    assert result.returncode == 1
+    assert "assign_speedup" in result.stderr
+
+
 def test_check_regression_quick_skips_scale_sensitive(tmp_path):
     # A quick-mode service artifact against the full-run baseline:
     # probe_p95_s and throughput must be skipped, ratios still gated.
-    for name in ("BENCH_hotpaths.json", "BENCH_service.json"):
+    for name in GATED_ARTIFACTS:
         payload = json.loads((REPO_ROOT / name).read_text())
         if name == "BENCH_service.json":
             payload["probe_p95_s"] *= 10  # would fail if compared
