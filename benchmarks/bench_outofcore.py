@@ -1,0 +1,309 @@
+"""Out-of-core data-plane benchmark: bounded RSS and spill throughput.
+
+Proves the two headline properties of the out-of-core plane on a
+dataset that is deliberately larger than the configured memory budget:
+
+- **Phase 1 — bounded scan.**  A ``.npy`` matrix is written to disk in
+  streaming chunks (the full matrix is never resident), then a
+  column-statistics MR job consumes it through
+  :func:`~repro.mapreduce.fs.make_npy_splits` under
+  ``JobConf.memory_budget_bytes``.  The runtime derives a per-chunk row
+  cap from the budget, so peak RSS growth during the job must stay a
+  small fraction of the dataset size.  ``peak_rss_ratio`` = (RSS
+  high-water delta across phase 1) / dataset bytes.
+- **Phase 2 — spill-to-disk shuffle.**  A row-scatter job re-keys every
+  row and shuffles the whole matrix through the columnar plane with the
+  same budget, forcing over-budget buckets onto disk as compressed npz
+  segments.  ``spilled_bytes`` / ``spill_segments`` come from the
+  framework counters.
+
+Writes ``BENCH_outofcore.json`` at the repository root (schema v1).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_outofcore.py           # full
+    PYTHONPATH=src python benchmarks/bench_outofcore.py --quick   # CI
+    PYTHONPATH=src python benchmarks/bench_outofcore.py --quick \\
+        --max-rss-ratio 0.6 --min-spilled 1
+
+``--max-rss-ratio`` exits non-zero when the phase-1 RSS delta exceeds
+the given fraction of the dataset; ``--min-spilled`` exits non-zero
+when the phase-2 shuffle spilled fewer bytes than required.  These are
+the CI ``outofcore-smoke`` gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.mapreduce.fs import make_npy_splits  # noqa: E402
+from repro.mapreduce.job import (  # noqa: E402
+    ArraySumCombiner,
+    BatchMapper,
+    Job,
+    Reducer,
+)
+from repro.mapreduce.runtime import MapReduceRuntime  # noqa: E402
+from repro.mapreduce.types import JobConf  # noqa: E402
+from repro.obs.resources import peak_rss_kb  # noqa: E402
+
+SCHEMA = "repro.benchmarks/outofcore/v1"
+DEFAULT_OUT = REPO_ROOT / "BENCH_outofcore.json"
+
+#: Rows written per chunk while generating the input matrix; keeps the
+#: generator's own footprint far below the dataset it produces.
+_GEN_ROWS = 65536
+
+
+def write_streaming_npy(path: Path, n: int, d: int, seed: int) -> int:
+    """Write an ``(n, d)`` float64 ``.npy`` without materialising it."""
+    header = {
+        "descr": "<f8",
+        "fortran_order": False,
+        "shape": (n, d),
+    }
+    rng = np.random.default_rng(seed)
+    with open(path, "wb") as handle:
+        np.lib.format.write_array_header_1_0(handle, header)
+        written = 0
+        while written < n:
+            rows = min(_GEN_ROWS, n - written)
+            chunk = rng.uniform(size=(rows, d))
+            handle.write(chunk.tobytes())
+            written += rows
+    return n * d * 8
+
+
+class ColumnStatsMapper(BatchMapper):
+    """Streams chunks, accumulates per-column sums, emits in cleanup."""
+
+    def setup(self, context) -> None:
+        self._sums = None
+        self._count = 0
+
+    def map_batch(self, keys, block, context) -> None:
+        partial = block.sum(axis=0)
+        if self._sums is None:
+            self._sums = partial
+        else:
+            self._sums = self._sums + partial
+        self._count += block.shape[0]
+
+    def cleanup(self, context) -> None:
+        if self._sums is not None:
+            context.emit(0, np.concatenate(([float(self._count)], self._sums)))
+
+
+class ColumnStatsReducer(Reducer):
+    def reduce(self, key, values, context) -> None:
+        total = values[0].copy()
+        for value in values[1:]:
+            total += value
+        context.emit(key, total)
+
+
+class RowScatterMapper(BatchMapper):
+    """Re-keys every row — the shuffle-heavy half of the benchmark."""
+
+    def map_batch(self, keys, block, context) -> None:
+        for i, key in enumerate(keys):
+            context.emit(int(key) % 16, block[i])
+
+
+class RowCountReducer(Reducer):
+    def reduce(self, key, values, context) -> None:
+        context.emit(key, len(values))
+
+
+def bench_bounded_scan(
+    path: Path, n: int, d: int, num_splits: int, budget: int
+) -> dict:
+    """Phase 1: column stats over npy splits under a memory budget."""
+    splits, _, _ = make_npy_splits(path, num_splits, mode="read")
+    baseline_kb = peak_rss_kb()
+    job = Job(
+        mapper_factory=ColumnStatsMapper,
+        reducer_factory=ColumnStatsReducer,
+        combiner_factory=ArraySumCombiner,
+    )
+    conf = JobConf(
+        name="outofcore-scan",
+        num_reducers=1,
+        memory_budget_bytes=budget,
+    )
+    runtime = MapReduceRuntime(executor="serial")
+    started = time.perf_counter()
+    result = runtime.run(job, splits, conf)
+    seconds = time.perf_counter() - started
+    peak_kb = peak_rss_kb()
+    (_, stats), = result.output
+    assert int(stats[0]) == n, "scan lost rows"
+    dataset_bytes = n * d * 8
+    return {
+        "bench": "bounded_scan",
+        "n": n,
+        "d": d,
+        "seconds": round(seconds, 6),
+        "rows_per_sec": round(n / seconds, 1) if seconds > 0 else None,
+        "dataset_bytes": dataset_bytes,
+        "baseline_rss_kb": baseline_kb,
+        "peak_rss_kb": peak_kb,
+        "rss_delta_kb": peak_kb - baseline_kb,
+        "peak_rss_ratio": round(
+            (peak_kb - baseline_kb) * 1024 / dataset_bytes, 6
+        ),
+    }
+
+
+def bench_spill_shuffle(
+    path: Path, n: int, d: int, num_splits: int, budget: int
+) -> dict:
+    """Phase 2: full-matrix re-key shuffle forced through the spill."""
+    splits, _, _ = make_npy_splits(path, num_splits, mode="read")
+    job = Job(
+        mapper_factory=RowScatterMapper,
+        reducer_factory=RowCountReducer,
+    )
+    conf = JobConf(
+        name="outofcore-shuffle",
+        num_reducers=4,
+        memory_budget_bytes=budget,
+    )
+    runtime = MapReduceRuntime(executor="serial")
+    started = time.perf_counter()
+    result = runtime.run(job, splits, conf)
+    seconds = time.perf_counter() - started
+    assert sum(count for _, count in result.output) == n, "shuffle lost rows"
+    counters = result.counters
+    return {
+        "bench": "spill_shuffle",
+        "n": n,
+        "d": d,
+        "seconds": round(seconds, 6),
+        "rows_per_sec": round(n / seconds, 1) if seconds > 0 else None,
+        "shuffle_bytes": counters.framework_value("shuffle_bytes"),
+        "spilled_bytes": counters.framework_value("spilled_bytes"),
+        "spill_segments": counters.framework_value("spill_segments"),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI smoke sizes")
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="artifact path"
+    )
+    parser.add_argument(
+        "--max-rss-ratio",
+        type=float,
+        default=None,
+        help="fail when phase-1 RSS delta exceeds this fraction of the "
+        "dataset size",
+    )
+    parser.add_argument(
+        "--min-spilled",
+        type=int,
+        default=None,
+        help="fail when the phase-2 shuffle spilled fewer bytes",
+    )
+    args = parser.parse_args(argv)
+
+    # The scan matrix must dwarf the process's import-time RSS
+    # high-water (~120 MB with numpy loaded): if a regression ever
+    # materialises the whole matrix, the high-water visibly jumps and
+    # the ratio gate trips.  A dataset smaller than the baseline would
+    # hide inside it and make the gate vacuous.
+    if args.quick:
+        n, d, num_splits = 2_000_000, 8, 8
+        budget = 4 * 1024 * 1024
+        shuffle_n = 60_000
+        shuffle_budget = 256 * 1024
+    else:
+        n, d, num_splits = 8_000_000, 12, 16
+        budget = 16 * 1024 * 1024
+        shuffle_n = 400_000
+        shuffle_budget = 1024 * 1024
+
+    rows: list[dict] = []
+    with tempfile.TemporaryDirectory(prefix="repro-outofcore-") as tmp:
+        scan_path = Path(tmp) / "scan.npy"
+        dataset_bytes = write_streaming_npy(scan_path, n, d, seed=11)
+        print(
+            f"phase 1: scanning {dataset_bytes / 1e6:.0f} MB "
+            f"({n} x {d}) under a {budget / 1e6:.1f} MB budget"
+        )
+        scan = bench_bounded_scan(scan_path, n, d, num_splits, budget)
+        rows.append(scan)
+        print(
+            f"  {scan['seconds']:.2f}s, RSS delta "
+            f"{scan['rss_delta_kb']} KiB "
+            f"(ratio {scan['peak_rss_ratio']:.3f})"
+        )
+
+        shuffle_path = Path(tmp) / "shuffle.npy"
+        write_streaming_npy(shuffle_path, shuffle_n, d, seed=12)
+        print(
+            f"phase 2: shuffling {shuffle_n} x {d} rows under a "
+            f"{shuffle_budget / 1e3:.0f} KB budget"
+        )
+        shuffle = bench_spill_shuffle(
+            shuffle_path, shuffle_n, d, num_splits, shuffle_budget
+        )
+        rows.append(shuffle)
+        print(
+            f"  {shuffle['seconds']:.2f}s, spilled "
+            f"{shuffle['spilled_bytes']} bytes in "
+            f"{shuffle['spill_segments']} segments"
+        )
+
+    artifact = {
+        "schema": SCHEMA,
+        "quick": bool(args.quick),
+        "peak_rss_ratio": rows[0]["peak_rss_ratio"],
+        "spilled_bytes": rows[1]["spilled_bytes"],
+        "spill_segments": rows[1]["spill_segments"],
+        "scan_rows_per_sec": rows[0]["rows_per_sec"],
+        "shuffle_rows_per_sec": rows[1]["rows_per_sec"],
+        "rows": rows,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(artifact, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    status = 0
+    if (
+        args.max_rss_ratio is not None
+        and artifact["peak_rss_ratio"] > args.max_rss_ratio
+    ):
+        print(
+            f"FAIL: peak_rss_ratio {artifact['peak_rss_ratio']:.3f} exceeds "
+            f"--max-rss-ratio {args.max_rss_ratio}",
+            file=sys.stderr,
+        )
+        status = 1
+    if (
+        args.min_spilled is not None
+        and artifact["spilled_bytes"] < args.min_spilled
+    ):
+        print(
+            f"FAIL: spilled_bytes {artifact['spilled_bytes']} below "
+            f"--min-spilled {args.min_spilled}",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,11 +1,12 @@
 #!/usr/bin/env python
 """Bench-regression gate: diff BENCH_*.json against committed baselines.
 
-The repo commits three benchmark artifacts at the root —
+The repo commits four benchmark artifacts at the root —
 ``BENCH_hotpaths.json`` (data-plane speedup ratios),
-``BENCH_service.json`` (fair-share service latencies) and
-``BENCH_serving.json`` (batched model-scoring throughput) — plus frozen
-copies under ``benchmarks/baselines/``.  This script compares the named
+``BENCH_service.json`` (fair-share service latencies),
+``BENCH_serving.json`` (batched model-scoring throughput) and
+``BENCH_outofcore.json`` (bounded-RSS scan + spill shuffle) — plus
+frozen copies under ``benchmarks/baselines/``.  This script compares the named
 headline metrics between the two and exits non-zero when any metric
 regresses by more than the tolerance (20% by default), so CI fails the
 build instead of silently eroding the numbers the paper reproduction
@@ -52,6 +53,12 @@ class MetricSpec:
     name: str             # top-level key holding the metric
     higher_is_better: bool
     scale_sensitive: bool = False  # skip when quick flags mismatch
+    #: Absolute slack added to the bound in the failing direction.  A
+    #: multiplicative tolerance is meaningless around a zero baseline
+    #: (``peak_rss_ratio`` is 0.0 when the scan stays fully bounded),
+    #: so metrics that can legitimately sit at zero carry an absolute
+    #: allowance instead of failing on any nonzero jitter.
+    slack: float = 0.0
 
 
 #: The gated metrics.  Ratios (speedups, starvation) are scale-free and
@@ -81,6 +88,23 @@ METRICS: tuple[MetricSpec, ...] = (
     ),
     MetricSpec(
         "BENCH_serving.json", "batch_p95_ms", False, scale_sensitive=True
+    ),
+    # Out-of-core plane: the bounded scan's RSS growth as a fraction of
+    # the dataset (0.0 when fully bounded; 5% absolute allowance for
+    # allocator jitter) and the spill volume the forced shuffle pushes
+    # to disk (shrinking spill = buckets silently staying in heap).
+    MetricSpec(
+        "BENCH_outofcore.json",
+        "peak_rss_ratio",
+        False,
+        scale_sensitive=True,
+        slack=0.05,
+    ),
+    MetricSpec(
+        "BENCH_outofcore.json",
+        "spilled_bytes",
+        True,
+        scale_sensitive=True,
     ),
 )
 
@@ -142,11 +166,11 @@ def check_regressions(
         base = float(baseline[spec.name])
         now = float(current[spec.name])
         if spec.higher_is_better:
-            bound = base * (1.0 - tolerance)
+            bound = base * (1.0 - tolerance) - spec.slack
             regressed = now < bound
             arrow = ">="
         else:
-            bound = base * (1.0 + tolerance)
+            bound = base * (1.0 + tolerance) + spec.slack
             regressed = now > bound
             arrow = "<="
         verdict = "FAIL" if regressed else "ok"
@@ -155,10 +179,14 @@ def check_regressions(
             f"(baseline {base:.4g}, must be {arrow} {bound:.4g})"
         )
         if regressed:
-            change = (now - base) / base * 100.0
+            change = (
+                f"{(now - base) / base * 100.0:+.1f}%"
+                if base != 0
+                else f"+{now - base:.4g} absolute"
+            )
             failures.append(
                 f"{label}: {now:.4g} vs baseline {base:.4g} "
-                f"({change:+.1f}%, tolerance ±{tolerance:.0%})"
+                f"({change}, tolerance ±{tolerance:.0%})"
             )
     return failures, lines
 

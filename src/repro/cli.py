@@ -76,6 +76,9 @@ class ExecOptions:
     checkpoint_dir: str | None = None
     resume: bool = False
     model_registry: str | None = None
+    memory_budget_bytes: int | None = None
+    spill_dir: str | None = None
+    max_block_rows: int | None = None
 
 
 ALGORITHMS: dict[str, Callable[[P3CPlusConfig, ExecOptions], Any]] = {
@@ -101,6 +104,9 @@ ALGORITHMS: dict[str, Callable[[P3CPlusConfig, ExecOptions], Any]] = {
             checkpoint_dir=opts.checkpoint_dir,
             resume=opts.resume,
             model_registry=opts.model_registry,
+            memory_budget_bytes=opts.memory_budget_bytes,
+            spill_dir=opts.spill_dir,
+            max_block_rows=opts.max_block_rows,
         ),
         obs=opts.obs,
     ),
@@ -115,6 +121,9 @@ ALGORITHMS: dict[str, Callable[[P3CPlusConfig, ExecOptions], Any]] = {
             checkpoint_dir=opts.checkpoint_dir,
             resume=opts.resume,
             model_registry=opts.model_registry,
+            memory_budget_bytes=opts.memory_budget_bytes,
+            spill_dir=opts.spill_dir,
+            max_block_rows=opts.max_block_rows,
         ),
         obs=opts.obs,
     ),
@@ -273,6 +282,30 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="REGISTRY",
         help="save the fitted model into this model-registry directory "
         "and tag it 'latest' (mr/mr-light only)",
+    )
+    cluster.add_argument(
+        "--memory-budget",
+        default=None,
+        metavar="SIZE",
+        help="out-of-core mode (mr/mr-light only): per-task resident "
+        "byte budget like '64m' or '2g'; the input streams from disk "
+        "in budget-sized chunks and over-budget shuffles spill to "
+        "compressed segment files (without --normalize the data "
+        "matrix is never materialised in the driver)",
+    )
+    cluster.add_argument(
+        "--spill-dir",
+        default=None,
+        help="root directory for shuffle spill segments (default: "
+        "run-scoped temporary directories, removed per job)",
+    )
+    cluster.add_argument(
+        "--max-block-rows",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="explicit cap on rows per batch-mapper delivery "
+        "(default: whole splits, or derived from --memory-budget)",
     )
 
     evaluate = commands.add_parser("evaluate", help="score a saved result")
@@ -543,10 +576,46 @@ def _default_trace_out(out: str, trace_format: str) -> str:
     return stem + suffix
 
 
+_SIZE_SUFFIXES = {"": 1, "k": 1024, "m": 1024**2, "g": 1024**3}
+
+
+def _parse_size_bytes(text: str) -> int:
+    """Parse a byte-size string like ``'67108864'``, ``'64m'``, ``'2g'``."""
+    cleaned = text.strip().lower().removesuffix("b")
+    suffix = cleaned[-1:] if cleaned[-1:] in ("k", "m", "g") else ""
+    number = cleaned.removesuffix(suffix) if suffix else cleaned
+    try:
+        value = float(number)
+    except ValueError:
+        raise ValueError(f"cannot parse size {text!r}") from None
+    if value <= 0:
+        raise ValueError(f"size must be positive, got {text!r}")
+    return int(value * _SIZE_SUFFIXES[suffix])
+
+
 def _cmd_cluster(args: argparse.Namespace) -> int:
-    data, _ = load_dataset_csv(args.data)
-    if args.normalize:
-        data = normalize_unit_range(data)
+    memory_budget = None
+    if args.memory_budget:
+        if args.algorithm not in ("mr", "mr-light"):
+            print(
+                "error: --memory-budget requires an mr/mr-light algorithm",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            memory_budget = _parse_size_bytes(args.memory_budget)
+        except ValueError as exc:
+            print(f"error: bad --memory-budget: {exc}", file=sys.stderr)
+            return 2
+    # Under a memory budget the input streams straight from disk via
+    # file-backed splits; --normalize needs the whole matrix, so it
+    # forces the classic in-memory load.
+    streaming = memory_budget is not None and not args.normalize
+    data = None
+    if not streaming:
+        data, _ = load_dataset_csv(args.data)
+        if args.normalize:
+            data = normalize_unit_range(data)
     config = P3CPlusConfig(
         theta_cc=args.theta_cc, poisson_alpha=args.poisson_alpha
     )
@@ -575,6 +644,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         resume=args.resume,
         model_registry=args.register,
+        memory_budget_bytes=memory_budget,
+        spill_dir=args.spill_dir,
+        max_block_rows=args.max_block_rows,
     )
     if args.register and args.algorithm not in ("mr", "mr-light"):
         print(
@@ -584,7 +656,16 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         return 2
     algorithm = ALGORITHMS[args.algorithm](config, opts)
     started = time.perf_counter()
-    result = algorithm.fit(data)
+    if streaming:
+        from repro.mapreduce.fs import make_csv_splits
+
+        splits, n, d = make_csv_splits(
+            args.data, algorithm.mr_config.num_splits
+        )
+        result = algorithm.fit_splits(splits, n, d)
+    else:
+        n, d = (int(dim) for dim in data.shape)
+        result = algorithm.fit(data)
     wall_time = time.perf_counter() - started
     save_result_json(args.out, result)
     print(result.summary())
@@ -627,8 +708,7 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
             args.algorithm,
             obs=obs,
             chain=chain,
-            dataset={"n": int(data.shape[0]), "d": int(data.shape[1]),
-                     "path": args.data},
+            dataset={"n": n, "d": d, "path": args.data},
             result={
                 "num_clusters": len(result.clusters),
                 "num_outliers": int(len(result.outliers)),

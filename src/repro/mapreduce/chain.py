@@ -79,6 +79,13 @@ class JobChain:
     cost_model:
         Base :class:`ClusterCostModel` for auto-tune calibration
         (defaults to the paper-anchored constants).
+    memory_budget_bytes / spill_dir / max_block_rows:
+        Out-of-core knobs stamped onto every step's :class:`JobConf`:
+        a resident-payload budget that makes over-budget columnar
+        shuffles spill to ``spill_dir`` (a run-scoped temp dir when
+        ``None``) and bounds ``BatchMapper`` chunk sizes for
+        file-backed splits; ``max_block_rows`` pins the chunk size
+        explicitly.  All ``None`` (default) keeps the in-heap plane.
     """
 
     def __init__(
@@ -89,6 +96,9 @@ class JobChain:
         auto_tune: bool = False,
         cost_model: ClusterCostModel | None = None,
         run_id: str | None = None,
+        memory_budget_bytes: int | None = None,
+        spill_dir: str | None = None,
+        max_block_rows: int | None = None,
     ) -> None:
         if isinstance(runtime, RuntimeContext):
             # Service-plane path: the scheduler hands the chain a
@@ -105,6 +115,9 @@ class JobChain:
         self.resume = resume
         self.auto_tune = auto_tune
         self.cost_model = cost_model
+        self.memory_budget_bytes = memory_budget_bytes
+        self.spill_dir = spill_dir
+        self.max_block_rows = max_block_rows
         self._fingerprint = ""
 
     def plan(self, input_records: int) -> PartitionPlan:
@@ -121,6 +134,7 @@ class JobChain:
             input_records=input_records,
             num_workers=workers or self.runtime.max_workers or 1,
             base=self.cost_model,
+            memory_budget_bytes=self.memory_budget_bytes,
         )
 
     def run(
@@ -144,6 +158,9 @@ class JobChain:
             name=name,
             num_splits=num_splits if num_splits is not None else len(splits),
             num_reducers=num_reducers,
+            max_block_rows=self.max_block_rows,
+            memory_budget_bytes=self.memory_budget_bytes,
+            spill_dir=self.spill_dir,
             extra=extra,
         )
         if self.checkpoint is not None:

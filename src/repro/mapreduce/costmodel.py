@@ -71,6 +71,10 @@ class ClusterCostModel:
     shuffle_record_cost_s: float = 4.0e-6
     reduce_record_cost_s: float = 2.0e-6
     split_records: int = 1_000_000
+    #: Sequential disk bandwidth of the spill-to-disk shuffle path
+    #: (one write + one read per spilled byte); used to price a job
+    #: whose shuffle payload exceeds its memory budget.
+    spill_bandwidth_bytes_s: float = 200e6
 
     def job_cost(
         self,
@@ -140,6 +144,11 @@ class PartitionPlan:
     skew_ratio: float
     #: The calibrated model the plan was derived from.
     model: ClusterCostModel
+    #: Shuffle bytes the plan expects to spill to disk per map wave
+    #: (0 = the payload fits the memory budget, or no budget given).
+    spill_bytes: int = 0
+    #: Modelled wall-time cost of that spilling (write + read back).
+    spill_s: float = 0.0
 
 
 def plan_partitions(
@@ -149,6 +158,7 @@ def plan_partitions(
     base: ClusterCostModel | None = None,
     target_task_s: float = 0.05,
     max_reducers: int | None = None,
+    memory_budget_bytes: int | None = None,
 ) -> PartitionPlan:
     """Pick split and partition counts from a measured event stream.
 
@@ -165,6 +175,16 @@ def plan_partitions(
     floor a task is all dispatch overhead, above the cap extra
     partitions only queue.  With no event history the defaults degrade
     to one reducer and worker-count splits.
+
+    With a ``memory_budget_bytes`` the plan also trades memory against
+    parallelism: the observed shuffle *bytes* of the latest job predict
+    the next payload, and when one reducer's share would exceed the
+    budget, the reducer count is raised past the worker cap until each
+    partition fits — queueing extra partitions on the pool is cheaper
+    than spilling them through disk.  Whatever projected spill remains
+    (a single task's payload over budget) is priced at the model's
+    ``spill_bandwidth_bytes_s`` (one write + one read per byte) and
+    reported on the plan.
     """
     from repro.mapreduce.counters import Counters
     from repro.mapreduce.events import EventKind
@@ -175,11 +195,15 @@ def plan_partitions(
     model = calibrate_from_events(events, base=base)
 
     last_shuffle = 0
+    last_shuffle_bytes = 0
     reduce_durations: list[float] = []
     for event in events:
         if event.kind == EventKind.JOB_FINISH and event.counters:
             last_shuffle = event.counter(
                 Counters.FRAMEWORK, Counters.SHUFFLE_RECORDS
+            )
+            last_shuffle_bytes = event.counter(
+                Counters.FRAMEWORK, Counters.SHUFFLE_BYTES
             )
         elif (
             event.kind == EventKind.TASK_FINISH
@@ -208,11 +232,29 @@ def plan_partitions(
         ideal_reducers *= 2
     cap = max_reducers if max_reducers is not None else workers
     num_reducers = max(1, min(ideal_reducers, max(1, cap)))
+
+    spill_bytes = 0
+    spill_s = 0.0
+    if memory_budget_bytes is not None and last_shuffle_bytes > 0:
+        # Memory correctness beats the parallelism cap: raise the
+        # reducer count until one partition's payload fits the budget.
+        min_reducers = ceil(last_shuffle_bytes / memory_budget_bytes)
+        num_reducers = max(num_reducers, min_reducers)
+        # What a single map wave still cannot hold in heap spills
+        # through disk; price it so chain planners can compare a
+        # bigger-budget run against a wider one.
+        per_task = ceil(last_shuffle_bytes / max(1, num_splits))
+        if per_task > memory_budget_bytes:
+            spill_bytes = (per_task - memory_budget_bytes) * num_splits
+            spill_s = 2.0 * spill_bytes / model.spill_bandwidth_bytes_s
+
     return PartitionPlan(
         num_splits=num_splits,
         num_reducers=num_reducers,
         skew_ratio=skew_ratio,
         model=model,
+        spill_bytes=spill_bytes,
+        spill_s=spill_s,
     )
 
 

@@ -56,6 +56,11 @@ class Counters:
     #: Reduce tasks dispatched before the last map task of their job
     #: settled (the pipelined scheduler's map/reduce overlap).
     PIPELINED_REDUCES = "pipelined_reduces"
+    #: Compressed bytes written to shuffle spill segments (map tasks
+    #: whose columnar payload crossed ``JobConf.memory_budget_bytes``).
+    SPILLED_BYTES = "spilled_bytes"
+    #: Spill segment files written by over-budget map tasks.
+    SPILL_SEGMENTS = "spill_segments"
     TASK_RETRIES = "task_retries"
     FRAMEWORK = "framework"
     #: Service-plane accounting (the scheduler's fair-share slot pool

@@ -205,23 +205,27 @@ def _truncate_payload(payload: Any) -> Any:
     key/value row — so corrupt-fault coverage does not regress when the
     columnar plane is on.
     """
+    from repro.mapreduce.spill import SpilledBucket
     from repro.mapreduce.types import ColumnarBucket
 
+    columnar_like = (ColumnarBucket, SpilledBucket)
     if not isinstance(payload, list) or not payload:
         return payload
     if all(
-        isinstance(bucket, (list, ColumnarBucket)) for bucket in payload
-    ) and any(isinstance(bucket, ColumnarBucket) for bucket in payload):
-        # Pre-partitioned bucket payload with at least one columnar
-        # bucket: truncate the last non-empty bucket in its own
-        # representation.
+        isinstance(bucket, (list, *columnar_like)) for bucket in payload
+    ) and any(isinstance(bucket, columnar_like) for bucket in payload):
+        # Pre-partitioned bucket payload with at least one columnar (or
+        # spilled-columnar) bucket: truncate the last non-empty bucket
+        # in its own representation.  A spilled bucket is rehydrated
+        # and truncated in heap — the count mismatch against the task's
+        # counters is what integrity validation catches either way.
         for pos in range(len(payload) - 1, -1, -1):
             bucket = payload[pos]
             if len(bucket):
                 corrupted = list(payload)
                 corrupted[pos] = (
                     bucket.truncated()
-                    if isinstance(bucket, ColumnarBucket)
+                    if isinstance(bucket, columnar_like)
                     else bucket[:-1]
                 )
                 return corrupted

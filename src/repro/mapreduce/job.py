@@ -81,6 +81,13 @@ class BatchMapper(Mapper):
     or ragged values) fall back to the inherited per-record protocol;
     the default :meth:`map` wraps each record as a batch of one, so
     overriding :meth:`map_batch` alone serves both paths.
+
+    ``map_batch`` may be called *multiple times per task*: under
+    ``JobConf.max_block_rows`` (or a derived memory budget) the runtime
+    streams a file-backed split in bounded chunks instead of one block.
+    Implementations must therefore accumulate across calls — emit
+    per-chunk or buffer and finish in :meth:`cleanup` — and never
+    assume the first batch is the whole split.
     """
 
     def map_batch(

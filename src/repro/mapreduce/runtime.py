@@ -29,6 +29,10 @@ included) and every attempt is visible in the runtime's event stream.
 from __future__ import annotations
 
 import itertools
+import os
+import re
+import shutil
+import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, Future
 from concurrent.futures import wait as _futures_wait
@@ -56,14 +60,20 @@ from repro.mapreduce.job import (
     fold_uniform_pairs,
     group_sorted_pairs,
 )
+from repro.mapreduce.spill import (
+    DEFAULT_SEGMENT_BYTES,
+    SpilledBucket,
+    SpilledPartition,
+    spill_bucket,
+)
 from repro.mapreduce.types import (
     ColumnarBucket,
     InputSplit,
     JobConf,
     bucket_nbytes,
     bucket_pairs,
+    iter_split_blocks,
     pack_pairs,
-    split_block,
 )
 
 #: Backwards-compatible alias; the canonical name lives on ``Counters``.
@@ -145,6 +155,14 @@ class Shuffle:
     executor ships one out-of-band buffer per bucket.  Anything
     non-uniform keeps the ``list[tuple]`` representation, which doubles
     as the parity oracle in tests.
+
+    With a ``spill_budget_bytes`` *and* a ``spill_dir``, ``scatter``
+    additionally bounds the task's resident payload: columnar buckets
+    that would push the retained bytes past the budget are written as
+    compressed segment files (:mod:`repro.mapreduce.spill`) and
+    replaced by :class:`~repro.mapreduce.spill.SpilledBucket` stand-ins.
+    ``shuffle_bytes`` keeps counting logical payload, so spilled runs
+    stay comparable — and byte-identical in output — to in-heap runs.
     """
 
     def __init__(
@@ -152,16 +170,22 @@ class Shuffle:
         partitioner: Partitioner,
         num_partitions: int,
         columnar: bool = True,
+        spill_dir: str | None = None,
+        spill_budget_bytes: int | None = None,
+        spill_tag: str = "task",
     ) -> None:
         if num_partitions < 1:
             raise ValueError("num_partitions must be >= 1")
         self.partitioner = partitioner
         self.num_partitions = num_partitions
         self.columnar = columnar
+        self.spill_dir = spill_dir
+        self.spill_budget_bytes = spill_budget_bytes
+        self.spill_tag = spill_tag
 
     def scatter(
         self, pairs: list[tuple[Any, Any]], counters: Counters
-    ) -> list[ColumnarBucket | list[tuple[Any, Any]]]:
+    ) -> list[Any]:
         buckets: list[list[tuple[Any, Any]]] = [
             [] for _ in range(self.num_partitions)
         ]
@@ -174,26 +198,60 @@ class Shuffle:
                 )
             buckets[pid].append((key, value))
         counters.increment(Counters.FRAMEWORK, Counters.SHUFFLE_RECORDS, len(pairs))
-        payload: list[ColumnarBucket | list[tuple[Any, Any]]] = []
+        spillable = (
+            self.spill_dir is not None and self.spill_budget_bytes is not None
+        )
+        payload: list[Any] = []
         shuffled_bytes = 0
-        for bucket in buckets:
+        retained_bytes = 0
+        spilled_disk_bytes = 0
+        spill_segments = 0
+        for pid, bucket in enumerate(buckets):
             packed = pack_pairs(bucket) if self.columnar else None
-            chosen: ColumnarBucket | list[tuple[Any, Any]] = (
-                packed if packed is not None else bucket
-            )
+            chosen: Any = packed if packed is not None else bucket
+            size = bucket_nbytes(chosen)
+            shuffled_bytes += size
+            if (
+                spillable
+                and isinstance(chosen, ColumnarBucket)
+                and len(chosen) > 0
+                and retained_bytes + size > self.spill_budget_bytes
+            ):
+                # Over budget: this bucket's block moves to disk.  Only
+                # columnar buckets spill — tuple buckets are the parity
+                # oracle and jobs that hit them are small by design.
+                spilled = spill_bucket(
+                    chosen,
+                    self.spill_dir,
+                    f"{self.spill_tag}-p{pid}",
+                    segment_bytes=min(
+                        DEFAULT_SEGMENT_BYTES, self.spill_budget_bytes
+                    ),
+                )
+                spilled_disk_bytes += spilled.disk_bytes
+                spill_segments += len(spilled.segments)
+                chosen = spilled
+            else:
+                retained_bytes += size
             payload.append(chosen)
-            shuffled_bytes += bucket_nbytes(chosen)
         counters.increment(
             Counters.FRAMEWORK, Counters.SHUFFLE_BYTES, shuffled_bytes
         )
+        if spill_segments:
+            counters.increment(
+                Counters.FRAMEWORK, Counters.SPILLED_BYTES, spilled_disk_bytes
+            )
+            counters.increment(
+                Counters.FRAMEWORK, Counters.SPILL_SEGMENTS, spill_segments
+            )
         return payload
 
     @staticmethod
     def gather(
-        task_buckets: Sequence[Sequence[ColumnarBucket | list]],
+        task_buckets: Sequence[Sequence[Any]],
         num_partitions: int,
-    ) -> list[ColumnarBucket | list[tuple[Any, Any]]]:
-        partitions: list[ColumnarBucket | list[tuple[Any, Any]]] = []
+    ) -> list[Any]:
+        partitions: list[Any] = []
         for pid in range(num_partitions):
             chunks = [
                 buckets[pid] for buckets in task_buckets if len(buckets[pid])
@@ -203,12 +261,15 @@ class Shuffle:
 
     @staticmethod
     def merge_buckets(
-        chunks: Sequence[ColumnarBucket | list],
-    ) -> ColumnarBucket | list[tuple[Any, Any]]:
+        chunks: Sequence[Any],
+    ) -> Any:
         """Merge one partition's task-ordered bucket chunks.
 
         All-columnar chunks with a shared value dtype/shape concatenate
-        into one block; any mix degrades to the tuple representation.
+        into one block; chunks containing a spilled bucket stay lazy as
+        a :class:`~repro.mapreduce.spill.SpilledPartition` (segments
+        are only materialised reducer-side, one at a time); any other
+        mix degrades to the tuple representation.
         """
         if chunks and all(isinstance(c, ColumnarBucket) for c in chunks):
             first = chunks[0]
@@ -218,6 +279,14 @@ class Shuffle:
                 for c in chunks[1:]
             ):
                 return ColumnarBucket.concat(list(chunks))
+        if (
+            chunks
+            and any(isinstance(c, SpilledBucket) for c in chunks)
+            and all(
+                isinstance(c, (ColumnarBucket, SpilledBucket)) for c in chunks
+            )
+        ):
+            return SpilledPartition(tuple(chunks))
         merged: list[tuple[Any, Any]] = []
         for chunk in chunks:
             merged.extend(bucket_pairs(chunk))
@@ -267,6 +336,25 @@ class JobResult:
         return out
 
 
+def _resolve_block_rows(split: InputSplit, conf: JobConf) -> int | None:
+    """Rows per ``BatchMapper`` delivery for one split.
+
+    The explicit ``max_block_rows`` knob wins; otherwise a memory
+    budget is translated into a row cap for file-backed splits that
+    report their row width (``records.row_nbytes``), sized so one
+    resident chunk takes roughly a quarter of the budget.  ``None``
+    keeps the historical whole-split delivery.
+    """
+    if conf.max_block_rows is not None:
+        return conf.max_block_rows
+    if conf.memory_budget_bytes is None:
+        return None
+    row_nbytes = getattr(split.records, "row_nbytes", None)
+    if not row_nbytes:
+        return None
+    return max(1, conf.memory_budget_bytes // (4 * int(row_nbytes)))
+
+
 def _run_map_task(
     job: Job,
     split: InputSplit,
@@ -277,7 +365,9 @@ def _run_map_task(
     Runs the mapper lifecycle, the optional combiner, and — for jobs
     with a reduce phase — map-side partitioning.  The payload is a flat
     pair list for map-only jobs and a per-partition bucket list
-    otherwise.
+    otherwise.  A :class:`BatchMapper` receives the split as one block,
+    or — under ``max_block_rows`` / a memory budget — as a stream of
+    bounded chunks (multiple ``map_batch`` calls per task).
     """
     started = time.perf_counter()
     counters = Counters()
@@ -285,11 +375,15 @@ def _run_map_task(
     mapper = job.mapper_factory()
     mapper.setup(ctx)
     n_records = 0
-    batch = split_block(split) if isinstance(mapper, BatchMapper) else None
-    if batch is not None:
-        keys, block = batch
-        mapper.map_batch(keys, block, ctx)
-        n_records = len(keys)
+    blocks = (
+        iter_split_blocks(split, _resolve_block_rows(split, conf))
+        if isinstance(mapper, BatchMapper)
+        else None
+    )
+    if blocks is not None:
+        for keys, block in blocks:
+            mapper.map_batch(keys, block, ctx)
+            n_records += len(keys)
     else:
         for key, value in split:
             mapper.map(key, value, ctx)
@@ -329,7 +423,12 @@ def _run_map_task(
     payload: Any = pairs
     if conf.num_reducers > 0 and job.reducer_factory is not None:
         shuffle = Shuffle(
-            job.partitioner, conf.num_reducers, columnar=conf.columnar_shuffle
+            job.partitioner,
+            conf.num_reducers,
+            columnar=conf.columnar_shuffle,
+            spill_dir=conf.spill_dir,
+            spill_budget_bytes=conf.memory_budget_bytes,
+            spill_tag=f"{conf.name}-m{split.split_id}",
         )
         payload = shuffle.scatter(pairs, counters)
     return payload, counters, time.perf_counter() - started
@@ -422,6 +521,30 @@ def _run_reduce_task(
         Counters.FRAMEWORK, Counters.REDUCE_OUTPUT_RECORDS, len(output)
     )
     return output, counters, time.perf_counter() - started
+
+
+_SPILL_IDS = itertools.count(1)
+
+
+def _prepare_spill(conf: JobConf) -> tuple[JobConf, str]:
+    """Resolve the run-scoped spill directory for one budgeted job.
+
+    ``spill_dir=None`` gets a fresh temporary directory; a user-given
+    root gets a job-unique subdirectory (job name, pid, sequence
+    number) so retries, speculative attempts and concurrent jobs
+    sharing the root never collide on segment files.  The caller owns
+    the returned directory and removes it when the job finishes —
+    orphans from killed attempts vanish with it.
+    """
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", conf.name) or "job"
+    if conf.spill_dir is None:
+        path = tempfile.mkdtemp(prefix=f"repro-spill-{safe}-")
+    else:
+        path = os.path.join(
+            conf.spill_dir, f"{safe}-{os.getpid()}-{next(_SPILL_IDS)}"
+        )
+        os.makedirs(path, exist_ok=True)
+    return replace(conf, spill_dir=path), path
 
 
 def _resolve_broadcast(job: Job, executor: Executor) -> Job:
@@ -532,6 +655,26 @@ class MapReduceRuntime:
 
     def run(self, job: Job, splits: Sequence[InputSplit], conf: JobConf) -> JobResult:
         """Run one job over pre-computed input splits."""
+        spill_root: str | None = None
+        if (
+            conf.memory_budget_bytes is not None
+            and conf.num_reducers > 0
+            and job.reducer_factory is not None
+        ):
+            # Resolve the job's spill directory up front so every task
+            # (local or in a pool worker) sees the same path via conf;
+            # the whole tree goes away with the job, orphaned segments
+            # from retried or speculative attempts included.
+            conf, spill_root = _prepare_spill(conf)
+        try:
+            return self._run(job, splits, conf)
+        finally:
+            if spill_root is not None:
+                shutil.rmtree(spill_root, ignore_errors=True)
+
+    def _run(
+        self, job: Job, splits: Sequence[InputSplit], conf: JobConf
+    ) -> JobResult:
         started = time.perf_counter()
         counters = Counters()
         executor = (

@@ -96,9 +96,20 @@ def pack_pairs(pairs: list[tuple[Any, Any]]) -> ColumnarBucket | None:
 def bucket_pairs(
     bucket: "ColumnarBucket | list[tuple[Any, Any]]",
 ) -> list[tuple[Any, Any]]:
-    """Materialise either bucket representation as a pair list."""
+    """Materialise any bucket representation as a pair list.
+
+    Understands the two in-heap representations plus anything exposing
+    a ``pairs()`` view — the spilled-shuffle handles
+    (:class:`repro.mapreduce.spill.SpilledBucket` /
+    ``SpilledPartition``) materialise here, inside the reduce task.
+    """
     if isinstance(bucket, ColumnarBucket):
         return bucket.pairs()
+    if isinstance(bucket, list):
+        return bucket
+    pairs = getattr(bucket, "pairs", None)
+    if pairs is not None:
+        return pairs()
     return bucket
 
 
@@ -119,6 +130,11 @@ def bucket_nbytes(bucket: "ColumnarBucket | list[tuple[Any, Any]]") -> int:
     """
     if isinstance(bucket, ColumnarBucket):
         return bucket.nbytes
+    if not isinstance(bucket, list):
+        # Spilled representations report their logical payload size.
+        nbytes = getattr(bucket, "nbytes", None)
+        if nbytes is not None:
+            return int(nbytes)
     total = 0
     for _, value in bucket:
         if isinstance(value, np.ndarray):
@@ -214,6 +230,42 @@ def split_block(split: "InputSplit") -> tuple[Sequence[Any], np.ndarray] | None:
     return keys, np.stack(values)
 
 
+def iter_split_blocks(
+    split: "InputSplit", max_rows: int | None = None
+) -> "Iterator[tuple[Sequence[Any], np.ndarray]] | None":
+    """Batched view of a split: an iterator of ``(keys, block)`` chunks.
+
+    With ``max_rows=None`` this is :func:`split_block` in iterator
+    clothing — one whole-split batch, the classic delivery.  With a cap,
+    record containers that can stream chunks straight from storage
+    (the ``iter_blocks(max_rows)`` hook: file-backed CSV/npy splits)
+    never materialise the split at all, so a mapper task's peak memory
+    is bounded by one chunk; in-memory containers fall back to slicing
+    views out of the one block.  Returns ``None`` when the records
+    cannot form 2-D blocks (the runtime then uses per-record ``map()``
+    delivery).
+    """
+    records = split.records
+    if max_rows is not None:
+        if max_rows < 1:
+            raise ValueError("max_rows must be >= 1")
+        hook = getattr(records, "iter_blocks", None)
+        if hook is not None:
+            return hook(max_rows)
+    batch = split_block(split)
+    if batch is None:
+        return None
+    keys, block = batch
+    if max_rows is None or len(keys) <= max_rows:
+        return iter((batch,))
+
+    def chunks() -> Iterator[tuple[Sequence[Any], np.ndarray]]:
+        for lo in range(0, len(keys), max_rows):
+            yield keys[lo : lo + max_rows], block[lo : lo + max_rows]
+
+    return chunks()
+
+
 def split_records(
     data: np.ndarray | Sequence[tuple[Any, Any]],
     num_splits: int,
@@ -276,6 +328,21 @@ class JobConf:
     #: waiting on the full map barrier.  ``None`` defers to the runtime
     #: default (enabled on pooled executors, no-op on serial).
     pipelined: bool | None = None
+    #: Cap on rows per ``BatchMapper.map_batch`` delivery.  ``None``
+    #: delivers each split as one block; with a cap the runtime streams
+    #: the split in chunks (see :func:`iter_split_blocks`) so a map
+    #: task's peak memory is bounded by one chunk, not one split.
+    max_block_rows: int | None = None
+    #: Byte budget for a map task's resident shuffle payload.  Columnar
+    #: buckets that would push the task past it spill to compressed
+    #: segment files under ``spill_dir``; also drives a budget-derived
+    #: ``max_block_rows`` for file-backed splits that report their row
+    #: width.  ``None`` keeps the classic all-in-heap data plane.
+    memory_budget_bytes: int | None = None
+    #: Root directory for shuffle spill segments.  ``None`` with a
+    #: memory budget set lets the runtime create (and remove) a
+    #: run-scoped temporary directory per job.
+    spill_dir: str | None = None
     extra: dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -289,6 +356,10 @@ class JobConf:
             raise ValueError("retry_backoff_s must be >= 0")
         if self.task_timeout_s is not None and self.task_timeout_s <= 0:
             raise ValueError("task_timeout_s must be > 0")
+        if self.max_block_rows is not None and self.max_block_rows < 1:
+            raise ValueError("max_block_rows must be >= 1")
+        if self.memory_budget_bytes is not None and self.memory_budget_bytes < 1:
+            raise ValueError("memory_budget_bytes must be >= 1")
 
 
 def iter_grouped(

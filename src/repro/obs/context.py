@@ -79,6 +79,8 @@ class _EventBridge:
             for counter, metric in (
                 ("shuffle_bytes", "mr.shuffle_bytes"),
                 ("pipelined_reduces", "mr.pipelined_reduces"),
+                ("spilled_bytes", "mr.spilled_bytes"),
+                ("spill_segments", "mr.spill_segments"),
             ):
                 value = event.counter("framework", counter)
                 if value:

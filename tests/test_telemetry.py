@@ -504,6 +504,7 @@ GATED_ARTIFACTS = (
     "BENCH_hotpaths.json",
     "BENCH_service.json",
     "BENCH_serving.json",
+    "BENCH_outofcore.json",
 )
 
 
@@ -527,6 +528,26 @@ def test_check_regression_fails_on_assign_speedup_regression(tmp_path):
     result = _run_gate("--current-dir", str(tmp_path))
     assert result.returncode == 1
     assert "assign_speedup" in result.stderr
+
+
+def test_check_regression_rss_ratio_has_absolute_slack(tmp_path):
+    # peak_rss_ratio's baseline is 0.0 (fully bounded scan), so the
+    # gate carries an absolute slack: small jitter passes, a real
+    # unbounded-memory regression fails.
+    for name in GATED_ARTIFACTS:
+        payload = json.loads((REPO_ROOT / name).read_text())
+        if name == "BENCH_outofcore.json":
+            payload["peak_rss_ratio"] = 0.03  # within the 0.05 slack
+        (tmp_path / name).write_text(json.dumps(payload))
+    result = _run_gate("--current-dir", str(tmp_path))
+    assert result.returncode == 0, result.stdout + result.stderr
+
+    payload = json.loads((REPO_ROOT / "BENCH_outofcore.json").read_text())
+    payload["peak_rss_ratio"] = 0.4  # scan no longer bounded
+    (tmp_path / "BENCH_outofcore.json").write_text(json.dumps(payload))
+    result = _run_gate("--current-dir", str(tmp_path))
+    assert result.returncode == 1
+    assert "peak_rss_ratio" in result.stderr
 
 
 def test_check_regression_quick_skips_scale_sensitive(tmp_path):
