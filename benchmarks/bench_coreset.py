@@ -1,0 +1,204 @@
+"""Coreset fast-path benchmark: approximate fit vs the exact chain.
+
+Generates a paper-style synthetic workload, fits the full P3C+-MR
+pipeline twice — once exactly, once through the ``--coreset`` fast path
+(one-pass weighted summary + weighted chain + full-data assignment) —
+and reports the wall-clock speedup together with the quality retained:
+``e4sc_retention = E4SC(coreset) / E4SC(exact)`` against the generator's
+ground truth.  Writes ``BENCH_coreset.json`` at the repository root.
+
+The retention is also recorded as the ``mr.coreset_e4sc_retention``
+gauge on the coreset run's observability scope (the driver itself
+cannot compute it — it never runs the exact fit).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_coreset.py            # full workload
+    PYTHONPATH=src python benchmarks/bench_coreset.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_coreset.py --quick \\
+        --min-speedup 3 --min-e4sc 0.9
+
+``--min-speedup`` / ``--min-e4sc`` exit non-zero when the coreset path
+is not at least that much faster / does not retain at least that
+fraction of the exact score — the CI coreset-smoke gates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.data import GeneratorConfig, generate_synthetic  # noqa: E402
+from repro.eval import e4sc_score  # noqa: E402
+from repro.mr import P3CPlusMR, P3CPlusMRConfig  # noqa: E402
+from repro.obs import Observability  # noqa: E402
+
+SCHEMA = "repro.benchmarks/coreset/v1"
+DEFAULT_OUT = REPO_ROOT / "BENCH_coreset.json"
+
+
+def _fit(dataset, mr_config, obs=None):
+    driver = P3CPlusMR(mr_config=mr_config, obs=obs)
+    started = time.perf_counter()
+    result = driver.fit(dataset.data)
+    seconds = time.perf_counter() - started
+    truth = dataset.ground_truth_clusters()
+    score = e4sc_score(result.clusters, truth)
+    return driver, result, seconds, score
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--n", type=int, default=None, help="dataset points")
+    parser.add_argument("--d", type=int, default=8, help="dimensionality")
+    parser.add_argument(
+        "--coreset-size", type=int, default=None, help="summary size m"
+    )
+    parser.add_argument(
+        "--coreset-mode", default="uniform", choices=("uniform", "lightweight")
+    )
+    parser.add_argument("--splits", type=int, default=4)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke workload (n=100k instead of 250k)",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless the coreset fit is >= this multiple faster",
+    )
+    parser.add_argument(
+        "--min-e4sc",
+        type=float,
+        default=None,
+        help="fail unless e4sc_retention >= this fraction",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=DEFAULT_OUT, help="output JSON path"
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args(argv)
+
+    # The coreset path amortises two extra full scans against the
+    # per-iteration savings, so the crossover needs a real workload:
+    # at n=20k the speedup is ~1.4x, at n=100k ~3.5x.
+    n = args.n if args.n is not None else (100_000 if args.quick else 250_000)
+    m = args.coreset_size or max(2_000, n // 25)
+
+    dataset = generate_synthetic(
+        GeneratorConfig(
+            n=n,
+            d=args.d,
+            num_clusters=3,
+            noise_fraction=0.10,
+            max_cluster_dims=4,
+            seed=args.seed,
+        )
+    )
+
+    _, exact_result, exact_s, exact_score = _fit(
+        dataset, P3CPlusMRConfig(num_splits=args.splits)
+    )
+
+    obs = Observability(enabled=True)
+    coreset_driver, coreset_result, coreset_s, coreset_score = _fit(
+        dataset,
+        P3CPlusMRConfig(
+            num_splits=args.splits,
+            coreset_size=m,
+            coreset_mode=args.coreset_mode,
+        ),
+        obs=obs,
+    )
+
+    speedup = exact_s / coreset_s if coreset_s > 0 else float("inf")
+    retention = coreset_score / exact_score if exact_score > 0 else 0.0
+    coreset_driver.obs.gauge("mr.coreset_e4sc_retention", retention)
+    info = coreset_result.metadata["coreset"]
+    build_series = coreset_driver.obs.metrics.series_values("mr.coreset_build_s")
+    build_s = build_series[-1] if build_series else 0.0
+
+    rows = [
+        {
+            "bench": "exact_fit",
+            "n": n,
+            "seconds": round(exact_s, 4),
+            "e4sc": round(exact_score, 4),
+            "clusters": exact_result.num_clusters,
+        },
+        {
+            "bench": "coreset_fit",
+            "n": n,
+            "seconds": round(coreset_s, 4),
+            "e4sc": round(coreset_score, 4),
+            "clusters": coreset_result.num_clusters,
+        },
+        {
+            "bench": "coreset_build",
+            "n": n,
+            "seconds": round(build_s, 4),
+            "e4sc": None,
+            "clusters": None,
+        },
+    ]
+    report = {
+        "schema": SCHEMA,
+        "quick": bool(args.quick),
+        "workload": {
+            "n": n,
+            "d": args.d,
+            "splits": args.splits,
+            "coreset_size": m,
+            "coreset_mode": args.coreset_mode,
+            "realised_size": info["size"],
+            "effective_size": round(info["effective_size"], 1),
+        },
+        "coreset_speedup": round(speedup, 2),
+        "e4sc_retention": round(retention, 4),
+        "e4sc_exact": round(exact_score, 4),
+        "e4sc_coreset": round(coreset_score, 4),
+        "rows": rows,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    width = max(len(r["bench"]) for r in rows)
+    print(f"{'bench':<{width}} {'n':>9} {'seconds':>9} {'e4sc':>7}")
+    for r in rows:
+        e4sc = f"{r['e4sc']:.4f}" if r["e4sc"] is not None else "-"
+        print(f"{r['bench']:<{width}} {r['n']:>9} {r['seconds']:>9.3f} {e4sc:>7}")
+    print(
+        f"\ncoreset speedup: {speedup:.1f}x "
+        f"(m={info['size']}, ess={info['effective_size']:.0f}, "
+        f"mode={args.coreset_mode})"
+    )
+    print(f"e4sc retention: {retention:.4f} (exact {exact_score:.4f})")
+    print(f"[saved to {args.out}]")
+
+    failed = False
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(
+            f"FAIL: coreset speedup {speedup:.1f}x is below the "
+            f"required {args.min_speedup:g}x",
+            file=sys.stderr,
+        )
+        failed = True
+    if args.min_e4sc is not None and retention < args.min_e4sc:
+        print(
+            f"FAIL: e4sc retention {retention:.4f} is below the "
+            f"required {args.min_e4sc:g}",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,11 +1,12 @@
 #!/usr/bin/env python
 """Bench-regression gate: diff BENCH_*.json against committed baselines.
 
-The repo commits four benchmark artifacts at the root —
+The repo commits five benchmark artifacts at the root —
 ``BENCH_hotpaths.json`` (data-plane speedup ratios),
 ``BENCH_service.json`` (fair-share service latencies),
-``BENCH_serving.json`` (batched model-scoring throughput) and
-``BENCH_outofcore.json`` (bounded-RSS scan + spill shuffle) — plus
+``BENCH_serving.json`` (batched model-scoring throughput),
+``BENCH_outofcore.json`` (bounded-RSS scan + spill shuffle) and
+``BENCH_coreset.json`` (approximate-fit speedup + quality) — plus
 frozen copies under ``benchmarks/baselines/``.  This script compares the named
 headline metrics between the two and exits non-zero when any metric
 regresses by more than the tolerance (20% by default), so CI fails the
@@ -106,6 +107,18 @@ METRICS: tuple[MetricSpec, ...] = (
         True,
         scale_sensitive=True,
     ),
+    # Coreset fast path: wall-clock multiple over the exact chain (the
+    # ratio shifts with workload size — the two extra full scans
+    # amortise better at larger n — so it only compares like scales)
+    # and the fraction of the exact fit's E4SC the approximate fit
+    # retains (scale-free).
+    MetricSpec(
+        "BENCH_coreset.json",
+        "coreset_speedup",
+        True,
+        scale_sensitive=True,
+    ),
+    MetricSpec("BENCH_coreset.json", "e4sc_retention", True),
 )
 
 

@@ -79,6 +79,9 @@ class ExecOptions:
     memory_budget_bytes: int | None = None
     spill_dir: str | None = None
     max_block_rows: int | None = None
+    coreset_size: int | None = None
+    coreset_mode: str = "uniform"
+    coreset_seed: int = 0
 
 
 ALGORITHMS: dict[str, Callable[[P3CPlusConfig, ExecOptions], Any]] = {
@@ -107,6 +110,9 @@ ALGORITHMS: dict[str, Callable[[P3CPlusConfig, ExecOptions], Any]] = {
             memory_budget_bytes=opts.memory_budget_bytes,
             spill_dir=opts.spill_dir,
             max_block_rows=opts.max_block_rows,
+            coreset_size=opts.coreset_size,
+            coreset_mode=opts.coreset_mode,
+            coreset_seed=opts.coreset_seed,
         ),
         obs=opts.obs,
     ),
@@ -307,6 +313,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="explicit cap on rows per batch-mapper delivery "
         "(default: whole splits, or derived from --memory-budget)",
     )
+    cluster.add_argument(
+        "--coreset-size",
+        type=int,
+        default=None,
+        metavar="POINTS",
+        help="approximate fast path (mr only): fit the chain on a "
+        "one-pass weighted summary of about this many points, then "
+        "assign the full data with one extra scan; a size >= n falls "
+        "back to the exact run",
+    )
+    cluster.add_argument(
+        "--coreset-mode",
+        choices=("uniform", "lightweight"),
+        default=None,
+        help="coreset sampler: 'uniform' (unbiased per-split sampling, "
+        "the default) or 'lightweight' (distance-to-mean sensitivity "
+        "sampling, overweights far-out structure); requires "
+        "--coreset-size",
+    )
+    cluster.add_argument(
+        "--coreset-seed",
+        type=int,
+        default=None,
+        help="seed of the deterministic coreset samplers (default 0); "
+        "requires --coreset-size",
+    )
 
     evaluate = commands.add_parser("evaluate", help="score a saved result")
     evaluate.add_argument("--data", required=True)
@@ -485,6 +517,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "to gate the submission against the service budget",
     )
     submit.add_argument(
+        "--coreset-size",
+        type=int,
+        default=None,
+        metavar="POINTS",
+        help="run the chain on a one-pass weighted summary of about "
+        "this many points (approximate fast path); admission prices "
+        "the run as two full scans plus a summary-sized chain",
+    )
+    submit.add_argument(
+        "--coreset-mode",
+        choices=("uniform", "lightweight"),
+        default=None,
+        help="coreset sampler for --coreset-size (default 'uniform'); "
+        "requires --coreset-size",
+    )
+    submit.add_argument(
         "--wait",
         action="store_true",
         help="block until the job's completion record appears",
@@ -634,6 +682,23 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         except ValueError as exc:
             print(f"error: bad --chaos spec: {exc}", file=sys.stderr)
             return 2
+    if args.coreset_size is not None:
+        if args.algorithm != "mr":
+            print(
+                "error: --coreset-size requires the mr algorithm "
+                "(the Light and serial variants have no coreset path)",
+                file=sys.stderr,
+            )
+            return 2
+        if args.coreset_size < 1:
+            print("error: --coreset-size must be >= 1", file=sys.stderr)
+            return 2
+    elif args.coreset_mode is not None or args.coreset_seed is not None:
+        print(
+            "error: --coreset-mode/--coreset-seed require --coreset-size",
+            file=sys.stderr,
+        )
+        return 2
     opts = ExecOptions(
         executor=args.executor,
         max_workers=args.workers,
@@ -647,6 +712,9 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         memory_budget_bytes=memory_budget,
         spill_dir=args.spill_dir,
         max_block_rows=args.max_block_rows,
+        coreset_size=args.coreset_size,
+        coreset_mode=args.coreset_mode or "uniform",
+        coreset_seed=args.coreset_seed or 0,
     )
     if args.register and args.algorithm not in ("mr", "mr-light"):
         print(
@@ -822,7 +890,11 @@ def _make_spool_job(spec: dict):
         driver_cls = P3CPlusMR if spec["algorithm"] == "mr" else P3CPlusMRLight
         driver = driver_cls(
             config,
-            P3CPlusMRConfig(model_registry=spec.get("register")),
+            P3CPlusMRConfig(
+                model_registry=spec.get("register"),
+                coreset_size=spec.get("coreset_size"),
+                coreset_mode=spec.get("coreset_mode", "uniform"),
+            ),
             context=ctx,
         )
         started = time.perf_counter()
@@ -1018,6 +1090,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         tenant=spec.get("tenant", "default"),
                         priority=spec.get("priority"),
                         estimated_records=spec.get("estimated_records"),
+                        coreset_size=spec.get("coreset_size"),
                     )
                 active[spec["id"]] = (handle, spec)
                 print(f"admitted {handle.job_id} ({spec['id']})")
@@ -1182,8 +1255,22 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         "poisson_alpha": args.poisson_alpha,
         "normalize": args.normalize,
         "estimated_records": args.estimated_records,
+        "coreset_size": args.coreset_size,
+        "coreset_mode": args.coreset_mode or "uniform",
         "register": args.register,
     }
+    if args.coreset_size is not None and args.algorithm != "mr":
+        print(
+            "error: --coreset-size requires the mr algorithm",
+            file=sys.stderr,
+        )
+        return 2
+    if args.coreset_size is None and args.coreset_mode is not None:
+        print(
+            "error: --coreset-mode requires --coreset-size",
+            file=sys.stderr,
+        )
+        return 2
     _write_json_atomic(pending / f"{job_id}.json", spec)
     print(f"submitted {job_id} (tenant {args.tenant}) to {args.spool}")
     if not args.wait:

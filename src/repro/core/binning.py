@@ -56,12 +56,15 @@ class Histogram:
     """An equi-width histogram of one attribute over [0, 1]."""
 
     attribute: int
-    counts: np.ndarray  # shape (num_bins,), dtype int64
+    counts: np.ndarray  # shape (num_bins,); int64, or float64 when weighted
 
     def __post_init__(self) -> None:
-        object.__setattr__(
-            self, "counts", np.asarray(self.counts, dtype=np.int64).copy()
-        )
+        # Integer inputs keep the classic int64 counts byte-for-byte;
+        # float inputs (weighted coreset histograms) stay float64 so
+        # fractional weighted counts are not silently truncated.
+        counts = np.asarray(self.counts)
+        dtype = np.float64 if counts.dtype.kind == "f" else np.int64
+        object.__setattr__(self, "counts", counts.astype(dtype).copy())
         if self.counts.ndim != 1 or len(self.counts) < 1:
             raise ValueError("histogram needs at least one bin")
 
@@ -70,8 +73,9 @@ class Histogram:
         return len(self.counts)
 
     @property
-    def total(self) -> int:
-        return int(self.counts.sum())
+    def total(self) -> float:
+        total = self.counts.sum()
+        return int(total) if self.counts.dtype.kind == "i" else float(total)
 
     @property
     def bin_width(self) -> float:

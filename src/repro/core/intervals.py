@@ -37,8 +37,11 @@ def mark_relevant_bins(counts: np.ndarray, alpha: float = 0.001) -> list[int]:
     the uniformity test at level ``alpha``.  Ties are broken towards the
     lowest bin index for determinism.
     """
-    counts = np.asarray(counts, dtype=np.int64)
-    remaining = counts.astype(float).copy()
+    # Float counts pass through un-truncated (weighted/coreset
+    # histograms carry fractional counts); integer input is unchanged
+    # bitwise since the test always ran in float space anyway.
+    counts = np.asarray(counts, dtype=float)
+    remaining = counts.copy()
     active = np.ones(len(counts), dtype=bool)
     marked: list[int] = []
     while active.sum() > 1:

@@ -90,6 +90,41 @@ def _normal_critical_z(alpha: float) -> float:
     return float(sps.norm.isf(alpha))
 
 
+def effective_sample_size(weights: np.ndarray) -> float:
+    """Kish's effective sample size ``(sum w)^2 / sum w^2``.
+
+    A weighted sample of ``m`` points carrying total weight ``W`` does
+    not have the statistical power of ``W`` observations; tests on
+    weighted counts (chi-squared uniformity, Poisson proving) must run
+    at the ESS scale or they over-reject, exactly the failure mode a
+    coreset summary would otherwise introduce.  Uniform weights give
+    ESS = m (the summary behaves like its own sample size); highly
+    skewed weights give ESS << m.
+    """
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 1 or len(weights) == 0:
+        raise ValueError("weights must be a non-empty 1-D array")
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    total = float(weights.sum())
+    if total <= 0:
+        raise ValueError("weights must have positive total")
+    return total**2 / float((weights**2).sum())
+
+
+def ess_scale(weights: np.ndarray) -> float:
+    """The factor mapping weighted counts to ESS-scale counts.
+
+    Multiplying weighted bin/support counts (which sum to ``W``) by
+    ``ESS / W`` yields counts that sum to the effective sample size, so
+    the unmodified chi-squared / Poisson machinery runs at the honest
+    power level.  For a uniform coreset of ``m`` points this reduces
+    weighted counts exactly to the raw per-summary-point counts.
+    """
+    weights = np.asarray(weights, dtype=float)
+    return effective_sample_size(weights) / float(weights.sum())
+
+
 def cohens_d_cc(observed: float, expected: float) -> float:
     """Cohen's d_cc (Eq. 4) with sigma = Supp_exp: the *relative*
     deviation of the observed from the expected support."""

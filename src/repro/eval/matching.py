@@ -35,11 +35,70 @@ def micro_object_intersection(
     return shared_members * shared_attrs
 
 
+def _is_internally_disjoint(clusters: list[ProjectedCluster]) -> bool:
+    """True iff no object belongs to two clusters of the clustering."""
+    total = sum(c.size for c in clusters)
+    if total == 0:
+        return True
+    members = np.concatenate([c.members for c in clusters])
+    return len(np.unique(members)) == total
+
+
+def _label_vector(clusters: list[ProjectedCluster], size: int) -> np.ndarray:
+    """Object -> cluster-index map (-1 = unassigned) of a disjoint
+    clustering over the universe ``[0, size)``."""
+    labels = np.full(size, -1, dtype=np.int64)
+    for j, cluster in enumerate(clusters):
+        labels[cluster.members] = j
+    return labels
+
+
 def pairwise_intersections(
     found: list[ProjectedCluster],
     hidden: list[ProjectedCluster],
 ) -> np.ndarray:
-    """Matrix ``M[i, j] = |mu(found_i) ∩ mu(hidden_j)|``."""
+    """Matrix ``M[i, j] = |mu(found_i) ∩ mu(hidden_j)|``.
+
+    When both clusterings are internally disjoint (the normal projected
+    case) the member overlaps of *all* pairs come from one ``bincount``
+    over the co-labelled objects and the attribute overlaps from one
+    boolean matmul — O(n + k1*k2*d) instead of the per-pair
+    ``intersect1d`` loop, which is what makes ``e4sc_score`` sub-second
+    at n = 100k.  Overlapping clusterings keep the exact per-pair path.
+    """
+    if not found or not hidden:
+        return np.zeros((len(found), len(hidden)), dtype=np.int64)
+    if _is_internally_disjoint(found) and _is_internally_disjoint(hidden):
+        k1, k2 = len(found), len(hidden)
+        size = (
+            int(
+                max(
+                    max((c.members.max() for c in found if c.size), default=-1),
+                    max((h.members.max() for h in hidden if h.size), default=-1),
+                )
+            )
+            + 1
+        )
+        found_labels = _label_vector(found, size)
+        hidden_labels = _label_vector(hidden, size)
+        both = (found_labels >= 0) & (hidden_labels >= 0)
+        member_overlap = np.bincount(
+            found_labels[both] * k2 + hidden_labels[both], minlength=k1 * k2
+        ).reshape(k1, k2)
+        num_attrs = (
+            max(
+                max((a for c in found for a in c.relevant_attributes), default=-1),
+                max((a for h in hidden for a in h.relevant_attributes), default=-1),
+            )
+            + 1
+        )
+        found_attrs = np.zeros((k1, num_attrs), dtype=np.int64)
+        for i, c in enumerate(found):
+            found_attrs[i, list(c.relevant_attributes)] = 1
+        hidden_attrs = np.zeros((k2, num_attrs), dtype=np.int64)
+        for j, h in enumerate(hidden):
+            hidden_attrs[j, list(h.relevant_attributes)] = 1
+        return member_overlap * (found_attrs @ hidden_attrs.T)
     matrix = np.zeros((len(found), len(hidden)), dtype=np.int64)
     for i, c in enumerate(found):
         for j, h in enumerate(hidden):

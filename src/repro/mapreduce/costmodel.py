@@ -126,6 +126,32 @@ class ClusterCostModel:
             record_cost_multiplier=multiplier,
         )
 
+    def coreset_chain_cost(
+        self,
+        n: int,
+        coreset_size: int,
+        chain_jobs: int = 10,
+    ) -> CostEstimate:
+        """Modelled cost of the approximate (coreset) pipeline.
+
+        One full-scan summary pass + the usual chain priced over the
+        ``m``-point summary + one full-scan assignment pass; with
+        ``m << n`` the two full scans dominate and the coreset run's
+        cost becomes independent of EM iteration count.  Degrades
+        gracefully to the exact chain when ``coreset_size >= n``.
+        """
+        if coreset_size < 1:
+            raise ValueError(f"coreset size must be >= 1, got {coreset_size}")
+        m = min(coreset_size, n)
+        if m >= n:
+            return self.chain_cost(
+                [self.scan_job(n)] * max(1, chain_jobs)
+            )
+        small_chain = [self.scan_job(m)] * max(1, chain_jobs)
+        return self.chain_cost(
+            [self.scan_job(n), *small_chain, self.scan_job(n)]
+        )
+
 
 @dataclass(frozen=True)
 class PartitionPlan:

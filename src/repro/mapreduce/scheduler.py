@@ -497,10 +497,20 @@ class ClusterService:
     # -- submission -----------------------------------------------------
 
     def _estimate_cost_s(
-        self, estimated_records: int | None, estimated_jobs: int | None
+        self,
+        estimated_records: int | None,
+        estimated_jobs: int | None,
+        coreset_size: int | None = None,
     ) -> float:
+        jobs = estimated_jobs or self.DEFAULT_CHAIN_JOBS
+        if coreset_size is not None and coreset_size >= 1:
+            # Approximate pipeline: two full scans + the chain over the
+            # summary, so admission stops over-charging coreset runs.
+            return self.cost_model.coreset_chain_cost(
+                estimated_records or 0, coreset_size, chain_jobs=jobs
+            ).total_s
         per_job = self.cost_model.scan_job(estimated_records or 0)
-        return per_job.total_s * (estimated_jobs or self.DEFAULT_CHAIN_JOBS)
+        return per_job.total_s * jobs
 
     def submit(
         self,
@@ -511,6 +521,7 @@ class ClusterService:
         priority: float | None = None,
         estimated_records: int | None = None,
         estimated_jobs: int | None = None,
+        coreset_size: int | None = None,
         fault_plan: FaultPlan | None = None,
         task_timeout_s: float | None = None,
         speculative: bool = False,
@@ -519,6 +530,9 @@ class ClusterService:
 
         ``priority`` is sugar for the tenant's fair-share weight (it
         reconfigures the tenant's quota, keeping any slot caps).
+        ``coreset_size`` marks the chain as an approximate (coreset)
+        run so admission prices it as two full scans plus a summary
+        chain instead of a full-data chain.
         """
         if self._closed:
             raise RuntimeError("service is shut down")
@@ -537,7 +551,9 @@ class ClusterService:
             name=name or "chain",
             tenant=tenant,
             fn=fn,
-            estimate_s=self._estimate_cost_s(estimated_records, estimated_jobs),
+            estimate_s=self._estimate_cost_s(
+                estimated_records, estimated_jobs, coreset_size
+            ),
             fault_plan=fault_plan,
             task_timeout_s=task_timeout_s,
             speculative=speculative,

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.apriori import maximal_signatures, singleton_signatures
 from repro.core.proving import ProveStats, SupportTester
 from repro.core.redundancy import filter_redundant
@@ -34,6 +36,7 @@ from repro.mapreduce.chain import JobChain
 from repro.mapreduce.types import InputSplit
 from repro.mr.candidates import DEFAULT_T_GEN, run_candidate_generation
 from repro.mr.support import run_support_job
+from repro.mr.weights import canonical_weights
 from repro.obs import NULL_OBS, Observability
 
 #: Default multi-level collection threshold, scaled down from the
@@ -73,19 +76,41 @@ def generate_cluster_cores_mr(
     t_c: int = DEFAULT_T_C,
     multi_level: bool = True,
     obs: Observability | None = None,
+    weights: np.ndarray | None = None,
+    effective_n: float | None = None,
 ) -> tuple[list[ClusterCore], CoreGenerationStats]:
     """Run Algorithm 1 against the MapReduce runtime.
 
     With ``multi_level=False`` every level is proven immediately
     (one support job per level), which is the ablation baseline for the
     T_c heuristic.
+
+    With ``weights`` (the coreset fast path) supports are weighted and
+    rescaled to Kish's effective sample size: scale = ESS / W maps the
+    weighted support (an estimate of the full-data count, total W) down
+    to the ``effective_n = ESS`` points of honest statistical power, so
+    the Poisson / effect-size tests run neither over- nor under-confident.
+    For a uniform coreset (equal weights) this reduces exactly to
+    unweighted proving on the m summary points.
     """
     obs = obs or NULL_OBS
     stats = CoreGenerationStats()
     if not intervals:
         return [], stats
 
-    tester = SupportTester(n, alpha=poisson_alpha, theta_cc=theta_cc)
+    weights = canonical_weights(weights)
+    if weights is not None:
+        from repro.core.stats import effective_sample_size
+
+        if effective_n is None:
+            effective_n = effective_sample_size(weights)
+        support_scale = float(effective_n) / float(weights.sum())
+        n_test = float(effective_n)
+    else:
+        support_scale = 1.0
+        n_test = n
+
+    tester = SupportTester(n_test, alpha=poisson_alpha, theta_cc=theta_cc)
     all_supports: dict[Signature, int] = {}
     proven_all: list[Signature] = []
 
@@ -93,7 +118,9 @@ def generate_cluster_cores_mr(
         """Count + prove one collected batch with a single support job."""
         stats.proving_jobs += 1
         stats.candidates_proven_total += len(batch)
-        supports = run_support_job(chain, splits, batch)
+        supports = run_support_job(chain, splits, batch, weights=weights)
+        if weights is not None:
+            supports = {sig: s * support_scale for sig, s in supports.items()}
         all_supports.update(supports)
         batch_stats = ProveStats()
         proven = tester.prove(
@@ -154,7 +181,9 @@ def generate_cluster_cores_mr(
     maximal = maximal_signatures(proven_all)
     stats.cores_before_redundancy = len(maximal)
     if redundancy_filter:
-        maximal = filter_redundant({sig: all_supports[sig] for sig in maximal}, n)
+        maximal = filter_redundant(
+            {sig: all_supports[sig] for sig in maximal}, n_test
+        )
     stats.cores_after_redundancy = len(maximal)
 
     for level, count in enumerate(stats.candidates_per_level, start=1):
@@ -174,7 +203,7 @@ def generate_cluster_cores_mr(
         ClusterCore(
             signature=sig,
             support=all_supports[sig],
-            expected_support=sig.expected_support(n),
+            expected_support=sig.expected_support(n_test),
         )
         for sig in maximal
     ]

@@ -21,6 +21,13 @@ Mappers receive their split as one ``(n, d)`` block (the
 :class:`~repro.mapreduce.job.BatchMapper` contract) and compute
 vectorised in ``cleanup`` — the split-caching pattern Section 5.5
 prescribes for the MVB mapper, without a per-record ``map()`` call.
+
+Per-point weights (the coreset fast path) are multiplied into the
+weight-model matrix before the sums are taken, so every moment —
+means, covariances, mixture weights, log-likelihood — becomes its
+weighted counterpart without touching the weight models themselves.
+Unit weights are canonicalised away at the runner boundary, keeping
+the unweighted path bitwise unchanged.
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ from repro.mapreduce.job import ArraySumCombiner
 from repro.mapreduce.chain import JobChain
 from repro.mapreduce.types import InputSplit
 from repro.mr.aggregate import sum_partials
+from repro.mr.weights import canonical_weights, take_weights
 
 
 class WeightModel:
@@ -113,8 +121,16 @@ class ResponsibilityWeights(WeightModel):
         sub = self.mixture.project(data)
         return np.exp(self.mixture.log_responsibilities(sub))
 
-    def log_likelihood(self, data: np.ndarray) -> float:
-        return self.mixture.log_likelihood(self.mixture.project(data))
+    def log_likelihood(
+        self, data: np.ndarray, point_weights: np.ndarray | None = None
+    ) -> float:
+        sub = self.mixture.project(data)
+        if point_weights is None:
+            return self.mixture.log_likelihood(sub)
+        from repro.core.em import _logsumexp_rows
+
+        per_point = _logsumexp_rows(self.mixture._log_joint(sub))
+        return float(np.dot(point_weights, per_point))
 
 
 class InsideBallWeights(WeightModel):
@@ -157,13 +173,20 @@ _LL_KEY = "log_likelihood"
 
 class _SplitBlockMapper(BatchMapper):
     """Shared base: buffers the split as whole blocks, exposes it in
-    cleanup as one ``(n, d)`` array (``None`` for an empty split)."""
+    cleanup as one ``(n, d)`` array (``None`` for an empty split) plus
+    the per-row point weights when the job carries them."""
 
     def setup(self, context: Context) -> None:
         self._blocks: list[np.ndarray] = []
+        self._key_blocks: list[Any] = []
+        self._point_weights: np.ndarray | None = context.cache.get(
+            "point_weights"
+        )
 
     def map_batch(self, keys: Any, block: np.ndarray, context: Context) -> None:
         self._blocks.append(block)
+        if self._point_weights is not None:
+            self._key_blocks.append(keys)
 
     def _split_data(self) -> np.ndarray | None:
         if not self._blocks:
@@ -171,6 +194,16 @@ class _SplitBlockMapper(BatchMapper):
         if len(self._blocks) == 1:
             return self._blocks[0]
         return np.concatenate(self._blocks)
+
+    def _split_weights(self) -> np.ndarray | None:
+        """Per-row weights aligned with :meth:`_split_data` (or None)."""
+        if self._point_weights is None or not self._key_blocks:
+            return None
+        if len(self._key_blocks) == 1:
+            return take_weights(self._point_weights, self._key_blocks[0])
+        return np.concatenate(
+            [take_weights(self._point_weights, k) for k in self._key_blocks]
+        )
 
 
 class MomentSumsMapper(_SplitBlockMapper):
@@ -196,6 +229,9 @@ class MomentSumsMapper(_SplitBlockMapper):
         if data is None:
             return
         weights = self._model.weights(data)
+        point_weights = self._split_weights()
+        if point_weights is not None:
+            weights = weights * point_weights[:, None]
         sub = data[:, list(self._attributes)]
         linear = weights.T @ sub
         weight_sum = weights.sum(axis=0)
@@ -205,7 +241,7 @@ class MomentSumsMapper(_SplitBlockMapper):
         )
         if isinstance(self._model, ResponsibilityWeights):
             ll_row = np.zeros((1, packed.shape[1]))
-            ll_row[0, 0] = self._model.log_likelihood(data)
+            ll_row[0, 0] = self._model.log_likelihood(data, point_weights)
             packed = np.concatenate([packed, ll_row], axis=0)
         context.emit(_SUMS_KEY, packed)
 
@@ -243,6 +279,9 @@ class CovarianceSumsMapper(_SplitBlockMapper):
         if data is None:
             return
         weights = self._model.weights(data)
+        point_weights = self._split_weights()
+        if point_weights is not None:
+            weights = weights * point_weights[:, None]
         sub = data[:, list(self._attributes)]
         k = weights.shape[1]
         m = sub.shape[1]
@@ -291,6 +330,7 @@ def run_moment_jobs(
     attributes: tuple[int, ...],
     step_prefix: str,
     reg: float = 1e-6,
+    point_weights: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, float | None]:
     """Run the sums + covariance job pair and finalise the moments.
 
@@ -298,17 +338,25 @@ def run_moment_jobs(
     the log-likelihood is ``None`` unless the weight model is a
     :class:`ResponsibilityWeights`.
 
+    ``point_weights`` (the coreset fast path) multiply into the model's
+    weight matrix, turning every moment into its weighted counterpart.
+
     The covariance job's mappers need the means, so they are shipped in
     its cache — the means computed by the sums job must be finalised by
     the driver in between, exactly the two-job dependency of Section 5.4.
     """
+    point_weights = canonical_weights(point_weights)
+    sums_cache: dict[str, Any] = {
+        "weight_model": weight_model,
+        "attributes": attributes,
+    }
+    if point_weights is not None:
+        sums_cache["point_weights"] = point_weights
     sums_job = Job(
         mapper_factory=MomentSumsMapper,
         reducer_factory=MomentSumsReducer,
         combiner_factory=ArraySumCombiner,
-        cache=DistributedCache(
-            {"weight_model": weight_model, "attributes": attributes}
-        ),
+        cache=DistributedCache(sums_cache),
     )
     sums_result = chain.run(f"{step_prefix}_sums", sums_job, splits).as_dict()
     linear, weight_sum, weight_sq = sums_result[_SUMS_KEY]
@@ -323,13 +371,7 @@ def run_moment_jobs(
         mapper_factory=CovarianceSumsMapper,
         reducer_factory=CovarianceSumsReducer,
         combiner_factory=ArraySumCombiner,
-        cache=DistributedCache(
-            {
-                "weight_model": weight_model,
-                "attributes": attributes,
-                "means": means,
-            }
-        ),
+        cache=DistributedCache({**sums_cache, "means": means}),
     )
     scatter = chain.run(f"{step_prefix}_cov", cov_job, splits).as_dict()[_COV_KEY]
     means, covs = finalize_moments(linear, weight_sum, weight_sq, scatter, reg)
@@ -345,10 +387,15 @@ def run_em_mr(
     tol: float = 1e-5,
     reg: float = 1e-6,
     obs: Any = None,
+    point_weights: np.ndarray | None = None,
 ) -> GaussianMixture:
     """Full MR-side EM: two-pass initialisation from cluster cores, then
     two MR jobs per EM iteration (Section 5.4), mirroring
     :func:`repro.core.em.initialize_from_cores` + :func:`repro.core.em.fit_em`.
+
+    With ``point_weights`` (the coreset fast path) every moment is
+    weighted and mixture weights normalise by the total weight ``W``
+    instead of ``n`` — the summary stands in for ``W ≈ n`` points.
 
     ``obs`` (an :class:`repro.obs.Observability`) records the iteration
     count and the log-likelihood trajectory — the paper attributes
@@ -359,17 +406,30 @@ def run_em_mr(
 
     obs = obs or NULL_OBS
 
+    point_weights = canonical_weights(point_weights)
+    normalizer = float(n) if point_weights is None else float(point_weights.sum())
+
     attributes = relevant_attributes(cores)
     signatures = [core.signature for core in cores]
 
     # Initialisation pass 1: support-set moments.
     means, covs, _, _ = run_moment_jobs(
-        chain, splits, CoreSupportWeights(signatures), attributes, "em_init_support"
+        chain,
+        splits,
+        CoreSupportWeights(signatures),
+        attributes,
+        "em_init_support",
+        point_weights=point_weights,
     )
     # Initialisation pass 2: support sets + Mahalanobis-assigned strays.
     stray_model = SupportPlusStrayWeights(signatures, means, covs, attributes)
     means, covs, weight_sum, _ = run_moment_jobs(
-        chain, splits, stray_model, attributes, "em_init_full"
+        chain,
+        splits,
+        stray_model,
+        attributes,
+        "em_init_full",
+        point_weights=point_weights,
     )
     weights = weight_sum / max(weight_sum.sum(), 1.0)
     weights = np.clip(weights, 1e-12, None)
@@ -382,12 +442,17 @@ def run_em_mr(
     for iteration in range(max_iter):
         model = ResponsibilityWeights(mixture)
         means, covs, totals, log_likelihood = run_moment_jobs(
-            chain, splits, model, attributes, f"em_iter{iteration}"
+            chain,
+            splits,
+            model,
+            attributes,
+            f"em_iter{iteration}",
+            point_weights=point_weights,
         )
         if log_likelihood is not None:
             history.append(log_likelihood)
             obs.record("em.log_likelihood", log_likelihood)
-        weights = np.clip(totals / n, 1e-12, None)
+        weights = np.clip(totals / normalizer, 1e-12, None)
         weights /= weights.sum()
         mixture = GaussianMixture(
             means=means, covariances=covs, weights=weights, attributes=attributes

@@ -147,12 +147,17 @@ def run_mvb_jobs(
     splits: list[InputSplit],
     mixture: GaussianMixture,
     reg: float = 1e-9,
+    point_weights: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Three MR jobs computing the MVB moments of every cluster.
 
     Job 1 estimates ball centre and radius; jobs 2-3 (the generic moment
     pair) compute mean and covariance over the inside-ball points.
     Returns ``(means, covariances, inside_ball_counts)`` per cluster.
+
+    ``point_weights`` (the coreset fast path) weight the inside-ball
+    moments; the centre/radius medians stay unweighted — medians over
+    the summary are already robust to the weighting.
     """
     k = mixture.num_components
     m = len(mixture.attributes)
@@ -171,7 +176,13 @@ def run_mvb_jobs(
 
     model = InsideBallWeights(mixture, centers, radii)
     means, covs, weight_sums, _ = run_moment_jobs(
-        chain, splits, model, mixture.attributes, "mvb_moments", reg=reg
+        chain,
+        splits,
+        model,
+        mixture.attributes,
+        "mvb_moments",
+        reg=reg,
+        point_weights=point_weights,
     )
     # Clusters with an empty ball or too few inside-ball points for a
     # usable covariance (same small-sample rule as the serial

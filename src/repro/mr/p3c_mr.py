@@ -18,10 +18,12 @@ Relevant-interval detection stays in the driver (Section 5.2: at most
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.binning import Histogram
 from repro.core.intervals import find_relevant_intervals
 from repro.core.p3c_plus import P3CPlusConfig, _validate_data
 from repro.core.types import ClusteringResult, ProjectedCluster
@@ -36,11 +38,13 @@ from repro.mapreduce.types import InputSplit, split_records
 from repro.mr.attribute_jobs import ArrayMembership
 from repro.mr.candidates import DEFAULT_T_GEN
 from repro.mr.core_generation import DEFAULT_T_C, generate_cluster_cores_mr
+from repro.mr.coreset import build_coreset, run_assign_job
 from repro.mr.em_jobs import run_em_mr
 from repro.mr.histogram import run_histogram_job
 from repro.mr.inspection import mr_attribute_inspection
 from repro.mr.outlier_jobs import run_mvb_jobs, run_od_job
 from repro.mr.tightening_job import run_tightening_job
+from repro.mr.weights import canonical_weights
 from repro.obs import NULL_OBS, Observability
 
 
@@ -84,6 +88,15 @@ class P3CPlusMRConfig:
     #: whole-split blocks, or budget-derived chunks when a memory
     #: budget is set).
     max_block_rows: int | None = None
+    #: Approximate fast path: target size of the one-pass weighted
+    #: summary the chain runs on (``None`` = exact run over all
+    #: points).  A size >= n silently falls back to the exact path.
+    coreset_size: int | None = None
+    #: Summary sampler: ``"uniform"`` or ``"lightweight"``
+    #: (see :mod:`repro.mr.coreset`).
+    coreset_mode: str = "uniform"
+    #: Seed of the deterministic per-split samplers.
+    coreset_seed: int = 0
 
 
 class P3CPlusMR:
@@ -158,13 +171,34 @@ class P3CPlusMR:
         self.chain = chain
         return chain
 
-    def _run_core_phase(self, splits: list[InputSplit], n: int, chain: JobChain):
-        """Histogram job + interval detection + cluster-core generation."""
+    def _run_core_phase(
+        self,
+        splits: list[InputSplit],
+        n: int,
+        chain: JobChain,
+        weights: np.ndarray | None = None,
+        effective_n: float | None = None,
+    ):
+        """Histogram job + interval detection + cluster-core generation.
+
+        With ``weights`` (the coreset fast path) the histogram counts
+        are weighted and rescaled to the effective sample size before
+        the chi-squared interval test, and the Poisson/effect-size
+        proving runs at ``n = effective_n`` — so both tests keep honest
+        statistical power on the small summary; ``n`` is then the
+        ESS-rounded summary size the caller derived.
+        """
         obs = self.obs
         with obs.stage("histograms"):
             num_bins = self.config.num_bins(n)
             obs.gauge("binning.bins_per_attribute", num_bins)
-            histograms = run_histogram_job(chain, splits, num_bins)
+            histograms = run_histogram_job(chain, splits, num_bins, weights=weights)
+            if weights is not None:
+                scale = float(effective_n) / float(weights.sum())
+                histograms = [
+                    Histogram(attribute=h.attribute, counts=h.counts * scale)
+                    for h in histograms
+                ]
         with obs.stage("interval_detection"):
             intervals = find_relevant_intervals(
                 histograms, alpha=self.config.chi2_alpha
@@ -184,6 +218,8 @@ class P3CPlusMR:
                 t_c=self.mr_config.t_c,
                 multi_level=self.mr_config.multi_level,
                 obs=obs,
+                weights=weights,
+                effective_n=effective_n,
             )
         diagnostics = {
             "num_bins": num_bins,
@@ -223,6 +259,9 @@ class P3CPlusMR:
         """Cluster from pre-built input splits (in-memory or
         file-backed, see :func:`repro.mapreduce.fs.make_csv_splits`);
         the driver never materialises the data matrix."""
+        coreset_size = self.mr_config.coreset_size
+        if coreset_size is not None and coreset_size < n:
+            return self._fit_splits_coreset(splits, n, d)
         obs = self._begin_run()
         with obs.run("p3c_plus_mr", n=n, d=d):
             chain = self._make_chain()
@@ -280,6 +319,140 @@ class P3CPlusMR:
             return self._finish(
                 splits, n, d, chain, cores, membership, diagnostics
             )
+
+    def _fit_splits_coreset(
+        self, splits: list[InputSplit], n: int, d: int
+    ) -> ClusteringResult:
+        """Approximate fast path: fit the chain on a one-pass weighted
+        summary, then label the full data with one map-only pass.
+
+        Exactly two full-data scans (summary build + final assignment)
+        regardless of EM iteration count; every other job runs on the
+        ``m << n`` summary with the weighted kernels.  Statistics run at
+        the summary's effective sample size so proving power is honest.
+        """
+        mr_config = self.mr_config
+        obs = self._begin_run()
+        with obs.run("p3c_plus_mr_coreset", n=n, d=d):
+            chain = self._make_chain()
+
+            with obs.stage("coreset_summary", mode=mr_config.coreset_mode):
+                started = time.perf_counter()
+                summary = build_coreset(
+                    chain,
+                    splits,
+                    mr_config.coreset_size,
+                    mode=mr_config.coreset_mode,
+                    seed=mr_config.coreset_seed,
+                )
+                build_s = time.perf_counter() - started
+                weights = canonical_weights(summary.weights)
+                ess = (
+                    summary.effective_size
+                    if weights is not None
+                    else float(summary.size)
+                )
+                obs.gauge("mr.coreset_points", summary.size)
+                obs.record("mr.coreset_build_s", build_s)
+                obs.gauge("mr.coreset_total_weight", summary.total_weight)
+                obs.gauge("mr.coreset_effective_size", ess)
+
+            m = summary.size
+            summary_splits = split_records(
+                summary.points, min(mr_config.num_splits, m)
+            )
+            total_weight = summary.total_weight
+
+            cores, diagnostics = self._run_core_phase(
+                summary_splits,
+                max(1, round(ess)),
+                chain,
+                weights=weights,
+                effective_n=ess,
+            )
+            # No timings here: result metadata must stay byte-identical
+            # across executors and chaos runs (build_s lives in the
+            # mr.coreset_build_s obs series instead).
+            diagnostics["coreset"] = {
+                "mode": summary.mode,
+                "requested_size": summary.requested_size,
+                "size": m,
+                "total_weight": total_weight,
+                "effective_size": ess,
+            }
+            if not cores:
+                return self._empty_result(n, d, diagnostics, chain)
+
+            with obs.stage("em", coreset=True):
+                mixture = run_em_mr(
+                    chain,
+                    summary_splits,
+                    cores,
+                    m,
+                    max_iter=self.config.em_max_iter,
+                    obs=obs,
+                    point_weights=weights,
+                )
+            diagnostics["em_iterations"] = len(mixture.log_likelihood_history)
+
+            with obs.stage("outlier_detection", method=self.config.outlier_method):
+                if self.config.outlier_method == "mvb":
+                    od_means, od_covs, moment_counts = run_mvb_jobs(
+                        chain, summary_splits, mixture, point_weights=weights
+                    )
+                else:
+                    od_means, od_covs = mixture.means, mixture.covariances
+                    # Mixture weights were normalised by the total
+                    # weight, so this is already the full-data count.
+                    moment_counts = mixture.weights * total_weight
+                membership_small = run_od_job(
+                    chain,
+                    summary_splits,
+                    mixture,
+                    od_means,
+                    od_covs,
+                    moment_counts,
+                    alpha=self.config.outlier_alpha,
+                )
+                membership = np.full(m, -1, dtype=np.int64)
+                for index, label in membership_small.items():
+                    membership[index] = label
+
+            self._register_fitted(
+                algorithm="mr",
+                cores=cores,
+                mixture=mixture,
+                od_means=od_means,
+                od_covariances=od_covs,
+                od_counts=np.asarray(moment_counts, dtype=float),
+                num_bins=diagnostics["num_bins"],
+                n=n,
+                d=d,
+            )
+
+            # AI + tightening characterise the clusters (their relevant
+            # attributes and output signatures) on the summary; the one
+            # remaining full-data pass assigns every original point.
+            result = self._finish(
+                summary_splits, m, d, chain, cores, membership, diagnostics
+            )
+            with obs.stage("coreset_assign"):
+                assignment = run_assign_job(
+                    chain, splits, self.fitted_model, n
+                )
+            # _finish counted jobs before the assignment pass ran.
+            diagnostics["mr_jobs"] = chain.num_jobs
+            diagnostics["shuffle_records"] = chain.total_shuffle_records
+            for cluster in result.clusters:
+                j = cores.index(cluster.core)
+                cluster.members = np.where(assignment == j)[0]
+            assigned = np.zeros(n, dtype=bool)
+            for cluster in result.clusters:
+                assigned[cluster.members] = True
+            result.outliers = np.where(~assigned)[0]
+            result.n_points = n
+            obs.gauge("outliers.final", int((~assigned).sum()))
+            return result
 
     def _register_fitted(
         self,

@@ -246,6 +246,42 @@ class RSSC:
             )
             counts += bits[:, : self.num_signatures].sum(axis=0, dtype=np.int64)
 
+    def add_points_weighted(
+        self,
+        block: np.ndarray,
+        weights: np.ndarray,
+        counts: np.ndarray,
+        chunk_rows: int = 65536,
+    ) -> None:
+        """Weighted :meth:`add_points`: each point contributes its
+        weight instead of 1 to every signature containing it.
+
+        ``counts`` must be float64; per chunk the weighted support is
+        one ``weights @ bits`` product over the unpacked bit-plane,
+        accumulated chunk-sequentially so a fixed chunking yields a
+        deterministic float fold.  With all-unit weights the result
+        equals :meth:`add_points` numerically but in float dtype —
+        callers wanting bitwise parity with the unweighted path must
+        canonicalise unit weights to the integer kernel.
+        """
+        block = np.atleast_2d(np.asarray(block, dtype=float))
+        weights = np.asarray(weights, dtype=float)
+        if len(weights) != len(block):
+            raise ValueError(
+                f"weights ({len(weights)}) must align with block rows "
+                f"({len(block)})"
+            )
+        if len(block) == 0 or self.num_signatures == 0:
+            return
+        for start in range(0, len(block), chunk_rows):
+            words = self.membership_words(block[start : start + chunk_rows])
+            bits = np.unpackbits(
+                words.view(np.uint8), axis=1, bitorder="little"
+            )
+            counts += weights[start : start + chunk_rows] @ bits[
+                :, : self.num_signatures
+            ].astype(np.float64)
+
     def count_supports(self, data: np.ndarray) -> dict[Signature, int]:
         """Supports of all candidate signatures over a data block."""
         counts = np.zeros(self.num_signatures, dtype=np.int64)

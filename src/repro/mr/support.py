@@ -6,6 +6,12 @@ builds nothing itself (the RSSC bit masks are precomputed by the driver
 "with only two scans of Ŝ_all" and shipped in the cache), accumulates a
 per-split count vector with the RSSC, and emits it once from cleanup.
 The single reducer sums the per-split vectors.
+
+With per-point weights (the coreset fast path) the mapper runs the
+weighted RSSC kernel instead — each point contributes its weight to
+every signature containing it — and the job returns float supports.
+Unit weights are canonicalised to the integer kernel, keeping the
+unweighted path bitwise unchanged.
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ from repro.mapreduce.chain import JobChain
 from repro.mapreduce.types import InputSplit
 from repro.mr.rssc import RSSC
 from repro.mr.aggregate import sum_partials
+from repro.mr.weights import canonical_weights, take_weights
 
 _KEY = "supports"
 
@@ -30,10 +37,17 @@ class SupportCountMapper(BatchMapper):
 
     def setup(self, context: Context) -> None:
         self._rssc: RSSC = context.cache["rssc"]
-        self._counts = np.zeros(self._rssc.num_signatures, dtype=np.int64)
+        self._weights: np.ndarray | None = context.cache.get("point_weights")
+        dtype = np.int64 if self._weights is None else np.float64
+        self._counts = np.zeros(self._rssc.num_signatures, dtype=dtype)
 
     def map_batch(self, keys: Any, block: np.ndarray, context: Context) -> None:
-        self._rssc.add_points(block, self._counts)
+        if self._weights is None:
+            self._rssc.add_points(block, self._counts)
+        else:
+            self._rssc.add_points_weighted(
+                block, take_weights(self._weights, keys), self._counts
+            )
 
     def cleanup(self, context: Context) -> None:
         context.emit(_KEY, self._counts)
@@ -49,17 +63,25 @@ def run_support_job(
     splits: list[InputSplit],
     candidates: list[Signature],
     step_name: str = "candidate_proving",
-) -> dict[Signature, int]:
-    """Count supports of ``candidates`` with one MR job."""
+    weights: np.ndarray | None = None,
+) -> dict[Signature, int | float]:
+    """Count (optionally weighted) supports of ``candidates`` with one
+    MR job.  Unweighted supports are ints; weighted supports floats."""
     if not candidates:
         return {}
+    weights = canonical_weights(weights)
     rssc = RSSC(candidates)
+    cache: dict[str, Any] = {"rssc": rssc}
+    if weights is not None:
+        cache["point_weights"] = weights
     job = Job(
         mapper_factory=SupportCountMapper,
         reducer_factory=SupportSumReducer,
         combiner_factory=ArraySumCombiner,
-        cache=DistributedCache({"rssc": rssc}),
+        cache=DistributedCache(cache),
     )
     result = chain.run(step_name, job, splits, num_reducers=1)
     counts = result.as_dict()[_KEY]
-    return {sig: int(c) for sig, c in zip(candidates, counts)}
+    if weights is None:
+        return {sig: int(c) for sig, c in zip(candidates, counts)}
+    return {sig: float(c) for sig, c in zip(candidates, counts)}

@@ -1,0 +1,57 @@
+"""Per-point weight plumbing shared by the weighted MR kernels.
+
+The coreset fast path reruns the P3C+ chain on a small weighted summary
+(points, weights).  Every hot-stage job — histogram, RSSC support, EM
+moments — accepts an optional full weight vector via its distributed
+cache and indexes it with the record keys of its batches (record keys
+of array- and file-backed splits are global row indices, so chunked
+deliveries of one split stay consistent and chaos retries re-read the
+exact same weights).
+
+Two invariants live here:
+
+- :func:`canonical_weights` maps an all-ones vector to ``None`` at the
+  job boundary.  Weighted kernels accumulate in float64 while the
+  classic kernels use int64 bincounts/popcounts — numerically equal for
+  unit weights but not byte-equal — so unit-weight runs are routed onto
+  the unweighted code path and stay **bitwise identical** to a run that
+  never heard of weights (the parity suite pins this).
+- :func:`take_weights` is the one sanctioned way to slice the vector,
+  so every kernel indexes identically (int64 keys, bounds-checked by
+  numpy).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+import numpy as np
+
+
+def canonical_weights(weights: np.ndarray | None) -> np.ndarray | None:
+    """Validate a weight vector; canonicalise unit weights to ``None``.
+
+    Returns a float64 copy-free view when genuine weights are present.
+    """
+    if weights is None:
+        return None
+    weights = np.asarray(weights, dtype=float)
+    if weights.ndim != 1:
+        raise ValueError(
+            f"point weights must be 1-D, got shape {weights.shape}"
+        )
+    if len(weights) == 0:
+        raise ValueError("point weights must be non-empty")
+    if not np.all(np.isfinite(weights)):
+        raise ValueError("point weights must be finite")
+    if np.any(weights < 0):
+        raise ValueError("point weights must be non-negative")
+    if np.all(weights == 1.0):
+        return None
+    return weights
+
+
+def take_weights(weights: np.ndarray, keys: Sequence[Any]) -> np.ndarray:
+    """Slice the full weight vector down to one batch's rows."""
+    index = np.asarray(keys, dtype=np.int64)
+    return weights[index]

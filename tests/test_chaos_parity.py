@@ -288,6 +288,67 @@ def test_vectorized_process_chaos_matches_clean_run(
     assert outputs == clean_vectorized_baseline
 
 
+# -- coreset-summary chain parity ------------------------------------------
+#
+# The coreset mapper samples in cleanup with an RNG derived from
+# (seed, split id), so a chaos-injected retry of a map task must redraw
+# the *identical* sample — points and weights of the summary stay byte-
+# identical to a clean serial run on every backend.  Without this, a
+# retried split would silently change the downstream weighted fit.
+
+
+def run_coreset_chain(
+    executor: str | None,
+    fault_spec: str | None,
+    seed: int = 0,
+    max_workers: int | None = None,
+):
+    from repro.mr.coreset import build_coreset
+
+    plan = FaultPlan.parse(fault_spec, seed=seed) if fault_spec else None
+    runtime = MapReduceRuntime(
+        executor=executor, max_workers=max_workers, fault_plan=plan
+    )
+    data = np.random.default_rng(42).uniform(size=(200, 4))
+    summary = build_coreset(
+        JobChain(runtime),
+        split_records(data, NUM_SPLITS),
+        60,
+        mode="lightweight",
+        seed=17,
+    )
+    return pickle.dumps((summary.points, summary.weights)), runtime
+
+
+@pytest.fixture(scope="module")
+def clean_coreset_baseline():
+    outputs, _ = run_coreset_chain("serial", None)
+    return outputs
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11])
+def test_coreset_serial_chaos_preserves_weights(clean_coreset_baseline, seed):
+    outputs, runtime = run_coreset_chain("serial", CHAOS_SPEC, seed=seed)
+    assert outputs == clean_coreset_baseline
+    kinds = {e.kind for e in runtime.events.events}
+    assert EventKind.TASK_FAILED not in kinds
+
+
+@pytest.mark.parametrize("seed", [0, 3, 11])
+def test_coreset_thread_chaos_preserves_weights(clean_coreset_baseline, seed):
+    outputs, _ = run_coreset_chain(
+        "thread", CHAOS_SPEC, seed=seed, max_workers=4
+    )
+    assert outputs == clean_coreset_baseline
+
+
+def test_coreset_process_chaos_preserves_weights(clean_coreset_baseline):
+    outputs, _ = run_coreset_chain(
+        "process", CHAOS_SPEC, seed=7, max_workers=2
+    )
+    assert outputs == clean_coreset_baseline
+
+
 def test_vectorized_counts_match_bruteforce():
     """Anchor the parity sweep to ground truth, not just to itself."""
     from repro.core.proving import count_supports

@@ -110,6 +110,64 @@ class TestCluster:
         assert "thread" in out  # ledger names the executor
         assert "TOTAL" in out
 
+    def test_coreset_flags_run_and_label_all_points(
+        self, tmp_path, data_file, capsys
+    ):
+        result_file = tmp_path / "result.json"
+        code = main(
+            [
+                "cluster",
+                "--algorithm", "mr",
+                "--data", str(data_file),
+                "--out", str(result_file),
+                "--coreset-size", "200",
+                "--coreset-mode", "lightweight",
+                "--coreset-seed", "7",
+            ]
+        )
+        assert code == 0
+        result = json.loads(result_file.read_text())
+        assert result["n_points"] == 600
+        info = result["metadata"]["coreset"]
+        assert info["mode"] == "lightweight"
+        assert info["requested_size"] == 200
+        # Result metadata carries no timings (byte-identity contract).
+        assert "build_s" not in info
+        covered = set(result["outliers"])
+        for cluster in result["clusters"]:
+            covered.update(cluster["members"])
+        assert covered == set(range(600))
+
+    def test_coreset_mode_without_size_rejected(
+        self, tmp_path, data_file, capsys
+    ):
+        code = main(
+            [
+                "cluster",
+                "--algorithm", "mr",
+                "--data", str(data_file),
+                "--out", str(tmp_path / "result.json"),
+                "--coreset-mode", "lightweight",
+            ]
+        )
+        assert code == 2
+        assert "--coreset-size" in capsys.readouterr().err
+
+    def test_coreset_size_requires_mr_algorithm(
+        self, tmp_path, data_file, capsys
+    ):
+        code = main(
+            [
+                "cluster",
+                "--algorithm", "mr-light",
+                "--data", str(data_file),
+                "--out", str(tmp_path / "result.json"),
+                "--coreset-size", "200",
+            ]
+        )
+        assert code == 2
+        assert "mr algorithm" in capsys.readouterr().err
+
     def test_trace_on_serial_algorithm_prints_note(
         self, tmp_path, data_file, capsys
     ):

@@ -172,3 +172,89 @@ class TestScoreProperties:
         far = [_cluster(range(0, 10), {0, 1}), _cluster(range(50, 60), {2, 3})]
         for score in ALL_SCORES:
             assert score(close, TRUTH) > score(far, TRUTH)
+
+
+class TestVectorizedIntersections:
+    """The disjoint fast path must be bit-identical to the per-pair oracle."""
+
+    @staticmethod
+    def _oracle(found, hidden):
+        matrix = np.zeros((len(found), len(hidden)), dtype=np.int64)
+        for i, c in enumerate(found):
+            for j, h in enumerate(hidden):
+                matrix[i, j] = micro_object_intersection(c, h)
+        return matrix
+
+    @staticmethod
+    def _disjoint_clustering(rng, universe, max_clusters=5, num_attrs=8):
+        permuted = rng.permutation(universe)
+        cuts = np.sort(
+            rng.choice(
+                len(permuted), size=int(rng.integers(1, max_clusters)), replace=False
+            )
+        )
+        clusters = []
+        for part in np.split(permuted, cuts):
+            if len(part) == 0:
+                continue
+            attrs = rng.choice(
+                num_attrs, size=int(rng.integers(1, 4)), replace=False
+            )
+            clusters.append(_cluster(part, {int(a) for a in attrs}))
+        return clusters
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_fast_path_matches_oracle(self, seed):
+        rng = np.random.default_rng(seed)
+        universe = rng.choice(200, size=int(rng.integers(10, 120)), replace=False)
+        found = self._disjoint_clustering(rng, universe)
+        hidden = self._disjoint_clustering(rng, universe)
+        assert np.array_equal(
+            pairwise_intersections(found, hidden), self._oracle(found, hidden)
+        )
+
+    def test_overlapping_clusterings_use_exact_fallback(self):
+        found = [_cluster([0, 1, 2], {0}), _cluster([2, 3], {0})]  # overlap on 2
+        hidden = [_cluster([1, 2, 3], {0})]
+        assert np.array_equal(
+            pairwise_intersections(found, hidden), self._oracle(found, hidden)
+        )
+
+
+class TestE4SCSampling:
+    """The seeded max_points cap must track the exact score."""
+
+    def test_no_op_when_universe_fits(self):
+        found = [_cluster(range(0, 45), {0, 1}), _cluster(range(50, 95), {2, 3})]
+        exact = e4sc_score(found, TRUTH)
+        assert e4sc_score(found, TRUTH, max_points=1_000) == exact
+
+    def test_sampled_score_near_exact(self):
+        rng = np.random.default_rng(3)
+        hidden = [
+            _cluster(range(0, 2_000), {0, 1, 2}),
+            _cluster(range(2_000, 4_000), {3, 4}),
+        ]
+        # Found: the truth with 5% of members scrambled across clusters.
+        labels = np.repeat([0, 1], 2_000)
+        flip = rng.choice(4_000, size=200, replace=False)
+        labels[flip] = 1 - labels[flip]
+        found = [
+            _cluster(np.where(labels == 0)[0], {0, 1, 2}),
+            _cluster(np.where(labels == 1)[0], {3, 4}),
+        ]
+        exact = e4sc_score(found, hidden)
+        sampled = e4sc_score(found, hidden, max_points=800, seed=0)
+        assert sampled == pytest.approx(exact, abs=0.03)
+
+    def test_sampling_is_seed_deterministic(self):
+        hidden = [_cluster(range(0, 3_000), {0, 1})]
+        found = [_cluster(range(100, 2_900), {0, 1})]
+        a = e4sc_score(found, hidden, max_points=500, seed=4)
+        b = e4sc_score(found, hidden, max_points=500, seed=4)
+        assert a == b
+
+    def test_invalid_max_points_rejected(self):
+        with pytest.raises(ValueError, match="max_points"):
+            e4sc_score(TRUTH, TRUTH, max_points=0)

@@ -505,6 +505,7 @@ GATED_ARTIFACTS = (
     "BENCH_service.json",
     "BENCH_serving.json",
     "BENCH_outofcore.json",
+    "BENCH_coreset.json",
 )
 
 
